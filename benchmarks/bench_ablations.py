@@ -1,0 +1,47 @@
+"""Benchmarks for the three design-choice ablations listed in DESIGN.md."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_consistency_ablation,
+    run_prefix_vs_range,
+    run_sampling_vs_splitting,
+)
+
+
+def test_ablation_sampling_vs_splitting(benchmark, bench_config):
+    """A1: the paper's level sampling vs centralized-style budget splitting."""
+    rows = run_once(benchmark, run_sampling_vs_splitting, bench_config)
+    print()
+    print(format_ablation(rows, "Ablation A1 -- level sampling vs budget splitting"))
+    for domain in {row.domain_size for row in rows}:
+        sample = next(r for r in rows if r.domain_size == domain and r.label.endswith("sample"))
+        split = next(r for r in rows if r.domain_size == domain and r.label.endswith("split"))
+        assert sample.mse < split.mse
+
+
+def test_ablation_consistency(benchmark, bench_config):
+    """A2: constrained inference on/off across branching factors."""
+    rows = run_once(benchmark, run_consistency_ablation, bench_config)
+    print()
+    print(format_ablation(rows, "Ablation A2 -- constrained inference on/off"))
+    # For each (domain, B) pair the CI variant should not be much worse.
+    by_key = {(row.domain_size, row.label): row.mse for row in rows}
+    for (domain, label), mse in by_key.items():
+        if "CI" in label:
+            raw_label = label.replace("CI", "", 1)
+            if (domain, raw_label) in by_key:
+                assert mse < by_key[(domain, raw_label)] * 1.2
+
+
+def test_ablation_prefix_vs_range(benchmark, bench_config):
+    """A3: prefix queries should not be harder than arbitrary ranges."""
+    rows = run_once(benchmark, run_prefix_vs_range, bench_config)
+    print()
+    print(format_ablation(rows, "Ablation A3 -- prefix vs arbitrary ranges"))
+    by_label = {(row.domain_size, row.label): row.mse for row in rows}
+    for (domain, label), mse in by_label.items():
+        if label.endswith("-prefix"):
+            range_label = label.replace("-prefix", "-range")
+            assert mse < by_label[(domain, range_label)] * 1.8

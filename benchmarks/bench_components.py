@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the computational building blocks.
+
+These quantify the per-component costs the paper discusses qualitatively:
+the cheap user-side reports and decoding for HRR, the heavier OUE
+aggregation, the O(N D) OLH decoding, the linear-time constrained inference
+and the fast Haar / Walsh-Hadamard transforms.  Unlike the figure
+benchmarks, these use several rounds so the timings are meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import cauchy_population
+from repro.frequency_oracles import (
+    HadamardRandomizedResponse,
+    OptimalLocalHashing,
+    OptimizedUnaryEncoding,
+    fwht,
+)
+from repro.hierarchy import HierarchicalHistogram, enforce_consistency
+from repro.hierarchy.tree import DomainTree
+from repro.wavelet import HaarHRR
+from repro.wavelet.haar import haar_transform
+
+DOMAIN = 1024
+N_USERS = 50_000
+
+
+@pytest.fixture(scope="module")
+def population():
+    return cauchy_population(DOMAIN, N_USERS, rng=0)
+
+
+def test_bench_fwht(benchmark):
+    """Fast Walsh-Hadamard transform over a 2^14 vector."""
+    vector = np.random.default_rng(0).normal(size=2**14)
+    benchmark(fwht, vector)
+
+
+def test_bench_haar_transform(benchmark):
+    """Discrete Haar transform over a 2^14 vector."""
+    vector = np.random.default_rng(0).random(size=2**14)
+    benchmark(haar_transform, vector)
+
+
+def test_bench_oue_simulation(benchmark, population):
+    """OUE aggregate simulation (the paper's scalable evaluation path)."""
+    oracle = OptimizedUnaryEncoding(DOMAIN, 1.1)
+    counts = population.counts()
+    benchmark(oracle.estimate_from_counts, counts, rng=np.random.default_rng(1))
+
+
+def test_bench_hrr_per_user(benchmark, population):
+    """HRR full per-user pipeline (privatize + aggregate) for 50k users."""
+    oracle = HadamardRandomizedResponse(DOMAIN, 1.1)
+
+    def run():
+        return oracle.estimate(population.items, rng=np.random.default_rng(2))
+
+    benchmark(run)
+
+
+def test_bench_olh_decode_small_domain(benchmark):
+    """OLH decoding cost, which is O(N D) -- the reason the paper drops it."""
+    small = cauchy_population(256, 5_000, rng=3)
+    oracle = OptimalLocalHashing(256, 1.1)
+    reports = oracle.privatize(small.items, rng=np.random.default_rng(4))
+    benchmark(oracle.aggregate, reports, 5_000)
+
+
+def test_bench_consistency(benchmark):
+    """Constrained inference over a fan-out-4 tree with 4^6 leaves."""
+    rng = np.random.default_rng(5)
+    levels = [rng.random(4**depth) for depth in range(7)]
+    benchmark(enforce_consistency, levels, 4)
+
+
+def test_bench_badic_decomposition(benchmark):
+    """Canonical B-adic decomposition of a long range."""
+    tree = DomainTree(2**20, 4)
+    benchmark(tree.decompose_range, 12_345, 987_654)
+
+
+def test_bench_hh_simulated(benchmark, population):
+    """End-to-end hierarchical histogram (simulation path) on D=1024."""
+    protocol = HierarchicalHistogram(DOMAIN, 1.1, branching=4)
+    counts = population.counts()
+    benchmark(protocol.run_simulated, counts, rng=np.random.default_rng(6))
+
+
+def test_bench_haarhrr_simulated(benchmark, population):
+    """End-to-end HaarHRR (simulation path) on D=1024."""
+    protocol = HaarHRR(DOMAIN, 1.1)
+    counts = population.counts()
+    benchmark(protocol.run_simulated, counts, rng=np.random.default_rng(7))
+
+
+def test_bench_range_query_evaluation(benchmark, population):
+    """Answering 10k range queries from a fitted estimator."""
+    protocol = HierarchicalHistogram(DOMAIN, 1.1, branching=4)
+    estimator = protocol.run_simulated(population.counts(), rng=8)
+    rng = np.random.default_rng(9)
+    lefts = rng.integers(0, DOMAIN - 1, size=10_000)
+    lengths = rng.integers(1, DOMAIN // 2, size=10_000)
+    queries = [
+        (int(left), int(min(left + length, DOMAIN - 1)))
+        for left, length in zip(lefts, lengths)
+    ]
+    benchmark(estimator.range_queries, queries)

@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of Figure 4 (branching factor / range length sweep)."""
+
+from conftest import run_once
+
+from repro.experiments.figure4 import best_method_per_cell, format_figure4, run_figure4
+
+
+def test_figure4(benchmark, bench_config):
+    """Regenerate every (D, r, method, B) cell of Figure 4."""
+    cells = run_once(benchmark, run_figure4, bench_config)
+    print()
+    print(format_figure4(cells))
+    # Headline qualitative claim: the flat method does not win long ranges.
+    best = best_method_per_cell(cells)
+    longest = {
+        domain: max(length for (d, length) in best if d == domain)
+        for domain in {d for (d, _) in best}
+    }
+    assert all(best[(domain, longest[domain])] != "FlatOUE" for domain in longest)

@@ -1,0 +1,24 @@
+"""Benchmark + regeneration of Figure/Table 5 (epsilon sweep, arbitrary ranges)."""
+
+from conftest import run_once
+
+from repro.experiments.figure5 import format_epsilon_sweep, run_figure5
+
+
+def test_figure5(benchmark, bench_config):
+    """Regenerate the MSE-vs-epsilon tables for HHc_B and HaarHRR."""
+    cells = run_once(benchmark, run_figure5, bench_config)
+    print()
+    print(format_epsilon_sweep(cells, "Figure 5 (arbitrary ranges)"))
+    # Error must decrease as epsilon grows, for every method and domain.
+    for domain in {cell.domain_size for cell in cells}:
+        for method in {cell.method for cell in cells}:
+            series = sorted(
+                (
+                    (cell.epsilon, cell.result.mse_mean)
+                    for cell in cells
+                    if cell.domain_size == domain and cell.method == method
+                )
+            )
+            if len(series) >= 2:
+                assert series[-1][1] < series[0][1]

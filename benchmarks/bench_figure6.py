@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure/Table 6 (epsilon sweep, prefix queries)."""
+
+from conftest import run_once
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+
+def test_figure6(benchmark, bench_config):
+    """Regenerate the prefix-query MSE-vs-epsilon tables."""
+    cells = run_once(benchmark, run_figure6, bench_config)
+    print()
+    print(format_figure6(cells))
+    assert cells
+    # All prefix MSEs are small in absolute terms (paper: ~1e-3 scale).
+    assert max(cell.result.mse_mean for cell in cells) < 0.5

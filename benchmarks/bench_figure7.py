@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Figure 7 (centralized-case comparison)."""
+
+from conftest import run_once
+
+from repro.experiments.figure7 import format_figure7, run_figure7
+
+
+def test_figure7(benchmark, bench_config):
+    """Recompute the centralized wavelet/hierarchical ratios and the local ones."""
+    rows = run_once(benchmark, run_figure7, bench_config)
+    print()
+    print(format_figure7(rows))
+    # Centralized error is far below local error (1/N^2 vs 1/N scaling), and
+    # the local wavelet/hierarchical gap is much smaller than a factor of 10.
+    for row in rows:
+        assert row.central_hh16_mse < row.local_hh4_mse
+        assert row.local_ratio_haar_vs_hh < 10.0

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Figure 8 (input-distribution sweep)."""
+
+from conftest import run_once
+
+from repro.experiments.figure8 import format_figure8, max_relative_spread, run_figure8
+
+
+def test_figure8(benchmark, bench_config):
+    """Regenerate the MSE-vs-distribution-centre series."""
+    cells = run_once(benchmark, run_figure8, bench_config)
+    print()
+    print(format_figure8(cells))
+    assert cells
+    # The paper's takeaway: absolute errors stay small for every centre.
+    assert max(cell.result.mse_mean for cell in cells) < 0.5
+    # And the spread across centres is moderate (no pathological sensitivity).
+    assert max_relative_spread(cells) < 20.0

@@ -1,0 +1,15 @@
+"""Benchmark + regeneration of Figure 9 (decile / quantile queries)."""
+
+from conftest import run_once
+
+from repro.experiments.figure9 import format_figure9, max_quantile_error, run_figure9
+
+
+def test_figure9(benchmark, bench_config):
+    """Regenerate the decile value-error and quantile-error series."""
+    cells = run_once(benchmark, run_figure9, bench_config)
+    print()
+    print(format_figure9(cells))
+    assert len(cells) == len({(c.center_fraction, c.method, c.phi) for c in cells})
+    # Headline claim: quantile error stays small even where value error spikes.
+    assert max_quantile_error(cells) < 0.25

@@ -1,0 +1,61 @@
+"""Benchmark comparing every implemented frequency oracle on point queries.
+
+Section 3.2 of the paper surveys the frequency-oracle landscape and keeps
+OUE, OLH and HRR because they share the optimal variance
+``4 e^eps / (N (e^eps - 1)^2)``.  This benchmark times each oracle's
+aggregate-simulation path on the same workload and verifies the accuracy
+ordering the survey claims: the three optimal oracles are comparable, and
+SUE / histogram-encoding / GRR (on a large domain) are strictly worse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import mean_squared_error
+from repro.data import cauchy_population
+from repro.frequency_oracles import ORACLE_REGISTRY, make_oracle
+
+DOMAIN = 256
+N_USERS = 100_000
+EPSILON = 1.1
+REPETITIONS = 5
+
+
+@pytest.fixture(scope="module")
+def population():
+    return cauchy_population(DOMAIN, N_USERS, rng=0)
+
+
+def _oracle_mse(name, population):
+    counts = population.counts()
+    truth = population.frequencies()
+    oracle = make_oracle(name, DOMAIN, EPSILON)
+    errors = []
+    for seed in range(REPETITIONS):
+        estimates = oracle.estimate_from_counts(counts, rng=np.random.default_rng(seed))
+        errors.append(mean_squared_error(estimates, truth))
+    return float(np.mean(errors))
+
+
+@pytest.mark.parametrize("name", sorted(ORACLE_REGISTRY))
+def test_bench_oracle_simulation(benchmark, population, name):
+    """Time one aggregate simulation of each registered oracle."""
+    counts = population.counts()
+    oracle = make_oracle(name, DOMAIN, EPSILON)
+    benchmark(oracle.estimate_from_counts, counts, rng=np.random.default_rng(1))
+
+
+def test_oracle_accuracy_ordering(population):
+    """The optimal-variance oracles beat SUE and GRR on a large domain."""
+    mses = {name: _oracle_mse(name, population) for name in sorted(ORACLE_REGISTRY)}
+    print()
+    print("Point-query MSE by oracle (x1e6):")
+    for name, value in sorted(mses.items(), key=lambda item: item[1]):
+        print(f"  {name:>4}: {value * 1e6:8.3f}")
+    best_of_optimal = min(mses["oue"], mses["olh"], mses["hrr"])
+    worst_of_optimal = max(mses["oue"], mses["olh"], mses["hrr"])
+    # The three optimal oracles are within a small factor of each other...
+    assert worst_of_optimal / best_of_optimal < 3.0
+    # ...and each suboptimal oracle is worse than the best optimal one.
+    assert mses["sue"] > best_of_optimal
+    assert mses["grr"] > best_of_optimal

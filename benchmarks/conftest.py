@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every figure/table of the paper has one benchmark module.  Each benchmark
+
+1. runs the corresponding experiment driver once (timed by
+   pytest-benchmark, with a single round so the whole suite stays fast), and
+2. prints the resulting table in the paper's layout, so running
+   ``pytest benchmarks/ --benchmark-only -s`` regenerates the rows/series
+   the paper reports.
+
+The scale is controlled by the ``REPRO_BENCH_PRESET`` environment variable
+(``smoke`` by default; set it to ``default`` or ``paper`` to run closer to
+the paper's setting).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, get_config
+
+
+def _bench_config() -> ExperimentConfig:
+    preset = os.environ.get("REPRO_BENCH_PRESET", "smoke")
+    return get_config(preset)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration used by all figure benchmarks."""
+    return _bench_config()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

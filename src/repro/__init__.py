@@ -1,0 +1,91 @@
+"""repro: Answering Range Queries Under Local Differential Privacy.
+
+A complete reproduction of Cormode, Kulkarni and Srivastava (VLDB 2019).
+The public API centres on three range-query protocols sharing a common
+interface (:class:`~repro.core.protocol.RangeQueryProtocol`):
+
+* :class:`~repro.flat.FlatRangeQuery` -- the per-item baseline;
+* :class:`~repro.hierarchy.HierarchicalHistogram` -- the HH_B framework
+  (TreeOUE / TreeHRR / TreeOLH, with or without constrained inference);
+* :class:`~repro.wavelet.HaarHRR` -- the Discrete Haar Transform protocol.
+
+Quick start::
+
+    import numpy as np
+    from repro import HierarchicalHistogram
+    from repro.data import cauchy_population
+
+    data = cauchy_population(domain_size=1024, n_users=200_000, rng=0)
+    protocol = HierarchicalHistogram(domain_size=1024, epsilon=1.1, branching=4)
+    estimator = protocol.run(data.items, rng=1)
+    print(estimator.range_query((100, 400)))
+
+See ``examples/`` for runnable end-to-end scripts and ``benchmarks/`` for
+the reproduction of every table and figure in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core import (
+    Domain,
+    InvalidDomainError,
+    InvalidPrivacyBudgetError,
+    InvalidRangeError,
+    PrivacyParams,
+    ProtocolUsageError,
+    RangeQueryEstimator,
+    RangeQueryProtocol,
+    RangeSpec,
+    ReproError,
+)
+from repro.flat import FlatRangeQuery
+from repro.frequency_oracles import make_oracle
+from repro.hierarchy import HierarchicalHistogram
+from repro.wavelet import HaarHRR
+
+__version__ = "1.0.0"
+
+#: Protocol registry used by the experiment harness and the CLI.
+PROTOCOL_REGISTRY: Dict[str, Type[RangeQueryProtocol]] = {
+    "flat": FlatRangeQuery,
+    "hh": HierarchicalHistogram,
+    "haar": HaarHRR,
+}
+
+
+def make_protocol(name: str, domain_size: int, epsilon: float, **kwargs) -> RangeQueryProtocol:
+    """Construct a range-query protocol by registry handle.
+
+    ``name`` is one of ``"flat"``, ``"hh"`` or ``"haar"``; keyword arguments
+    are forwarded to the protocol constructor (e.g. ``branching=8,
+    oracle="hrr", consistency=True`` for the hierarchical method).
+    """
+    key = name.strip().lower()
+    if key not in PROTOCOL_REGISTRY:
+        raise KeyError(
+            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOL_REGISTRY)}"
+        )
+    return PROTOCOL_REGISTRY[key](domain_size, epsilon, **kwargs)
+
+
+__all__ = [
+    "__version__",
+    "Domain",
+    "PrivacyParams",
+    "RangeSpec",
+    "ReproError",
+    "InvalidDomainError",
+    "InvalidPrivacyBudgetError",
+    "InvalidRangeError",
+    "ProtocolUsageError",
+    "RangeQueryEstimator",
+    "RangeQueryProtocol",
+    "FlatRangeQuery",
+    "HierarchicalHistogram",
+    "HaarHRR",
+    "make_oracle",
+    "make_protocol",
+    "PROTOCOL_REGISTRY",
+]

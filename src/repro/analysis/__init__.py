@@ -1,0 +1,53 @@
+"""Analytical variance formulas, optimal-branching analysis and error metrics."""
+
+from repro.analysis.metrics import (
+    RepeatedMeasurement,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_squared_error,
+    mse_by_group,
+    scaled_for_presentation,
+    squared_errors,
+    summarize_repetitions,
+)
+from repro.analysis.optimal_branching import (
+    branching_gradient_with_consistency,
+    branching_gradient_without_consistency,
+    optimal_branching_factor,
+    recommended_power_of_two,
+    variance_bound_factor,
+)
+from repro.analysis.variance import (
+    consistency_node_variance_factor,
+    flat_average_error,
+    flat_range_variance,
+    frequency_oracle_variance,
+    haar_range_variance,
+    hierarchical_average_error,
+    hierarchical_range_variance,
+    prefix_variance,
+)
+
+__all__ = [
+    "RepeatedMeasurement",
+    "max_absolute_error",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "mse_by_group",
+    "scaled_for_presentation",
+    "squared_errors",
+    "summarize_repetitions",
+    "branching_gradient_with_consistency",
+    "branching_gradient_without_consistency",
+    "optimal_branching_factor",
+    "recommended_power_of_two",
+    "variance_bound_factor",
+    "consistency_node_variance_factor",
+    "flat_average_error",
+    "flat_range_variance",
+    "frequency_oracle_variance",
+    "haar_range_variance",
+    "hierarchical_average_error",
+    "hierarchical_range_variance",
+    "prefix_variance",
+]

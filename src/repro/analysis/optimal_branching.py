@@ -1,0 +1,87 @@
+"""Optimal branching factor analysis (Sections 4.4-4.5).
+
+The paper differentiates the variance bound with respect to the fan-out B
+and finds the stationary point
+
+* ``B ln B - 2B + 2 = 0``  (no consistency)  -> B ~ 4.92, and
+* ``B ln B - 2B - 2 = 0``  (with consistency) -> B ~ 9.18.
+
+We solve both equations numerically (simple, dependency-free bisection) and
+expose helpers that return the practical power-of-two recommendations the
+paper settles on (B = 4 and B = 8 respectively).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+
+def _bisect(func: Callable[[float], float], low: float, high: float, tol: float = 1e-12) -> float:
+    f_low = func(low)
+    f_high = func(high)
+    if f_low == 0:
+        return low
+    if f_high == 0:
+        return high
+    if f_low * f_high > 0:
+        raise ValueError("bisection bracket does not straddle a root")
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        f_mid = func(mid)
+        if abs(f_mid) < tol or (high - low) < tol:
+            return mid
+        if f_low * f_mid <= 0:
+            high, f_high = mid, f_mid
+        else:
+            low, f_low = mid, f_mid
+    return 0.5 * (low + high)
+
+
+def branching_gradient_without_consistency(branching: float) -> float:
+    """Stationarity condition ``B ln B - 2B + 2`` from Section 4.4."""
+    return branching * math.log(branching) - 2.0 * branching + 2.0
+
+
+def branching_gradient_with_consistency(branching: float) -> float:
+    """Stationarity condition ``B ln B - 2B - 2`` from Section 4.5."""
+    return branching * math.log(branching) - 2.0 * branching - 2.0
+
+
+def optimal_branching_factor(consistency: bool = False) -> float:
+    """Numerical solution of the paper's optimal fan-out equation.
+
+    Returns ~4.92 without consistency and ~9.18 with it.
+    """
+    if consistency:
+        return _bisect(branching_gradient_with_consistency, 2.0, 64.0)
+    return _bisect(branching_gradient_without_consistency, 2.0, 64.0)
+
+
+def recommended_power_of_two(consistency: bool = False) -> int:
+    """Nearest power-of-two fan-out, which is what the experiments use."""
+    optimum = optimal_branching_factor(consistency)
+    lower = 2 ** int(math.floor(math.log2(optimum)))
+    upper = lower * 2
+    # Pick the power of two with the smaller variance-bound value.
+    return lower if _bound_value(lower, consistency) <= _bound_value(upper, consistency) else upper
+
+
+def _bound_value(branching: int, consistency: bool) -> float:
+    """The B-dependent factor of the variance bound, up to constants.
+
+    Without consistency: ``2 (B - 1) / ln^2 B``;
+    with consistency:    ``(B + 1) / (2 ln^2 B)``.
+    (Both expressions come from writing ``log_B x = ln x / ln B``.)
+    """
+    log_sq = math.log(branching) ** 2
+    if consistency:
+        return (branching + 1) / (2.0 * log_sq)
+    return 2.0 * (branching - 1) / log_sq
+
+
+def variance_bound_factor(branching: int, consistency: bool = False) -> float:
+    """Public wrapper around the B-dependent bound factor (for plots/tests)."""
+    if branching < 2:
+        raise ValueError(f"branching must be >= 2, got {branching}")
+    return _bound_value(branching, consistency)

@@ -1,0 +1,124 @@
+"""Closed-form variance expressions from the paper.
+
+Collects every analytical bound the paper derives so that experiments and
+tests can compare measured error against theory:
+
+* Fact 1 and Lemma 4.2 for the flat methods;
+* Theorem 4.3 / Eq. (1) for hierarchical histograms with level sampling;
+* Lemma 4.6 and Eq. (2) for the constrained-inference variants;
+* Theorem 4.5 for the average worst-case error of HH_B;
+* Eq. (3) for HaarHRR;
+* Section 4.7's factor-two reduction for prefix queries.
+
+All functions work in terms of ``V_F = psi_F(eps) / N`` where
+``psi_F(eps) = 4 e^eps / (e^eps - 1)^2`` (the shared variance of OUE, OLH
+and HRR).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.frequency_oracles.base import standard_oracle_variance
+
+
+def frequency_oracle_variance(epsilon: float, n_users: int) -> float:
+    """``V_F = 4 e^eps / (N (e^eps - 1)^2)``."""
+    if n_users <= 0:
+        raise ValueError(f"n_users must be positive, got {n_users}")
+    return standard_oracle_variance(epsilon) / n_users
+
+
+def flat_range_variance(epsilon: float, n_users: int, range_length: int) -> float:
+    """Fact 1: variance of a flat range answer is ``r * V_F``."""
+    if range_length < 1:
+        raise ValueError(f"range_length must be >= 1, got {range_length}")
+    return range_length * frequency_oracle_variance(epsilon, n_users)
+
+
+def flat_average_error(epsilon: float, n_users: int, domain_size: int) -> float:
+    """Lemma 4.2: average worst-case squared error ``(D + 2) V_F / 3``."""
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be >= 1, got {domain_size}")
+    return (domain_size + 2) * frequency_oracle_variance(epsilon, n_users) / 3.0
+
+
+def _tree_height(domain_size: int, branching: int) -> int:
+    if branching < 2:
+        raise ValueError(f"branching must be >= 2, got {branching}")
+    if domain_size < 2:
+        raise ValueError(f"domain_size must be >= 2, got {domain_size}")
+    height = 0
+    size = 1
+    while size < domain_size:
+        size *= branching
+        height += 1
+    return height
+
+
+def hierarchical_range_variance(
+    epsilon: float,
+    n_users: int,
+    domain_size: int,
+    branching: int,
+    range_length: int,
+    consistency: bool = False,
+) -> float:
+    """Theorem 4.3 / Eq. (1)-(2) bound for a range of length ``r``.
+
+    With uniform level sampling each level's oracle sees ``N / h`` users in
+    expectation, so the per-level variance is ``h * V_F``.  A range touches
+    ``ceil(log_B r) + 1`` levels with at most ``2B - 1`` nodes per level
+    (``(B + 1) / 2`` effective nodes after constrained inference).
+    """
+    if range_length < 1:
+        raise ValueError(f"range_length must be >= 1, got {range_length}")
+    height = _tree_height(domain_size, branching)
+    vf = frequency_oracle_variance(epsilon, n_users)
+    per_level = height * vf
+    levels_touched = (
+        min(height, math.ceil(math.log(range_length, branching)) + 1)
+        if range_length > 1
+        else 1
+    )
+    constant = (branching + 1) / 2.0 if consistency else (2.0 * branching - 1.0)
+    return constant * per_level * levels_touched
+
+
+def hierarchical_average_error(
+    epsilon: float, n_users: int, domain_size: int, branching: int
+) -> float:
+    """Theorem 4.5: average worst-case error of HH_B over all ranges.
+
+    ``E_B ~ 2 (B - 1) V_F log_B(D) log_B(3 D^2 / (1 + 2 D))``.
+    """
+    height = _tree_height(domain_size, branching)
+    vf = frequency_oracle_variance(epsilon, n_users)
+    log_b = lambda x: math.log(x) / math.log(branching)  # noqa: E731
+    return (
+        2.0
+        * (branching - 1)
+        * (height * vf)
+        * log_b(domain_size)
+        * log_b(3.0 * domain_size**2 / (1.0 + 2.0 * domain_size))
+    )
+
+
+def consistency_node_variance_factor(branching: int) -> float:
+    """Lemma 4.6: per-node variance after constrained inference, ``B/(B+1)``."""
+    if branching < 2:
+        raise ValueError(f"branching must be >= 2, got {branching}")
+    return branching / (branching + 1.0)
+
+
+def haar_range_variance(epsilon: float, n_users: int, domain_size: int) -> float:
+    """Eq. (3): ``V_r = 0.5 * log2(D)^2 * V_F`` for HaarHRR (independent of r)."""
+    height = _tree_height(domain_size, 2)
+    return 0.5 * height**2 * frequency_oracle_variance(epsilon, n_users)
+
+
+def prefix_variance(range_variance: float) -> float:
+    """Section 4.7: prefix queries cut only one fringe, halving the bound."""
+    if range_variance < 0:
+        raise ValueError("range_variance must be non-negative")
+    return 0.5 * range_variance

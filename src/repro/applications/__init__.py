@@ -1,0 +1,5 @@
+"""Applications built on top of LDP range queries (Section 6)."""
+
+from repro.applications.naive_bayes import AttributeSpec, LDPNaiveBayes
+
+__all__ = ["AttributeSpec", "LDPNaiveBayes"]

@@ -1,0 +1,209 @@
+"""Naive Bayes classification on top of LDP range queries (Section 6).
+
+The paper closes by observing that range queries are a sufficient primitive
+for simple prediction models: for a Naive Bayes classifier with a *public*
+class label and *private* numeric attributes, the per-class conditional
+probability of an attribute falling in a bin is exactly a range query over
+the population of that class.
+
+:class:`LDPNaiveBayes` implements that recipe.  Training partitions the
+users by their (public) class, runs one range-query protocol per class and
+attribute, and discretises each attribute's domain into equi-width bins.
+Prediction multiplies the estimated bin probabilities (with Laplace-style
+smoothing to keep them positive -- the LDP estimates can be slightly
+negative) by the class priors, which are public because the labels are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ProtocolUsageError
+from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
+from repro.core.rng import RngLike, ensure_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Description of one private numeric attribute.
+
+    Attributes
+    ----------
+    name:
+        Human-readable attribute name.
+    domain_size:
+        The attribute's discrete domain size.
+    num_bins:
+        Number of equi-width bins the classifier conditions on.
+    """
+
+    name: str
+    domain_size: int
+    num_bins: int = 8
+
+    def bin_edges(self) -> List[int]:
+        """Inclusive (left, right) endpoints of each bin."""
+        if self.num_bins < 1 or self.num_bins > self.domain_size:
+            raise ValueError(
+                f"num_bins must be in [1, {self.domain_size}], got {self.num_bins}"
+            )
+        edges = np.linspace(0, self.domain_size, self.num_bins + 1, dtype=np.int64)
+        bins = []
+        for index in range(self.num_bins):
+            left = int(edges[index])
+            right = int(edges[index + 1]) - 1
+            right = max(right, left)
+            bins.append((left, right))
+        return bins
+
+    def bin_of(self, value: int) -> int:
+        """Index of the bin containing ``value``."""
+        for index, (left, right) in enumerate(self.bin_edges()):
+            if left <= value <= right:
+                return index
+        raise ValueError(f"value {value} outside attribute domain {self.domain_size}")
+
+
+ProtocolFactory = Callable[[int], RangeQueryProtocol]
+
+
+class LDPNaiveBayes:
+    """Naive Bayes classifier whose likelihoods come from LDP range queries.
+
+    Parameters
+    ----------
+    attributes:
+        The private attributes the classifier conditions on.
+    protocol_factory:
+        Callable mapping an attribute's domain size to a fresh
+        :class:`RangeQueryProtocol` (so the caller chooses method, epsilon
+        and parameters).  Each (class, attribute) pair gets its own protocol
+        run, i.e. each user's report about one attribute is epsilon-LDP.
+    smoothing:
+        Small positive constant added to every estimated bin probability to
+        keep the product well defined despite noisy (possibly negative)
+        estimates.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[AttributeSpec],
+        protocol_factory: ProtocolFactory,
+        smoothing: float = 1e-4,
+    ) -> None:
+        if not attributes:
+            raise ValueError("at least one attribute is required")
+        if smoothing <= 0:
+            raise ValueError(f"smoothing must be positive, got {smoothing}")
+        self._attributes = list(attributes)
+        self._protocol_factory = protocol_factory
+        self._smoothing = float(smoothing)
+        self._classes: Optional[np.ndarray] = None
+        self._priors: Dict[int, float] = {}
+        self._bin_probabilities: Dict[int, List[np.ndarray]] = {}
+
+    @property
+    def attributes(self) -> List[AttributeSpec]:
+        """The attribute specifications."""
+        return list(self._attributes)
+
+    @property
+    def classes(self) -> np.ndarray:
+        """Class labels seen during training."""
+        if self._classes is None:
+            raise ProtocolUsageError("the classifier has not been fitted")
+        return self._classes.copy()
+
+    def fit(
+        self,
+        attribute_values: Sequence[np.ndarray],
+        labels: np.ndarray,
+        rng: RngLike = None,
+    ) -> "LDPNaiveBayes":
+        """Train from private attribute columns and public labels.
+
+        ``attribute_values[k][i]`` is user ``i``'s value of attribute ``k``.
+        """
+        if len(attribute_values) != len(self._attributes):
+            raise ValueError(
+                f"expected {len(self._attributes)} attribute columns, got {len(attribute_values)}"
+            )
+        labels = np.asarray(labels)
+        n_users = len(labels)
+        if n_users == 0:
+            raise ProtocolUsageError("cannot fit the classifier with zero users")
+        columns = [np.asarray(column) for column in attribute_values]
+        for spec, column in zip(self._attributes, columns):
+            if len(column) != n_users:
+                raise ValueError(f"attribute {spec.name!r} has a mismatched length")
+        rng = ensure_rng(rng)
+        self._classes = np.unique(labels)
+        self._priors = {}
+        self._bin_probabilities = {}
+        child_rngs = spawn_rngs(rng, len(self._classes) * len(self._attributes))
+        rng_index = 0
+        for label in self._classes:
+            mask = labels == label
+            class_count = int(mask.sum())
+            self._priors[int(label)] = class_count / n_users
+            per_attribute: List[np.ndarray] = []
+            for spec, column in zip(self._attributes, columns):
+                protocol = self._protocol_factory(spec.domain_size)
+                estimator = protocol.run(column[mask], rng=child_rngs[rng_index])
+                rng_index += 1
+                per_attribute.append(self._bin_probabilities_from(estimator, spec))
+            self._bin_probabilities[int(label)] = per_attribute
+        return self
+
+    def _bin_probabilities_from(
+        self, estimator: RangeQueryEstimator, spec: AttributeSpec
+    ) -> np.ndarray:
+        raw = np.array([estimator.range_query(bin_range) for bin_range in spec.bin_edges()])
+        clipped = np.clip(raw, 0.0, None) + self._smoothing
+        return clipped / clipped.sum()
+
+    def predict_log_scores(self, sample: Sequence[int]) -> Dict[int, float]:
+        """Log posterior scores (up to a constant) for one sample."""
+        if self._classes is None:
+            raise ProtocolUsageError("the classifier has not been fitted")
+        if len(sample) != len(self._attributes):
+            raise ValueError(
+                f"expected {len(self._attributes)} attribute values, got {len(sample)}"
+            )
+        scores: Dict[int, float] = {}
+        for label in self._classes:
+            label = int(label)
+            score = np.log(max(self._priors[label], self._smoothing))
+            for spec, value, probs in zip(
+                self._attributes, sample, self._bin_probabilities[label]
+            ):
+                score += float(np.log(probs[spec.bin_of(int(value))]))
+            scores[label] = score
+        return scores
+
+    def predict(self, sample: Sequence[int]) -> int:
+        """Most likely class for one sample."""
+        scores = self.predict_log_scores(sample)
+        return max(scores, key=scores.get)
+
+    def predict_batch(self, samples: np.ndarray) -> np.ndarray:
+        """Predict a batch of samples (rows are samples, columns attributes)."""
+        samples = np.asarray(samples)
+        if samples.ndim != 2 or samples.shape[1] != len(self._attributes):
+            raise ValueError(
+                f"samples must have shape (n, {len(self._attributes)}), got {samples.shape}"
+            )
+        return np.array([self.predict(row) for row in samples])
+
+    def accuracy(self, samples: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on labelled samples."""
+        predictions = self.predict_batch(samples)
+        labels = np.asarray(labels)
+        if len(labels) != len(predictions):
+            raise ValueError("labels and samples must have the same length")
+        if len(labels) == 0:
+            raise ValueError("cannot compute accuracy on zero samples")
+        return float(np.mean(predictions == labels))

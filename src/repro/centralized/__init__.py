@@ -1,0 +1,18 @@
+"""Centralized-DP baselines used by the Figure 7 comparison."""
+
+from repro.centralized.hierarchical import CentralizedHierarchical
+from repro.centralized.laplace import (
+    laplace_mechanism,
+    laplace_noise_scale,
+    laplace_variance,
+)
+from repro.centralized.wavelet import CentralizedWavelet, haar_l1_sensitivity
+
+__all__ = [
+    "CentralizedHierarchical",
+    "CentralizedWavelet",
+    "haar_l1_sensitivity",
+    "laplace_mechanism",
+    "laplace_noise_scale",
+    "laplace_variance",
+]

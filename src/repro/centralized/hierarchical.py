@@ -1,0 +1,94 @@
+"""Centralized-DP hierarchical histograms (Hay et al. / Qardaji et al.).
+
+Used only by the Figure 7 reproduction, which compares the *ratio* of
+wavelet to hierarchical error in the centralized model against the same
+ratio in the local model.  The construction is the classical one: the
+trusted aggregator materialises the exact B-ary tree of counts, splits the
+privacy budget evenly across the ``h`` non-root levels, adds Laplace noise
+of scale ``h / epsilon`` to every node (each user contributes to one node
+per level, so per-level sensitivity is 1), and optionally applies the same
+constrained inference as the local protocol.
+
+The result is returned as a :class:`~repro.hierarchy.hh.HierarchicalEstimator`
+over *fractions* (node counts divided by ``N``), so all the range/prefix/
+quantile machinery is shared with the local implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rng import RngLike, ensure_rng
+from repro.core.types import Domain, PrivacyParams
+from repro.centralized.laplace import laplace_mechanism, laplace_variance
+from repro.hierarchy.hh import HierarchicalEstimator
+from repro.hierarchy.tree import DomainTree
+
+
+class CentralizedHierarchical:
+    """Centralized Laplace hierarchical histogram with optional consistency."""
+
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        branching: int = 2,
+        consistency: bool = True,
+    ) -> None:
+        self._domain = Domain(int(domain_size))
+        self._privacy = PrivacyParams(float(epsilon))
+        self._tree = DomainTree(self._domain.size, branching)
+        self._consistency = bool(consistency)
+        suffix = "CI" if consistency else ""
+        self.name = f"CentralHH{branching}{suffix}"
+
+    @property
+    def tree(self) -> DomainTree:
+        """The structural domain tree."""
+        return self._tree
+
+    @property
+    def epsilon(self) -> float:
+        """Total privacy budget."""
+        return self._privacy.epsilon
+
+    @property
+    def branching(self) -> int:
+        """Tree fan-out."""
+        return self._tree.branching
+
+    def per_node_noise_variance(self, n_users: int) -> float:
+        """Variance of each node's *fraction* estimate before consistency."""
+        if n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {n_users}")
+        per_level_epsilon = self.epsilon / self._tree.height
+        return laplace_variance(per_level_epsilon) / (n_users**2)
+
+    def run(self, true_counts: np.ndarray, rng: RngLike = None) -> HierarchicalEstimator:
+        """Perturb the exact tree of counts and return a fraction estimator."""
+        rng = ensure_rng(rng)
+        counts = np.asarray(true_counts, dtype=np.float64)
+        if counts.ndim != 1 or len(counts) != self._domain.size:
+            raise ValueError(
+                f"true_counts must have length {self._domain.size}, got {counts.shape}"
+            )
+        total = counts.sum()
+        if total <= 0:
+            raise ValueError("cannot run the mechanism with zero users")
+        per_level_epsilon = self.epsilon / self._tree.height
+        level_values = []
+        for level in range(self._tree.num_levels):
+            node_counts = self._tree.level_histogram(counts, level)
+            if level == 0:
+                # The root (total population size) is treated as public, as
+                # in the local protocol where fractions always sum to one.
+                level_values.append(np.array([1.0]))
+                continue
+            noisy = laplace_mechanism(node_counts, per_level_epsilon, rng=rng)
+            level_values.append(noisy / total)
+        estimator = HierarchicalEstimator(
+            self._tree, level_values, consistent=False, level_user_counts=None
+        )
+        if self._consistency:
+            estimator = estimator.with_consistency()
+        return estimator

@@ -1,0 +1,119 @@
+"""Centralized-DP wavelet mechanism ("Privelet", Xiao et al. 2011).
+
+The trusted aggregator computes the exact Haar coefficients of the count
+vector and adds Laplace noise to each of them.  One user changes a single
+leaf count by one, which changes the smooth coefficient by ``1/sqrt(D)``
+and the detail coefficient at height ``j`` on the user's root-to-leaf path
+by ``1 / 2^{j/2}``.
+
+Two noise-allocation strategies are provided:
+
+* ``"weighted"`` (default, Privelet-style): the budget is split evenly over
+  the ``h`` detail levels and each level's noise is calibrated to its own
+  sensitivity ``2^{-j/2}``, i.e. coefficient at height ``j`` receives
+  ``Laplace(h * 2^{-j/2} / epsilon)``.  Coarse coefficients, which carry
+  large weights in range answers, get proportionally small noise -- the
+  essence of Xiao et al.'s weighted mechanism, and what keeps the range
+  error polylogarithmic in ``D``.
+* ``"uniform"``: every coefficient receives ``Laplace(S / epsilon)`` where
+  ``S`` is the total L1 sensitivity.  Simpler, still epsilon-DP, but its
+  range error grows with the range length; kept as an ablation of why the
+  weighting matters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.rng import RngLike, ensure_rng
+from repro.core.types import Domain, PrivacyParams, next_power_of
+from repro.wavelet.haar import HaarCoefficients, haar_transform
+from repro.wavelet.haar_hrr import HaarEstimator
+
+
+def haar_l1_sensitivity(domain_size: int) -> float:
+    """L1 sensitivity of the Haar coefficient vector to one user's item."""
+    padded = next_power_of(2, domain_size)
+    height = int(math.log2(padded)) if padded > 1 else 0
+    return 1.0 / math.sqrt(padded) + sum(2.0 ** (-j / 2.0) for j in range(1, height + 1))
+
+
+#: Supported noise-allocation strategies.
+ALLOCATIONS = ("weighted", "uniform")
+
+
+class CentralizedWavelet:
+    """Centralized Laplace perturbation of Haar coefficients."""
+
+    def __init__(
+        self, domain_size: int, epsilon: float, allocation: str = "weighted"
+    ) -> None:
+        if allocation not in ALLOCATIONS:
+            raise ValueError(
+                f"allocation must be one of {ALLOCATIONS}, got {allocation!r}"
+            )
+        self._domain = Domain(int(domain_size))
+        self._privacy = PrivacyParams(float(epsilon))
+        self._padded = next_power_of(2, self._domain.size)
+        self._height = int(math.log2(self._padded)) if self._padded > 1 else 0
+        self._sensitivity = haar_l1_sensitivity(self._domain.size)
+        self._allocation = allocation
+        self.name = "CentralWavelet"
+
+    @property
+    def epsilon(self) -> float:
+        """Total privacy budget."""
+        return self._privacy.epsilon
+
+    @property
+    def allocation(self) -> str:
+        """The noise-allocation strategy (``"weighted"`` or ``"uniform"``)."""
+        return self._allocation
+
+    @property
+    def sensitivity(self) -> float:
+        """L1 sensitivity of the coefficient vector."""
+        return self._sensitivity
+
+    def _level_noise_scale(self, height_j: int) -> float:
+        """Laplace scale applied to detail coefficients at height ``j``."""
+        if self._allocation == "uniform":
+            return self._sensitivity / self.epsilon
+        # Weighted: epsilon / h budget per level, per-level sensitivity 2^{-j/2}.
+        per_level_epsilon = self.epsilon / max(self._height, 1)
+        return (2.0 ** (-height_j / 2.0)) / per_level_epsilon
+
+    def per_coefficient_noise_variance(self, n_users: int, height_j: int = 1) -> float:
+        """Variance of one coefficient's *fraction-scale* estimate."""
+        if n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {n_users}")
+        scale = self._level_noise_scale(height_j)
+        return 2.0 * scale * scale / (n_users**2)
+
+    def run(self, true_counts: np.ndarray, rng: RngLike = None) -> HaarEstimator:
+        """Perturb the exact coefficients and return a fraction estimator."""
+        rng = ensure_rng(rng)
+        counts = np.asarray(true_counts, dtype=np.float64)
+        if counts.ndim != 1 or len(counts) != self._domain.size:
+            raise ValueError(
+                f"true_counts must have length {self._domain.size}, got {counts.shape}"
+            )
+        total = counts.sum()
+        if total <= 0:
+            raise ValueError("cannot run the mechanism with zero users")
+        padded = np.zeros(self._padded)
+        padded[: self._domain.size] = counts
+        exact = haar_transform(padded)
+        noisy_details = [
+            (level + rng.laplace(0.0, self._level_noise_scale(height_j), size=level.shape))
+            / total
+            for height_j, level in enumerate(exact.details, start=1)
+        ]
+        # The smooth coefficient encodes the (public) total, so it is kept
+        # exact on the fraction scale, mirroring the local protocol.
+        coefficients = HaarCoefficients(
+            smooth=1.0 / math.sqrt(self._padded), details=noisy_details
+        )
+        return HaarEstimator(self._domain.size, self._padded, coefficients, None)

@@ -1,0 +1,39 @@
+"""Core abstractions shared by every protocol in :mod:`repro`.
+
+This subpackage contains the pieces that the paper's algorithms are built
+from but that are not themselves specific to any one mechanism:
+
+* :mod:`repro.core.exceptions` -- the exception hierarchy.
+* :mod:`repro.core.rng`        -- deterministic random-generator handling.
+* :mod:`repro.core.types`      -- small value types (privacy parameters,
+  domains, range specifications) used across the code base.
+* :mod:`repro.core.protocol`   -- the abstract ``RangeQueryProtocol`` /
+  ``RangeQueryEstimator`` interfaces implemented by the flat, hierarchical
+  and wavelet methods.
+"""
+
+from repro.core.exceptions import (
+    ReproError,
+    InvalidDomainError,
+    InvalidPrivacyBudgetError,
+    InvalidRangeError,
+    ProtocolUsageError,
+)
+from repro.core.rng import ensure_rng, spawn_rngs
+from repro.core.types import Domain, PrivacyParams, RangeSpec
+from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
+
+__all__ = [
+    "ReproError",
+    "InvalidDomainError",
+    "InvalidPrivacyBudgetError",
+    "InvalidRangeError",
+    "ProtocolUsageError",
+    "ensure_rng",
+    "spawn_rngs",
+    "Domain",
+    "PrivacyParams",
+    "RangeSpec",
+    "RangeQueryEstimator",
+    "RangeQueryProtocol",
+]

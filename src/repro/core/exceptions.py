@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  The more
+specific subclasses mirror the kinds of mis-use that are possible with the
+paper's protocols: malformed domains, invalid privacy budgets, out-of-bounds
+range queries and calling protocol objects out of order.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidDomainError(ReproError, ValueError):
+    """The requested discrete domain is malformed.
+
+    Raised when a domain size is non-positive, when a protocol requires a
+    power-of-two (or power-of-``B``) domain and the caller supplied one that
+    cannot be padded, or when input data contains items outside ``[0, D)``.
+    """
+
+
+class InvalidPrivacyBudgetError(ReproError, ValueError):
+    """The privacy budget ``epsilon`` is not a positive finite number."""
+
+
+class InvalidRangeError(ReproError, ValueError):
+    """A range query ``[a, b]`` is malformed (``a > b`` or out of bounds)."""
+
+
+class ProtocolUsageError(ReproError, RuntimeError):
+    """A protocol object was used out of order.
+
+    For example, asking an estimator for a range answer before any reports
+    have been aggregated, or aggregating reports produced by a different
+    protocol configuration.
+    """

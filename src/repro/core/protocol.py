@@ -1,0 +1,210 @@
+"""Abstract interfaces for LDP range-query protocols.
+
+Every method the paper studies (flat, hierarchical histograms, HaarHRR) is a
+*protocol*: a recipe for what each user sends under epsilon-LDP and how the
+untrusted aggregator turns the collected reports into an *estimator* that can
+answer arbitrary range queries.  The two abstract classes here capture that
+split:
+
+* :class:`RangeQueryProtocol` is the configuration object (domain size,
+  privacy budget, method parameters).  Calling :meth:`RangeQueryProtocol.run`
+  on the private items executes the full user-side randomization and
+  server-side aggregation and returns an estimator.  Calling
+  :meth:`RangeQueryProtocol.run_simulated` produces a statistically
+  equivalent estimator directly from the true histogram, which is the same
+  simulation device the paper uses to scale its OUE experiments.
+* :class:`RangeQueryEstimator` answers point, range, prefix and quantile
+  queries from the aggregated noisy view.
+
+Concrete implementations live in :mod:`repro.flat`, :mod:`repro.hierarchy`
+and :mod:`repro.wavelet`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import InvalidRangeError
+from repro.core.rng import RngLike, ensure_rng
+from repro.core.types import Domain, PrivacyParams, RangeSpec
+
+RangeLike = Union[RangeSpec, Tuple[int, int]]
+
+
+def _as_range(query: RangeLike) -> RangeSpec:
+    if isinstance(query, RangeSpec):
+        return query
+    left, right = query
+    return RangeSpec(int(left), int(right))
+
+
+class RangeQueryEstimator(abc.ABC):
+    """Aggregated, bias-corrected view of the population held by the server.
+
+    Subclasses must implement :meth:`estimated_frequencies`, returning the
+    estimated fractional frequency of every item in the domain.  The default
+    implementations of range / prefix / CDF / quantile queries are expressed
+    in terms of prefix sums of those frequencies, which is exact for any
+    *consistent* estimator (flat, post-processed hierarchical, Haar).
+    Subclasses that hold richer structure (e.g. an inconsistent hierarchical
+    tree) override :meth:`range_query` to use their native decomposition.
+    """
+
+    def __init__(self, domain: Domain) -> None:
+        self._domain = domain
+        self._prefix_cache: Optional[np.ndarray] = None
+
+    @property
+    def domain(self) -> Domain:
+        """The discrete domain the estimator answers queries over."""
+        return self._domain
+
+    @property
+    def domain_size(self) -> int:
+        """Number of items ``D`` in the domain."""
+        return self._domain.size
+
+    @abc.abstractmethod
+    def estimated_frequencies(self) -> np.ndarray:
+        """Estimated fractional frequency of every item (length ``D``)."""
+
+    def _prefix_sums(self) -> np.ndarray:
+        """Cached cumulative sums of the estimated frequencies."""
+        if self._prefix_cache is None:
+            freqs = np.asarray(self.estimated_frequencies(), dtype=np.float64)
+            self._prefix_cache = np.concatenate(([0.0], np.cumsum(freqs)))
+        return self._prefix_cache
+
+    def invalidate_cache(self) -> None:
+        """Drop cached prefix sums (call after mutating internal state)."""
+        self._prefix_cache = None
+
+    def point_query(self, item: int) -> float:
+        """Estimated frequency of a single item."""
+        if item < 0 or item >= self.domain_size:
+            raise InvalidRangeError(
+                f"item {item} outside domain of size {self.domain_size}"
+            )
+        return float(self.estimated_frequencies()[item])
+
+    def range_query(self, query: RangeLike) -> float:
+        """Estimated fraction of users whose item lies in ``[a, b]``."""
+        spec = _as_range(query).validate_for_domain(self.domain_size)
+        prefix = self._prefix_sums()
+        return float(prefix[spec.right + 1] - prefix[spec.left])
+
+    def range_queries(self, queries: Iterable[RangeLike]) -> np.ndarray:
+        """Vectorised evaluation of many range queries."""
+        specs = [_as_range(q).validate_for_domain(self.domain_size) for q in queries]
+        if not specs:
+            return np.zeros(0)
+        prefix = self._prefix_sums()
+        lefts = np.fromiter((s.left for s in specs), dtype=np.int64, count=len(specs))
+        rights = np.fromiter((s.right for s in specs), dtype=np.int64, count=len(specs))
+        return prefix[rights + 1] - prefix[lefts]
+
+    def prefix_query(self, item: int) -> float:
+        """Estimated fraction of users with item ``<= item``."""
+        return self.range_query((0, item))
+
+    def cdf(self) -> np.ndarray:
+        """Estimated cumulative distribution function over the whole domain."""
+        return self._prefix_sums()[1:].copy()
+
+    def quantile_query(self, phi: float) -> int:
+        """Smallest item ``j`` whose estimated prefix mass reaches ``phi``.
+
+        Implements the binary search over prefix queries described in
+        Section 4.7 of the paper.  ``phi`` must lie in ``[0, 1]``.
+        """
+        if not 0.0 <= phi <= 1.0:
+            raise ValueError(f"phi must be in [0, 1], got {phi}")
+        cdf = self.cdf()
+        # np.searchsorted over the (possibly noisy, non-monotone) cdf is not
+        # safe; enforce monotonicity first, which is itself a valid
+        # post-processing step under LDP.
+        monotone = np.maximum.accumulate(cdf)
+        index = int(np.searchsorted(monotone, phi, side="left"))
+        return min(index, self.domain_size - 1)
+
+    def quantile_queries(self, phis: Sequence[float]) -> List[int]:
+        """Evaluate several quantile queries."""
+        return [self.quantile_query(phi) for phi in phis]
+
+
+class RangeQueryProtocol(abc.ABC):
+    """Configuration of an LDP range-query mechanism.
+
+    Parameters
+    ----------
+    domain_size:
+        Size ``D`` of the discrete input domain.
+    epsilon:
+        The local differential privacy budget.
+    """
+
+    #: Human-readable name used by the experiment harness ("TreeOUECI", ...).
+    name: str = "abstract"
+
+    def __init__(self, domain_size: int, epsilon: float) -> None:
+        self._domain = Domain(int(domain_size))
+        self._privacy = PrivacyParams(float(epsilon))
+
+    @property
+    def domain(self) -> Domain:
+        """The discrete input domain."""
+        return self._domain
+
+    @property
+    def domain_size(self) -> int:
+        """Size ``D`` of the input domain."""
+        return self._domain.size
+
+    @property
+    def privacy(self) -> PrivacyParams:
+        """The privacy budget wrapper."""
+        return self._privacy
+
+    @property
+    def epsilon(self) -> float:
+        """The epsilon privacy budget."""
+        return self._privacy.epsilon
+
+    @abc.abstractmethod
+    def run(self, items: np.ndarray, rng: RngLike = None) -> RangeQueryEstimator:
+        """Execute the protocol end-to-end on raw private items.
+
+        Each entry of ``items`` is one user's private value.  The method
+        performs the user-side randomization for every user individually and
+        then the server-side aggregation, returning the resulting estimator.
+        """
+
+    def run_simulated(
+        self, true_counts: np.ndarray, rng: RngLike = None
+    ) -> RangeQueryEstimator:
+        """Execute a statistically equivalent simulation of the protocol.
+
+        ``true_counts`` is the exact histogram of the population.  The
+        default implementation materialises the items and calls :meth:`run`;
+        subclasses override it with the faster aggregate-level simulations
+        described in Section 5 of the paper (e.g. Binomial sampling of the
+        aggregator's noisy counts for OUE).
+        """
+        counts = np.asarray(true_counts, dtype=np.int64)
+        items = np.repeat(np.arange(len(counts)), counts)
+        return self.run(items, rng=ensure_rng(rng))
+
+    @abc.abstractmethod
+    def theoretical_range_variance(self, range_length: int, n_users: int) -> float:
+        """Upper bound on the variance of a worst-case query of this length.
+
+        Mirrors the paper's Fact 1 (flat), Theorem 4.3 / Eq. (1)-(2)
+        (hierarchical) and Eq. (3) (Haar).
+        """
+
+    def describe(self) -> str:
+        """Single-line description used in experiment reports."""
+        return f"{self.name}(D={self.domain_size}, eps={self.epsilon:g})"

@@ -1,0 +1,195 @@
+"""Small value types shared across the library.
+
+The paper works with three recurring concepts that we make explicit here:
+
+* a discrete :class:`Domain` ``[D] = {0, 1, ..., D-1}`` that user items are
+  drawn from;
+* the privacy budget, wrapped in :class:`PrivacyParams` so that derived
+  quantities (``e^eps`` and the randomized-response probabilities) are
+  computed once and validated; and
+* a closed range query ``[a, b]`` represented by :class:`RangeSpec`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import (
+    InvalidDomainError,
+    InvalidPrivacyBudgetError,
+    InvalidRangeError,
+)
+
+
+def next_power_of(base: int, value: int) -> int:
+    """Return the smallest power of ``base`` that is ``>= value``.
+
+    Used to pad domains so that complete ``B``-ary trees and the Haar
+    transform (which requires a power-of-two length) can be applied.
+    """
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if value < 1:
+        raise ValueError(f"value must be >= 1, got {value}")
+    power = 1
+    while power < value:
+        power *= base
+    return power
+
+
+def is_power_of(base: int, value: int) -> bool:
+    """Return ``True`` iff ``value`` is an exact power of ``base``."""
+    if value < 1:
+        return False
+    return next_power_of(base, value) == value
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A one-dimensional discrete domain ``{0, ..., size - 1}``.
+
+    Parameters
+    ----------
+    size:
+        The number of distinct items ``D``.  Must be a positive integer.
+    """
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.size, (int, np.integer)) or self.size < 1:
+            raise InvalidDomainError(
+                f"domain size must be a positive integer, got {self.size!r}"
+            )
+
+    def validate_items(self, items: np.ndarray) -> np.ndarray:
+        """Validate and coerce an array of user items into the domain.
+
+        Returns the items as an ``int64`` array; raises
+        :class:`InvalidDomainError` if any item falls outside ``[0, size)``.
+        """
+        arr = np.asarray(items)
+        if arr.ndim != 1:
+            raise InvalidDomainError(
+                f"items must be a 1-D array, got shape {arr.shape}"
+            )
+        if arr.size == 0:
+            return arr.astype(np.int64)
+        if not np.issubdtype(arr.dtype, np.integer):
+            rounded = np.rint(arr)
+            if not np.allclose(arr, rounded):
+                raise InvalidDomainError("items must be integers")
+            arr = rounded
+        arr = arr.astype(np.int64)
+        if arr.min() < 0 or arr.max() >= self.size:
+            raise InvalidDomainError(
+                f"items must lie in [0, {self.size}), observed range "
+                f"[{arr.min()}, {arr.max()}]"
+            )
+        return arr
+
+    def padded_size(self, base: int = 2) -> int:
+        """Size of this domain padded up to the next power of ``base``."""
+        return next_power_of(base, self.size)
+
+    def histogram(self, items: np.ndarray) -> np.ndarray:
+        """Exact (non-private) counts of each item; used as ground truth."""
+        arr = self.validate_items(items)
+        return np.bincount(arr, minlength=self.size).astype(np.float64)
+
+    def frequencies(self, items: np.ndarray) -> np.ndarray:
+        """Exact (non-private) fractional frequencies of each item."""
+        counts = self.histogram(items)
+        total = counts.sum()
+        if total == 0:
+            return counts
+        return counts / total
+
+
+@dataclass(frozen=True)
+class PrivacyParams:
+    """The local differential privacy budget ``epsilon``.
+
+    Exposes the derived quantities used throughout the paper:
+    ``e^eps`` and the binary randomized-response "keep" probability
+    ``p = e^eps / (1 + e^eps)``.
+    """
+
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        eps = self.epsilon
+        if not isinstance(eps, (int, float, np.floating)) or isinstance(eps, bool):
+            raise InvalidPrivacyBudgetError(
+                f"epsilon must be a number, got {eps!r}"
+            )
+        if not math.isfinite(eps) or eps <= 0:
+            raise InvalidPrivacyBudgetError(
+                f"epsilon must be a positive finite number, got {eps!r}"
+            )
+
+    @property
+    def e_eps(self) -> float:
+        """``exp(epsilon)``."""
+        return math.exp(self.epsilon)
+
+    @property
+    def keep_probability(self) -> float:
+        """Binary randomized response probability of reporting truthfully."""
+        return self.e_eps / (1.0 + self.e_eps)
+
+    @property
+    def flip_probability(self) -> float:
+        """Binary randomized response probability of lying."""
+        return 1.0 / (1.0 + self.e_eps)
+
+    def grr_keep_probability(self, k: int) -> float:
+        """Generalized randomized response keep probability over ``k`` items."""
+        if k < 2:
+            raise ValueError(f"GRR needs at least 2 categories, got {k}")
+        return self.e_eps / (self.e_eps + k - 1)
+
+
+@dataclass(frozen=True)
+class RangeSpec:
+    """A closed range query ``[left, right]`` over a domain of size ``D``.
+
+    Both endpoints are inclusive, matching the paper's definition
+    ``R[a, b] = (1/N) sum_i I(a <= z_i <= b)``.
+    """
+
+    left: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.left > self.right:
+            raise InvalidRangeError(
+                f"range left endpoint {self.left} exceeds right endpoint {self.right}"
+            )
+        if self.left < 0:
+            raise InvalidRangeError(f"range left endpoint must be >= 0, got {self.left}")
+
+    @property
+    def length(self) -> int:
+        """Number of domain items covered by the range (``r`` in the paper)."""
+        return self.right - self.left + 1
+
+    def validate_for_domain(self, domain_size: int) -> "RangeSpec":
+        """Raise :class:`InvalidRangeError` if the range exceeds the domain."""
+        if self.right >= domain_size:
+            raise InvalidRangeError(
+                f"range [{self.left}, {self.right}] exceeds domain of size {domain_size}"
+            )
+        return self
+
+    def true_answer(self, frequencies: np.ndarray) -> float:
+        """Exact answer of this range on a (fractional) frequency vector."""
+        self.validate_for_domain(len(frequencies))
+        return float(np.sum(frequencies[self.left : self.right + 1]))
+
+    def as_tuple(self) -> tuple:
+        """Return ``(left, right)``."""
+        return (self.left, self.right)

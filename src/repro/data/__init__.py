@@ -1,0 +1,21 @@
+"""Synthetic populations for experiments and examples."""
+
+from repro.data.synthetic import (
+    DISTRIBUTIONS,
+    SyntheticDataset,
+    cauchy_population,
+    gaussian_population,
+    make_population,
+    uniform_population,
+    zipf_population,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "SyntheticDataset",
+    "cauchy_population",
+    "gaussian_population",
+    "make_population",
+    "uniform_population",
+    "zipf_population",
+]

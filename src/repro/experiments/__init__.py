@@ -1,0 +1,33 @@
+"""Reproduction drivers for every figure and table in the paper's Section 5.
+
+Each ``figureN`` module exposes ``run_figureN(config)`` returning structured
+results and ``format_figureN(results)`` rendering them in (roughly) the
+paper's layout.  ``python -m repro.experiments <figure> [--preset smoke]``
+runs one from the command line.
+"""
+
+from repro.experiments.config import PRESETS, ExperimentConfig, get_config
+from repro.experiments.runner import (
+    MethodResult,
+    WorkloadEvaluation,
+    build_prefix_workload,
+    build_range_workload,
+    cauchy_counts,
+    evaluate_method,
+    format_table,
+    make_method,
+)
+
+__all__ = [
+    "PRESETS",
+    "ExperimentConfig",
+    "get_config",
+    "MethodResult",
+    "WorkloadEvaluation",
+    "build_prefix_workload",
+    "build_range_workload",
+    "cauchy_counts",
+    "evaluate_method",
+    "format_table",
+    "make_method",
+]

@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment>``.
+
+Runs one (or all) of the figure reproductions at a chosen scale preset and
+prints the resulting tables.  This is the human-friendly interface; the
+pytest-benchmark harness in ``benchmarks/`` wraps the same drivers for
+machine-readable timing and regression tracking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_consistency_ablation,
+    run_prefix_vs_range,
+    run_sampling_vs_splitting,
+)
+from repro.experiments.config import PRESETS, get_config
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_epsilon_sweep, run_figure5
+from repro.experiments.figure6 import (
+    format_figure6,
+    format_prefix_improvement,
+    prefix_improvement,
+    run_figure6,
+)
+from repro.experiments.figure7 import format_figure7, run_figure7
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.figure9 import format_figure9, run_figure9
+
+
+def _run_figure4(config) -> str:
+    return format_figure4(run_figure4(config))
+
+
+def _run_figure5(config) -> str:
+    return format_epsilon_sweep(run_figure5(config), "Figure 5 (arbitrary ranges)")
+
+
+def _run_figure6(config) -> str:
+    range_cells = run_figure5(config)
+    prefix_cells = run_figure6(config)
+    return (
+        format_figure6(prefix_cells)
+        + "\n\n"
+        + format_prefix_improvement(prefix_improvement(range_cells, prefix_cells))
+    )
+
+
+def _run_figure7(config) -> str:
+    return format_figure7(run_figure7(config))
+
+
+def _run_figure8(config) -> str:
+    return format_figure8(run_figure8(config))
+
+
+def _run_figure9(config) -> str:
+    return format_figure9(run_figure9(config))
+
+
+def _run_ablations(config) -> str:
+    parts = [
+        format_ablation(
+            run_sampling_vs_splitting(config), "Ablation A1 -- level sampling vs budget splitting"
+        ),
+        format_ablation(
+            run_consistency_ablation(config), "Ablation A2 -- constrained inference on/off"
+        ),
+        format_ablation(
+            run_prefix_vs_range(config), "Ablation A3 -- prefix vs arbitrary ranges"
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "figure6": _run_figure6,
+    "figure7": _run_figure7,
+    "figure8": _run_figure8,
+    "figure9": _run_figure9,
+    "ablations": _run_ablations,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the figures/tables of 'Answering Range Queries Under LDP'",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to reproduce",
+    )
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=sorted(PRESETS),
+        help="scale preset (smoke / default / paper)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the base seed")
+    args = parser.parse_args(argv)
+
+    config = get_config(args.preset)
+    if args.seed is not None:
+        config = config.scaled(seed=args.seed)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"=== {name} (preset: {args.preset}) ===")
+        print(EXPERIMENTS[name](config))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

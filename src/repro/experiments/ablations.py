@@ -1,0 +1,161 @@
+"""Ablation studies for the design choices the paper motivates analytically.
+
+Three ablations, one per design decision called out in DESIGN.md:
+
+* **A1 -- level sampling vs budget splitting** (Section 4.4).  The paper
+  argues splitting the budget across levels costs a factor ``h`` more
+  variance than sampling a level per user; A1 measures both.
+* **A2 -- constrained inference on/off** (Section 4.5).  The "CI" step
+  should never hurt and helps most at large fan-outs and long ranges.
+* **A3 -- prefix vs arbitrary ranges** (Section 4.7).  Prefix queries touch
+  only one fringe and should see roughly half the variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.rng import ensure_rng
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure6 import build_prefix_evaluation
+from repro.experiments.runner import (
+    WorkloadEvaluation,
+    build_range_workload,
+    cauchy_counts,
+    evaluate_method,
+    format_table,
+)
+from repro.hierarchy import HierarchicalHistogram
+from repro.wavelet import HaarHRR
+
+
+@dataclass
+class AblationRow:
+    """A labelled MSE measurement."""
+
+    label: str
+    domain_size: int
+    mse: float
+
+
+def run_sampling_vs_splitting(config: ExperimentConfig, rng=None) -> List[AblationRow]:
+    """A1: compare the paper's level sampling with budget splitting."""
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    rows: List[AblationRow] = []
+    for domain_size in config.domain_sizes:
+        counts = cauchy_counts(
+            domain_size, config.n_users, config.center_fraction, rng=rng
+        )
+        frequencies = counts / counts.sum()
+        queries = build_range_workload(
+            domain_size, config.exhaustive_domain_limit, config.num_start_points
+        )
+        workload = WorkloadEvaluation.from_frequencies(queries, frequencies)
+        for strategy in ("sample", "split"):
+            protocol = HierarchicalHistogram(
+                domain_size,
+                config.epsilon,
+                branching=4,
+                oracle="oue",
+                consistency=True,
+                level_strategy=strategy,
+            )
+            result = evaluate_method(
+                protocol, counts, workload, config.repetitions, rng=rng
+            )
+            rows.append(
+                AblationRow(
+                    label=f"HHc4-{strategy}", domain_size=domain_size, mse=result.mse_mean
+                )
+            )
+    return rows
+
+
+def run_consistency_ablation(config: ExperimentConfig, rng=None) -> List[AblationRow]:
+    """A2: constrained inference on/off across branching factors."""
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    rows: List[AblationRow] = []
+    for domain_size in config.domain_sizes:
+        counts = cauchy_counts(
+            domain_size, config.n_users, config.center_fraction, rng=rng
+        )
+        frequencies = counts / counts.sum()
+        queries = build_range_workload(
+            domain_size, config.exhaustive_domain_limit, config.num_start_points
+        )
+        workload = WorkloadEvaluation.from_frequencies(queries, frequencies)
+        for branching in config.branching_factors:
+            if branching >= domain_size:
+                continue
+            for consistency in (False, True):
+                protocol = HierarchicalHistogram(
+                    domain_size,
+                    config.epsilon,
+                    branching=branching,
+                    oracle="oue",
+                    consistency=consistency,
+                )
+                result = evaluate_method(
+                    protocol, counts, workload, config.repetitions, rng=rng
+                )
+                rows.append(
+                    AblationRow(
+                        label=protocol.name + f"-B{branching}",
+                        domain_size=domain_size,
+                        mse=result.mse_mean,
+                    )
+                )
+    return rows
+
+
+def run_prefix_vs_range(config: ExperimentConfig, rng=None) -> List[AblationRow]:
+    """A3: prefix-query MSE vs arbitrary-range MSE for HHc4 and HaarHRR."""
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    rows: List[AblationRow] = []
+    for domain_size in config.domain_sizes:
+        counts = cauchy_counts(
+            domain_size, config.n_users, config.center_fraction, rng=rng
+        )
+        frequencies = counts / counts.sum()
+        range_queries = build_range_workload(
+            domain_size, config.exhaustive_domain_limit, config.num_start_points
+        )
+        range_workload = WorkloadEvaluation.from_frequencies(range_queries, frequencies)
+        prefix_workload = build_prefix_evaluation(domain_size, frequencies)
+        protocols = [
+            HierarchicalHistogram(domain_size, config.epsilon, branching=4, oracle="oue"),
+            HaarHRR(domain_size, config.epsilon),
+        ]
+        for protocol in protocols:
+            range_result = evaluate_method(
+                protocol, counts, range_workload, config.repetitions, rng=rng
+            )
+            prefix_result = evaluate_method(
+                protocol, counts, prefix_workload, config.repetitions, rng=rng
+            )
+            rows.append(
+                AblationRow(
+                    label=f"{protocol.name}-range",
+                    domain_size=domain_size,
+                    mse=range_result.mse_mean,
+                )
+            )
+            rows.append(
+                AblationRow(
+                    label=f"{protocol.name}-prefix",
+                    domain_size=domain_size,
+                    mse=prefix_result.mse_mean,
+                )
+            )
+    return rows
+
+
+def format_ablation(rows: List[AblationRow], title: str) -> str:
+    """Render ablation measurements as a table."""
+    table_rows = [
+        (row.domain_size, row.label, f"{row.mse:.3e}") for row in sorted(
+            rows, key=lambda r: (r.domain_size, r.label)
+        )
+    ]
+    return format_table(table_rows, headers=("D", "variant", "MSE"), title=title)

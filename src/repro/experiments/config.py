@@ -1,0 +1,88 @@
+"""Experiment configuration and scale presets.
+
+The paper evaluates with ``N = 2^26`` users and domains up to ``2^22`` on a
+C++ implementation; a pure-Python reproduction keeps the same *structure*
+(same methods, same sweeps, same metrics) at laptop scale by default and
+lets the caller scale up.  Three presets are provided:
+
+* ``smoke``   -- seconds; used by the test-suite and CI-style checks.
+* ``default`` -- a couple of minutes for the full battery; the benchmark
+  harness uses per-figure subsets of this.
+* ``paper``   -- the closest tractable approximation of the paper's
+  settings (hours in pure Python); provided for completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for the figure/table reproductions.
+
+    Attributes mirror Section 5's experimental set-up.
+    """
+
+    #: Domain sizes swept by the accuracy experiments (paper: 2^8 .. 2^22).
+    domain_sizes: Tuple[int, ...] = (2**8, 2**10)
+    #: Population size (paper: 2^26).
+    n_users: int = 2**17
+    #: Default privacy budget (paper: e^eps = 3, i.e. eps ~ 1.1).
+    epsilon: float = 1.1
+    #: Epsilon sweep for Figures 5 and 6.
+    epsilons: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0, 1.1, 1.2, 1.4)
+    #: Cauchy centre parameter P (paper default 0.4).
+    center_fraction: float = 0.4
+    #: Centre sweep for Figure 8.
+    center_fractions: Tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9)
+    #: Repetitions per configuration (paper: 5).
+    repetitions: int = 3
+    #: Branching factors swept by Figure 4.
+    branching_factors: Tuple[int, ...] = (2, 4, 8, 16)
+    #: Number of evenly spaced range-query start points for large domains.
+    num_start_points: int = 32
+    #: Domains where evaluating *all* range queries is still feasible.
+    exhaustive_domain_limit: int = 2**9
+    #: Domain sizes for the centralized comparison (Figure 7).
+    centralized_domain_sizes: Tuple[int, ...] = (2**8, 2**9, 2**10, 2**11)
+    #: Base random seed; every repetition derives an independent stream.
+    seed: int = 20190101
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """Return a copy with selected fields overridden."""
+        return replace(self, **overrides)
+
+
+#: Named presets.
+PRESETS: Dict[str, ExperimentConfig] = {
+    "smoke": ExperimentConfig(
+        domain_sizes=(2**6, 2**8),
+        n_users=2**14,
+        epsilons=(0.4, 1.1),
+        center_fractions=(0.1, 0.5),
+        repetitions=1,
+        branching_factors=(2, 4, 16),
+        num_start_points=8,
+        exhaustive_domain_limit=2**7,
+        centralized_domain_sizes=(2**6, 2**7),
+    ),
+    "default": ExperimentConfig(),
+    "paper": ExperimentConfig(
+        domain_sizes=(2**8, 2**12, 2**16),
+        n_users=2**20,
+        repetitions=5,
+        branching_factors=(2, 4, 8, 16, 32),
+        num_start_points=64,
+        centralized_domain_sizes=(2**8, 2**9, 2**10, 2**11),
+    ),
+}
+
+
+def get_config(preset: str = "default") -> ExperimentConfig:
+    """Look up a preset by name."""
+    key = preset.strip().lower()
+    if key not in PRESETS:
+        raise KeyError(f"unknown preset {preset!r}; expected one of {sorted(PRESETS)}")
+    return PRESETS[key]

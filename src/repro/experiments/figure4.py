@@ -1,0 +1,159 @@
+"""Figure 4: impact of the branching factor B and the range length r.
+
+For each domain size the paper plots, for a ladder of range lengths, the
+mean squared error of:
+
+* the flat OUE baseline (drawn as if it had fan-out ``B = D``);
+* TreeOUE / TreeHRR (and TreeOLH on the smallest domain), each with and
+  without constrained inference, across a sweep of branching factors;
+* HaarHRR (drawn at ``B = 2`` since it is built on a binary tree).
+
+This module reproduces that sweep and prints one block per (domain, range
+length) combination with MSE per method and branching factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    MethodResult,
+    WorkloadEvaluation,
+    cauchy_counts,
+    evaluate_method,
+    format_table,
+)
+from repro.flat import FlatRangeQuery
+from repro.hierarchy import HierarchicalHistogram
+from repro.queries.workload import all_queries_of_length, sampled_range_queries
+from repro.wavelet import HaarHRR
+
+
+@dataclass
+class Figure4Cell:
+    """One measurement: a method at a branching factor, for one (D, r)."""
+
+    domain_size: int
+    range_length: int
+    method: str
+    branching: int
+    result: MethodResult
+
+
+def _range_lengths(domain_size: int) -> List[int]:
+    """The ladder of representative range lengths used for the plots."""
+    lengths = [1]
+    value = 4
+    while value < domain_size:
+        lengths.append(value)
+        value *= 8
+    lengths.append(max(1, domain_size - 1))
+    return sorted(set(lengths))
+
+
+def _queries_of_length(domain_size: int, length: int, config: ExperimentConfig):
+    if domain_size <= config.exhaustive_domain_limit:
+        return all_queries_of_length(domain_size, length)
+    queries = sampled_range_queries(
+        domain_size, config.num_start_points, lengths=[length]
+    )
+    return queries or all_queries_of_length(domain_size, length)[:1]
+
+
+def _methods_for_domain(
+    domain_size: int, epsilon: float, branching_factors, include_olh: bool
+) -> List[Tuple[str, int, object]]:
+    """(label, branching, protocol) triples evaluated for one domain size."""
+    methods: List[Tuple[str, int, object]] = []
+    methods.append(("FlatOUE", domain_size, FlatRangeQuery(domain_size, epsilon, oracle="oue")))
+    methods.append(("HaarHRR", 2, HaarHRR(domain_size, epsilon)))
+    oracles = ["oue", "hrr"] + (["olh"] if include_olh else [])
+    for oracle in oracles:
+        for branching in branching_factors:
+            if branching >= domain_size:
+                continue
+            for consistency in (False, True):
+                protocol = HierarchicalHistogram(
+                    domain_size,
+                    epsilon,
+                    branching=branching,
+                    oracle=oracle,
+                    consistency=consistency,
+                )
+                methods.append((protocol.name, branching, protocol))
+    return methods
+
+
+def run_figure4(config: ExperimentConfig, rng=None) -> List[Figure4Cell]:
+    """Run the full Figure 4 sweep and return every measured cell."""
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    cells: List[Figure4Cell] = []
+    for domain_size in config.domain_sizes:
+        counts = cauchy_counts(
+            domain_size, config.n_users, config.center_fraction, rng=rng
+        )
+        frequencies = counts / counts.sum()
+        include_olh = domain_size <= 2**8
+        methods = _methods_for_domain(
+            domain_size, config.epsilon, config.branching_factors, include_olh
+        )
+        for length in _range_lengths(domain_size):
+            queries = _queries_of_length(domain_size, length, config)
+            workload = WorkloadEvaluation.from_frequencies(queries, frequencies)
+            for label, branching, protocol in methods:
+                result = evaluate_method(
+                    protocol, counts, workload, config.repetitions, rng=rng
+                )
+                cells.append(
+                    Figure4Cell(
+                        domain_size=domain_size,
+                        range_length=length,
+                        method=label,
+                        branching=branching,
+                        result=result,
+                    )
+                )
+    return cells
+
+
+def format_figure4(cells: List[Figure4Cell]) -> str:
+    """Human-readable blocks mirroring the paper's per-(D, r) panels."""
+    blocks: List[str] = []
+    keys = sorted({(cell.domain_size, cell.range_length) for cell in cells})
+    for domain_size, length in keys:
+        rows = []
+        for cell in cells:
+            if cell.domain_size != domain_size or cell.range_length != length:
+                continue
+            rows.append(
+                (
+                    cell.method,
+                    cell.branching,
+                    f"{cell.result.mse_mean:.3e}",
+                    f"{cell.result.mse_std:.1e}",
+                )
+            )
+        rows.sort(key=lambda row: (row[0], row[1]))
+        blocks.append(
+            format_table(
+                rows,
+                headers=("method", "B", "MSE", "std"),
+                title=f"Figure 4 -- D={domain_size}, range length r={length}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def best_method_per_cell(cells: List[Figure4Cell]) -> Dict[Tuple[int, int], str]:
+    """The most accurate method for each (domain, range length) pair."""
+    best: Dict[Tuple[int, int], Figure4Cell] = {}
+    for cell in cells:
+        key = (cell.domain_size, cell.range_length)
+        if key not in best or cell.result.mse_mean < best[key].result.mse_mean:
+            best[key] = cell
+    return {key: cell.method for key, cell in best.items()}

@@ -1,0 +1,138 @@
+"""Figure/Table 5: impact of the privacy parameter epsilon on range queries.
+
+For each domain size the paper tabulates, over a sweep of epsilon values,
+the mean squared error (scaled by 1000) of HHc_2, HHc_4, HHc_16 and HaarHRR
+on arbitrary range queries, bolding the per-row winner.  The reproduction
+returns the same grid and can print it in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.rng import ensure_rng
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    MethodResult,
+    WorkloadEvaluation,
+    build_range_workload,
+    cauchy_counts,
+    evaluate_method,
+    format_table,
+    make_method,
+)
+
+#: The methods the paper keeps after the Figure 4 exploration.
+FIGURE5_METHODS: Tuple[str, ...] = ("HHc2", "HHc4", "HHc16", "HaarHRR")
+
+
+@dataclass
+class EpsilonSweepCell:
+    """MSE of one method at one (domain, epsilon) combination."""
+
+    domain_size: int
+    epsilon: float
+    method: str
+    result: MethodResult
+
+
+def _methods_for_domain(domain_size: int) -> Tuple[str, ...]:
+    # The paper drops HHc16 for its largest domain; we keep the analogous
+    # rule of dropping fan-outs that no longer fit the domain.
+    return tuple(
+        name
+        for name in FIGURE5_METHODS
+        if not (name == "HHc16" and domain_size <= 16)
+    )
+
+
+def run_epsilon_sweep(
+    config: ExperimentConfig,
+    prefix: bool = False,
+    rng=None,
+) -> List[EpsilonSweepCell]:
+    """Shared driver for Figures 5 (arbitrary ranges) and 6 (prefixes)."""
+    from repro.experiments.figure6 import build_prefix_evaluation  # local import to avoid cycle
+
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    cells: List[EpsilonSweepCell] = []
+    for domain_size in config.domain_sizes:
+        counts = cauchy_counts(
+            domain_size, config.n_users, config.center_fraction, rng=rng
+        )
+        frequencies = counts / counts.sum()
+        if prefix:
+            workload = build_prefix_evaluation(domain_size, frequencies)
+        else:
+            queries = build_range_workload(
+                domain_size, config.exhaustive_domain_limit, config.num_start_points
+            )
+            workload = WorkloadEvaluation.from_frequencies(queries, frequencies)
+        for epsilon in config.epsilons:
+            for method_name in _methods_for_domain(domain_size):
+                protocol = make_method(method_name, domain_size, epsilon)
+                result = evaluate_method(
+                    protocol, counts, workload, config.repetitions, rng=rng
+                )
+                cells.append(
+                    EpsilonSweepCell(
+                        domain_size=domain_size,
+                        epsilon=epsilon,
+                        method=method_name,
+                        result=result,
+                    )
+                )
+    return cells
+
+
+def run_figure5(config: ExperimentConfig, rng=None) -> List[EpsilonSweepCell]:
+    """Figure 5: arbitrary range queries."""
+    return run_epsilon_sweep(config, prefix=False, rng=rng)
+
+
+def format_epsilon_sweep(cells: Sequence[EpsilonSweepCell], title: str) -> str:
+    """Print the sweep as one table per domain, MSE x1000 as in the paper."""
+    blocks: List[str] = []
+    domains = sorted({cell.domain_size for cell in cells})
+    for domain_size in domains:
+        domain_cells = [cell for cell in cells if cell.domain_size == domain_size]
+        methods = sorted({cell.method for cell in domain_cells}, key=_method_order)
+        epsilons = sorted({cell.epsilon for cell in domain_cells})
+        rows = []
+        for epsilon in epsilons:
+            row = [f"{epsilon:.1f}"]
+            values: Dict[str, float] = {}
+            for method in methods:
+                for cell in domain_cells:
+                    if cell.epsilon == epsilon and cell.method == method:
+                        values[method] = cell.result.scaled()
+            best = min(values.values()) if values else float("nan")
+            for method in methods:
+                value = values.get(method, float("nan"))
+                marker = "*" if value == best else " "
+                row.append(f"{value:.3f}{marker}")
+            rows.append(row)
+        blocks.append(
+            format_table(
+                rows,
+                headers=["eps"] + list(methods),
+                title=f"{title} -- D={domain_size} (MSE x1000, * = best)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _method_order(name: str) -> Tuple[int, str]:
+    order = {"HHc2": 0, "HHc4": 1, "HHc16": 2, "HaarHRR": 3}
+    return (order.get(name, 99), name)
+
+
+def winners_by_epsilon(cells: Sequence[EpsilonSweepCell]) -> Dict[Tuple[int, float], str]:
+    """Best method for each (domain, epsilon), used to check the crossover."""
+    best: Dict[Tuple[int, float], EpsilonSweepCell] = {}
+    for cell in cells:
+        key = (cell.domain_size, cell.epsilon)
+        if key not in best or cell.result.mse_mean < best[key].result.mse_mean:
+            best[key] = cell
+    return {key: cell.method for key, cell in best.items()}

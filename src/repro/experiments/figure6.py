@@ -1,0 +1,70 @@
+"""Figure/Table 6: the epsilon sweep restricted to prefix queries.
+
+Prefix queries cut only one fringe of the tree / Haar decomposition, so the
+paper expects (and observes) errors up to ~30% lower than the corresponding
+Figure 5 entries.  This module re-uses the Figure 5 driver with the prefix
+workload and adds the side-by-side comparison that the paper renders as
+underlined entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import WorkloadEvaluation, format_table
+from repro.queries.workload import prefix_queries
+
+
+def build_prefix_evaluation(domain_size: int, frequencies: np.ndarray) -> WorkloadEvaluation:
+    """All prefix queries with their exact answers."""
+    return WorkloadEvaluation.from_frequencies(prefix_queries(domain_size), frequencies)
+
+
+def run_figure6(config: ExperimentConfig, rng=None):
+    """Run the prefix-query epsilon sweep."""
+    from repro.experiments.figure5 import run_epsilon_sweep
+
+    return run_epsilon_sweep(config, prefix=True, rng=rng)
+
+
+def format_figure6(cells, title: str = "Figure 6 (prefix queries)") -> str:
+    """Format the prefix sweep in the paper's table layout."""
+    from repro.experiments.figure5 import format_epsilon_sweep
+
+    return format_epsilon_sweep(cells, title)
+
+
+def prefix_improvement(
+    range_cells: Sequence, prefix_cells: Sequence
+) -> Dict[Tuple[int, float, str], float]:
+    """Ratio prefix-MSE / range-MSE for matching cells (values < 1 = better).
+
+    Mirrors the paper's underlining of Figure 6 entries that beat their
+    Figure 5 counterparts.
+    """
+    range_index = {
+        (cell.domain_size, cell.epsilon, cell.method): cell.result.mse_mean
+        for cell in range_cells
+    }
+    ratios: Dict[Tuple[int, float, str], float] = {}
+    for cell in prefix_cells:
+        key = (cell.domain_size, cell.epsilon, cell.method)
+        if key in range_index and range_index[key] > 0:
+            ratios[key] = cell.result.mse_mean / range_index[key]
+    return ratios
+
+
+def format_prefix_improvement(ratios: Dict[Tuple[int, float, str], float]) -> str:
+    """Tabulate the prefix/range MSE ratios."""
+    rows = [
+        (domain, f"{epsilon:.1f}", method, f"{ratio:.3f}")
+        for (domain, epsilon, method), ratio in sorted(ratios.items())
+    ]
+    return format_table(
+        rows,
+        headers=("D", "eps", "method", "prefix/range MSE"),
+        title="Prefix vs arbitrary-range error ratios (< 1 means prefixes are easier)",
+    )

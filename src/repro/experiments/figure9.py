@@ -1,0 +1,116 @@
+"""Figure 9: decile (quantile) queries.
+
+The paper evaluates the deciles (phi = 0.1 .. 0.9) of a left-skewed
+(P = 0.1) and a centred (P = 0.5) Cauchy population with the best
+hierarchical method and HaarHRR, reporting two error measures:
+
+* *value error* -- distance in the domain between the returned item and the
+  true quantile item (top row of the paper's figure);
+* *quantile error* -- how far the returned item's true rank is from the
+  requested phi (bottom row).
+
+The headline observation is that the quantile error stays small and flat
+even where the value error spikes (sparse regions of the domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.rng import ensure_rng, spawn_rngs
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import cauchy_counts, format_table, make_method
+from repro.queries.quantile import deciles, evaluate_quantiles
+
+#: Methods compared by Figure 9.
+FIGURE9_METHODS = ("HHc2", "HaarHRR")
+#: Distribution centres used by the two panels.
+FIGURE9_CENTERS = (0.1, 0.5)
+
+
+@dataclass
+class Figure9Cell:
+    """Average decile errors for one (domain, centre, method, phi)."""
+
+    domain_size: int
+    center_fraction: float
+    method: str
+    phi: float
+    value_error: float
+    quantile_error: float
+
+
+def run_figure9(config: ExperimentConfig, rng=None) -> List[Figure9Cell]:
+    """Evaluate all deciles for each method, centre and domain size."""
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    cells: List[Figure9Cell] = []
+    domain_size = max(config.domain_sizes)
+    for center in FIGURE9_CENTERS:
+        counts = cauchy_counts(domain_size, config.n_users, center, rng=rng)
+        frequencies = counts / counts.sum()
+        for method_name in FIGURE9_METHODS:
+            value_errors = {phi: [] for phi in deciles()}
+            quantile_errors = {phi: [] for phi in deciles()}
+            for repetition_rng in spawn_rngs(rng, config.repetitions):
+                protocol = make_method(method_name, domain_size, config.epsilon)
+                estimator = protocol.run_simulated(counts, rng=repetition_rng)
+                for evaluation in evaluate_quantiles(estimator, frequencies, deciles()):
+                    value_errors[evaluation.phi].append(evaluation.value_error)
+                    quantile_errors[evaluation.phi].append(evaluation.quantile_error)
+            for phi in deciles():
+                cells.append(
+                    Figure9Cell(
+                        domain_size=domain_size,
+                        center_fraction=center,
+                        method=method_name,
+                        phi=phi,
+                        value_error=float(np.mean(value_errors[phi])),
+                        quantile_error=float(np.mean(quantile_errors[phi])),
+                    )
+                )
+    return cells
+
+
+def format_figure9(cells: List[Figure9Cell]) -> str:
+    """One table per distribution centre: value and quantile error per decile."""
+    blocks: List[str] = []
+    centers = sorted({cell.center_fraction for cell in cells})
+    for center in centers:
+        center_cells = [cell for cell in cells if cell.center_fraction == center]
+        methods = sorted({cell.method for cell in center_cells})
+        rows = []
+        for phi in deciles():
+            row = [f"{phi:.1f}"]
+            for method in methods:
+                cell = next(
+                    (
+                        c
+                        for c in center_cells
+                        if c.method == method and abs(c.phi - phi) < 1e-9
+                    ),
+                    None,
+                )
+                if cell is None:
+                    row.extend(["nan", "nan"])
+                else:
+                    row.extend([f"{cell.value_error:.1f}", f"{cell.quantile_error:.4f}"])
+            rows.append(row)
+        headers = ["phi"]
+        for method in methods:
+            headers.extend([f"{method} value err", f"{method} quantile err"])
+        blocks.append(
+            format_table(
+                rows,
+                headers=headers,
+                title=f"Figure 9 -- deciles, Cauchy centre P={center:.1f}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def max_quantile_error(cells: List[Figure9Cell]) -> float:
+    """Worst observed quantile error (the paper expects this to stay small)."""
+    return max(cell.quantile_error for cell in cells) if cells else 0.0

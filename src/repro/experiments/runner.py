@@ -1,0 +1,192 @@
+"""Shared machinery for the figure/table reproductions.
+
+Every experiment follows the same loop: build a synthetic population, pick
+a query workload, run each competing method ``repetitions`` times with
+independent randomness, and record the mean squared error between the
+estimated and exact answers.  This module centralises that loop plus the
+naming scheme for methods ("HHc4", "HaarHRR", "FlatOUE", "TreeHRRCI", ...)
+so experiments, benchmarks and tests all construct exactly the same
+protocol objects.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import mean_squared_error, summarize_repetitions
+from repro.core.protocol import RangeQueryProtocol
+from repro.core.rng import RngLike, ensure_rng, spawn_rngs
+from repro.core.types import RangeSpec
+from repro.data.synthetic import cauchy_population
+from repro.flat import FlatRangeQuery
+from repro.hierarchy import HierarchicalHistogram
+from repro.queries.workload import (
+    all_range_queries,
+    prefix_queries,
+    sampled_range_queries,
+    true_answers,
+)
+from repro.wavelet import HaarHRR
+
+#: Pattern for hierarchical method names: HH4, HHc16, HH8c (paper style HHc_B).
+_HH_PATTERN = re.compile(r"^hh(c?)(\d+)$")
+#: Pattern for the Tree<ORACLE>[CI] naming used in Figure 4.
+_TREE_PATTERN = re.compile(r"^tree(oue|hrr|olh|grr)(ci?)$|^tree(oue|hrr|olh|grr)$")
+
+
+def make_method(
+    name: str, domain_size: int, epsilon: float, branching: int = 4
+) -> RangeQueryProtocol:
+    """Construct a protocol from one of the paper's method names.
+
+    Recognised names (case-insensitive):
+
+    * ``FlatOUE``, ``FlatHRR``, ``FlatOLH`` -- flat baselines;
+    * ``HH<B>`` / ``HHc<B>`` -- hierarchical histograms with OUE, without /
+      with constrained inference (e.g. ``HHc4``);
+    * ``TreeOUE``, ``TreeOUECI``, ``TreeHRR``, ``TreeHRRCI``, ``TreeOLH``,
+      ``TreeOLHCI`` -- hierarchical histograms with an explicit oracle and
+      the supplied ``branching``;
+    * ``HaarHRR`` -- the wavelet method.
+    """
+    key = name.strip().lower()
+    if key == "haarhrr":
+        return HaarHRR(domain_size, epsilon)
+    if key.startswith("flat"):
+        oracle = key[len("flat") :] or "oue"
+        return FlatRangeQuery(domain_size, epsilon, oracle=oracle)
+    match = _HH_PATTERN.match(key)
+    if match:
+        consistency = match.group(1) == "c"
+        fanout = int(match.group(2))
+        return HierarchicalHistogram(
+            domain_size, epsilon, branching=fanout, oracle="oue", consistency=consistency
+        )
+    match = _TREE_PATTERN.match(key)
+    if match:
+        oracle = match.group(1) or match.group(3)
+        consistency = bool(match.group(2))
+        return HierarchicalHistogram(
+            domain_size, epsilon, branching=branching, oracle=oracle, consistency=consistency
+        )
+    raise KeyError(f"unrecognised method name {name!r}")
+
+
+@dataclass
+class MethodResult:
+    """MSE summary of one method on one configuration."""
+
+    method: str
+    mse_mean: float
+    mse_std: float
+    repetitions: int
+
+    def scaled(self, factor: float = 1000.0) -> float:
+        """The mean MSE scaled the way the paper's tables present it."""
+        return self.mse_mean * factor
+
+
+@dataclass
+class WorkloadEvaluation:
+    """A reusable bundle of queries and their exact answers."""
+
+    queries: List[RangeSpec]
+    truths: np.ndarray
+
+    @classmethod
+    def from_frequencies(
+        cls, queries: Sequence[RangeSpec], frequencies: np.ndarray
+    ) -> "WorkloadEvaluation":
+        return cls(queries=list(queries), truths=true_answers(list(queries), frequencies))
+
+
+def build_range_workload(
+    domain_size: int,
+    exhaustive_limit: int,
+    num_start_points: int,
+) -> List[RangeSpec]:
+    """All ranges for small domains, the paper's sampled workload otherwise."""
+    if domain_size <= exhaustive_limit:
+        return all_range_queries(domain_size)
+    return sampled_range_queries(domain_size, num_start_points)
+
+
+def build_prefix_workload(domain_size: int) -> List[RangeSpec]:
+    """Every prefix query (there are only ``D`` of them)."""
+    return prefix_queries(domain_size)
+
+
+def evaluate_method(
+    protocol: RangeQueryProtocol,
+    true_counts: np.ndarray,
+    workload: WorkloadEvaluation,
+    repetitions: int,
+    rng: RngLike = None,
+    simulated: bool = True,
+    items: Optional[np.ndarray] = None,
+) -> MethodResult:
+    """Run a protocol ``repetitions`` times and summarise the range-query MSE.
+
+    ``simulated=True`` (default) uses the aggregate simulation path, which
+    is statistically equivalent and orders of magnitude faster; pass
+    ``simulated=False`` together with ``items`` to exercise the full
+    per-user pipeline.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    rngs = spawn_rngs(rng, repetitions)
+    errors = []
+    for repetition_rng in rngs:
+        if simulated:
+            estimator = protocol.run_simulated(true_counts, rng=repetition_rng)
+        else:
+            if items is None:
+                raise ValueError("items are required when simulated=False")
+            estimator = protocol.run(items, rng=repetition_rng)
+        estimates = estimator.range_queries(workload.queries)
+        errors.append(mean_squared_error(estimates, workload.truths))
+    summary = summarize_repetitions(errors)
+    return MethodResult(
+        method=protocol.name,
+        mse_mean=summary.mean,
+        mse_std=summary.std,
+        repetitions=repetitions,
+    )
+
+
+def cauchy_counts(
+    domain_size: int,
+    n_users: int,
+    center_fraction: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Exact histogram of the paper's default Cauchy population."""
+    dataset = cauchy_population(
+        domain_size=domain_size,
+        n_users=n_users,
+        center_fraction=center_fraction,
+        rng=ensure_rng(rng),
+    )
+    return dataset.counts()
+
+
+def format_table(
+    rows: Sequence[Sequence[str]], headers: Sequence[str], title: str = ""
+) -> str:
+    """Plain-text table formatting shared by all experiment drivers."""
+    columns = [list(headers)] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[i]) for row in columns) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

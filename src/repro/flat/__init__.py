@@ -1,0 +1,11 @@
+"""Flat (per-item) range query methods (Section 4.2).
+
+The baseline the paper compares against: run a single frequency oracle over
+the whole domain and answer a range query by summing the per-item
+estimates.  Accurate for point queries, but the variance grows linearly
+with the range length (Fact 1).
+"""
+
+from repro.flat.flat import FlatEstimator, FlatRangeQuery
+
+__all__ = ["FlatEstimator", "FlatRangeQuery"]

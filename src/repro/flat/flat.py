@@ -1,0 +1,104 @@
+"""Flat range-query methods: sum per-item frequency-oracle estimates.
+
+"Flat" is the paper's name for the natural baseline (Section 4.2): every
+user reports her item through a frequency oracle over the whole domain and
+a range query ``[a, b]`` is answered by summing the ``b - a + 1`` estimated
+item frequencies.  Fact 1 shows the variance of such an answer is
+``r * V_F`` -- linear in the range length -- which is exactly the weakness
+the hierarchical and wavelet methods fix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import ProtocolUsageError
+from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
+from repro.core.rng import RngLike, ensure_rng
+from repro.core.types import Domain
+from repro.frequency_oracles import make_oracle
+from repro.frequency_oracles.base import standard_oracle_variance
+
+
+class FlatEstimator(RangeQueryEstimator):
+    """Per-item frequency estimates; ranges are sums of point estimates."""
+
+    def __init__(self, domain: Domain, frequencies: np.ndarray) -> None:
+        super().__init__(domain)
+        frequencies = np.asarray(frequencies, dtype=np.float64)
+        if frequencies.shape != (domain.size,):
+            raise ProtocolUsageError(
+                f"expected {domain.size} frequency estimates, got shape {frequencies.shape}"
+            )
+        self._frequencies = frequencies
+
+    def estimated_frequencies(self) -> np.ndarray:
+        return self._frequencies.copy()
+
+
+class FlatRangeQuery(RangeQueryProtocol):
+    """Flat protocol instantiated by a choice of frequency oracle.
+
+    Parameters
+    ----------
+    domain_size, epsilon:
+        As usual.
+    oracle:
+        Frequency-oracle handle (``"oue"`` by default, matching the paper's
+        choice of flat baseline).
+    """
+
+    def __init__(self, domain_size: int, epsilon: float, oracle: str = "oue") -> None:
+        super().__init__(domain_size, epsilon)
+        self._oracle_name = oracle.strip().lower()
+        self.name = f"Flat{self._oracle_name.upper()}"
+
+    @property
+    def oracle_name(self) -> str:
+        """Handle of the underlying frequency oracle."""
+        return self._oracle_name
+
+    def _make_oracle(self):
+        return make_oracle(self._oracle_name, self.domain_size, self.epsilon)
+
+    def run(self, items: np.ndarray, rng: RngLike = None) -> FlatEstimator:
+        rng = ensure_rng(rng)
+        items = self.domain.validate_items(np.asarray(items))
+        if len(items) == 0:
+            raise ProtocolUsageError("cannot run the protocol with zero users")
+        oracle = self._make_oracle()
+        frequencies = oracle.estimate(items, rng=rng)
+        return FlatEstimator(self.domain, frequencies)
+
+    def run_simulated(
+        self, true_counts: np.ndarray, rng: RngLike = None
+    ) -> FlatEstimator:
+        rng = ensure_rng(rng)
+        counts = np.asarray(true_counts, dtype=np.float64)
+        if counts.ndim != 1 or len(counts) != self.domain_size:
+            raise ValueError(
+                f"true_counts must have length {self.domain_size}, got {counts.shape}"
+            )
+        if counts.sum() <= 0:
+            raise ProtocolUsageError("cannot simulate the protocol with zero users")
+        oracle = self._make_oracle()
+        frequencies = oracle.estimate_from_counts(counts, rng=rng)
+        return FlatEstimator(self.domain, frequencies)
+
+    def theoretical_range_variance(self, range_length: int, n_users: int) -> float:
+        """Fact 1: ``Var = r * V_F``."""
+        if range_length < 1 or range_length > self.domain_size:
+            raise ValueError(
+                f"range_length must be in [1, {self.domain_size}], got {range_length}"
+            )
+        if n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {n_users}")
+        return range_length * standard_oracle_variance(self.epsilon) / n_users
+
+    def average_worst_case_error(self, n_users: int) -> float:
+        """Lemma 4.2: average squared error over all ranges is ``(D+2) V_F / 3``."""
+        if n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {n_users}")
+        return (self.domain_size + 2) * standard_oracle_variance(self.epsilon) / (3.0 * n_users)

@@ -1,0 +1,98 @@
+"""Epsilon-LDP frequency oracles (Section 3.2 of the paper).
+
+The oracles implemented here are the point-query building blocks that every
+range-query protocol in :mod:`repro` is assembled from:
+
+* :class:`OptimizedUnaryEncoding` (OUE)
+* :class:`OptimalLocalHashing` (OLH)
+* :class:`HadamardRandomizedResponse` (HRR)
+* :class:`GeneralizedRandomizedResponse` (GRR / k-RR)
+* :class:`BinaryRandomizedResponse` (classic Warner randomized response)
+
+Use :func:`make_oracle` to construct one by name, which is how the
+hierarchical-histogram protocol lets callers pick its internal primitive
+("TreeOUE", "TreeHRR", "TreeOLH" in the paper's terminology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.frequency_oracles.base import FrequencyOracle, standard_oracle_variance
+from repro.frequency_oracles.grr import (
+    BinaryRandomizedResponse,
+    GeneralizedRandomizedResponse,
+)
+from repro.frequency_oracles.hadamard import (
+    fwht,
+    hadamard_entry,
+    hadamard_matrix,
+    ifwht,
+    pad_to_power_of_two,
+    popcount_parity,
+)
+from repro.frequency_oracles.histogram_encoding import (
+    SummationHistogramEncoding,
+    ThresholdHistogramEncoding,
+)
+from repro.frequency_oracles.hrr import HadamardRandomizedResponse, HadamardReports
+from repro.frequency_oracles.olh import LocalHashReports, OptimalLocalHashing
+from repro.frequency_oracles.oue import OptimizedUnaryEncoding
+from repro.frequency_oracles.sue import SymmetricUnaryEncoding
+
+#: Registry mapping oracle handles to classes.  Handles are lower-case and
+#: match the names used throughout the paper and the experiment configs.
+ORACLE_REGISTRY: Dict[str, Type[FrequencyOracle]] = {
+    "oue": OptimizedUnaryEncoding,
+    "olh": OptimalLocalHashing,
+    "hrr": HadamardRandomizedResponse,
+    "grr": GeneralizedRandomizedResponse,
+    "sue": SymmetricUnaryEncoding,
+    "she": SummationHistogramEncoding,
+    "the": ThresholdHistogramEncoding,
+}
+
+
+def make_oracle(name: str, domain_size: int, epsilon: float, **kwargs) -> FrequencyOracle:
+    """Construct a frequency oracle by registry handle.
+
+    Parameters
+    ----------
+    name:
+        One of ``"oue"``, ``"olh"``, ``"hrr"``, ``"grr"`` (case insensitive).
+    domain_size, epsilon:
+        Passed to the oracle constructor.
+    **kwargs:
+        Oracle-specific options (e.g. ``num_buckets`` for OLH).
+    """
+    key = name.strip().lower()
+    if key not in ORACLE_REGISTRY:
+        raise KeyError(
+            f"unknown frequency oracle {name!r}; expected one of "
+            f"{sorted(ORACLE_REGISTRY)}"
+        )
+    return ORACLE_REGISTRY[key](domain_size, epsilon, **kwargs)
+
+
+__all__ = [
+    "FrequencyOracle",
+    "OptimizedUnaryEncoding",
+    "OptimalLocalHashing",
+    "HadamardRandomizedResponse",
+    "GeneralizedRandomizedResponse",
+    "BinaryRandomizedResponse",
+    "SymmetricUnaryEncoding",
+    "SummationHistogramEncoding",
+    "ThresholdHistogramEncoding",
+    "HadamardReports",
+    "LocalHashReports",
+    "ORACLE_REGISTRY",
+    "make_oracle",
+    "standard_oracle_variance",
+    "fwht",
+    "ifwht",
+    "hadamard_matrix",
+    "hadamard_entry",
+    "popcount_parity",
+    "pad_to_power_of_two",
+]

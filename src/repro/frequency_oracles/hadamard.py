@@ -1,0 +1,92 @@
+"""Walsh--Hadamard transform utilities.
+
+The Hadamard Randomized Response oracle and the HaarHRR range-query
+protocol both rely on the (unnormalised, +/-1 valued) Walsh--Hadamard
+transform.  We implement
+
+* :func:`fwht` -- the fast in-place butterfly transform in ``O(D log D)``;
+* :func:`hadamard_entry` -- vectorised evaluation of single matrix entries
+  ``(-1)^{<i, j>}`` used when each user only touches one coefficient;
+* :func:`hadamard_matrix` -- the explicit matrix, handy for tests and for
+  the tiny domains where an explicit matrix is simplest.
+
+Conventions
+-----------
+We use the *unnormalised* transform ``T = H x`` where
+``H[i, j] = (-1)^{popcount(i & j)}``; then ``H H = D I`` so the inverse is
+``x = (1/D) H T``.  The paper's matrix (Figure 1) is ``H / sqrt(D)``; keeping
+the +/-1 convention internally avoids spraying ``sqrt(D)`` factors through
+the estimators and matches what users actually transmit (a single +/-1
+value).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import is_power_of, next_power_of
+
+
+def pad_to_power_of_two(length: int) -> int:
+    """Smallest power of two that is at least ``length``."""
+    return next_power_of(2, length)
+
+
+def popcount_parity(values: np.ndarray) -> np.ndarray:
+    """Parity (0 or 1) of the number of set bits of each entry.
+
+    Works for non-negative integers up to 64 bits using the folding trick:
+    XOR-ing the upper half of the bits into the lower half repeatedly leaves
+    the parity in the lowest bit.
+    """
+    v = np.asarray(values, dtype=np.uint64).copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        v ^= v >> np.uint64(shift)
+    return (v & np.uint64(1)).astype(np.int64)
+
+
+def hadamard_entry(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Entries ``H[rows, cols] = (-1)^{popcount(rows & cols)}`` as +/-1 floats."""
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    parity = popcount_parity(np.bitwise_and(rows, cols))
+    return 1.0 - 2.0 * parity
+
+
+def hadamard_matrix(size: int) -> np.ndarray:
+    """Explicit ``size x size`` Hadamard matrix with +/-1 entries.
+
+    ``size`` must be a power of two.  Intended for tests and small domains;
+    use :func:`fwht` for anything large.
+    """
+    if not is_power_of(2, size):
+        raise ValueError(f"Hadamard matrix size must be a power of two, got {size}")
+    indices = np.arange(size)
+    return hadamard_entry(indices[:, None], indices[None, :])
+
+
+def fwht(vector: np.ndarray) -> np.ndarray:
+    """Fast Walsh--Hadamard transform (unnormalised) of a 1-D vector.
+
+    Returns a new array ``T`` with ``T = H @ vector`` where ``H`` is the
+    +/-1 Hadamard matrix.  The input length must be a power of two.
+    """
+    x = np.array(vector, dtype=np.float64, copy=True)
+    n = len(x)
+    if not is_power_of(2, n):
+        raise ValueError(f"fwht input length must be a power of two, got {n}")
+    h = 1
+    while h < n:
+        # Classic butterfly: combine blocks of size 2h pairwise.
+        x = x.reshape(-1, 2, h)
+        top = x[:, 0, :] + x[:, 1, :]
+        bottom = x[:, 0, :] - x[:, 1, :]
+        x = np.stack([top, bottom], axis=1).reshape(-1)
+        h *= 2
+    return x
+
+
+def ifwht(transformed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fwht` (i.e. ``fwht(t) / D``)."""
+    t = np.asarray(transformed, dtype=np.float64)
+    return fwht(t) / len(t)

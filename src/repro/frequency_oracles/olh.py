@@ -1,0 +1,183 @@
+"""Optimal Local Hashing (OLH) frequency oracle (Wang et al., 2017).
+
+Each user samples a hash function ``H_i`` from a pairwise-independent family
+mapping the domain ``[D]`` into ``g`` buckets (``g = e^eps + 1`` minimizes
+the variance), hashes her item and perturbs the bucket index with
+generalized randomized response over ``[g]``.  She reports the hash function
+(here: its two integer parameters) and the perturbed bucket.
+
+The aggregator computes, for every item ``x``, its *support*
+``T[x] = #{users i : H_i(x) == reported bucket_i}`` and debiases it:
+``theta_hat[x] = (T[x]/N - 1/g) / (p - 1/g)``.
+
+OLH matches OUE's variance with only ``O(log D)``-bit reports, but decoding
+is expensive (``O(N D)`` hash evaluations), which is exactly why the paper
+only evaluates TreeOLH on the smallest domain.  We keep that characteristic
+honest here: the aggregation is vectorised but intrinsically ``O(N D)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.rng import RngLike, ensure_rng
+from repro.frequency_oracles.base import FrequencyOracle, standard_oracle_variance
+
+#: A Mersenne prime comfortably larger than any domain we hash from, small
+#: enough that ``a * x`` never overflows an int64 (a < 2^31, x < 2^31).
+_HASH_PRIME = (1 << 31) - 1
+
+
+@dataclass
+class LocalHashReports:
+    """Reports collected from OLH users.
+
+    Attributes
+    ----------
+    multipliers, offsets:
+        Per-user parameters ``a`` and ``b`` of the hash
+        ``H(x) = ((a * x + b) mod P) mod g``.
+    buckets:
+        The perturbed bucket index reported by each user.
+    num_buckets:
+        The hash range ``g``.
+    """
+
+    multipliers: np.ndarray
+    offsets: np.ndarray
+    buckets: np.ndarray
+    num_buckets: int
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+
+class OptimalLocalHashing(FrequencyOracle):
+    """OLH oracle with configurable hash range ``g`` (default ``e^eps + 1``)."""
+
+    name = "olh"
+
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        num_buckets: Optional[int] = None,
+        aggregation_chunk: int = 4096,
+    ) -> None:
+        super().__init__(domain_size, epsilon)
+        if num_buckets is None:
+            num_buckets = max(2, int(round(self.privacy.e_eps)) + 1)
+        if num_buckets < 2:
+            raise ValueError(f"num_buckets must be at least 2, got {num_buckets}")
+        self._g = int(num_buckets)
+        self._p = self.privacy.e_eps / (self.privacy.e_eps + self._g - 1)
+        self._q = 1.0 / self._g
+        self._chunk = int(aggregation_chunk)
+
+    @property
+    def num_buckets(self) -> int:
+        """The hash range ``g``."""
+        return self._g
+
+    @property
+    def keep_probability(self) -> float:
+        """GRR keep probability over the hashed domain."""
+        return self._p
+
+    # ------------------------------------------------------------------ #
+    # hashing
+    # ------------------------------------------------------------------ #
+    def _hash(self, multipliers: np.ndarray, offsets: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorised universal hash ``((a*x + b) mod P) mod g``.
+
+        Arguments broadcast against each other, so this supports both
+        "one item per user" (equal-length 1-D arrays) and "all items for a
+        chunk of users" (column vs row vectors).
+        """
+        products = (
+            multipliers.astype(np.int64) * items.astype(np.int64)
+            + offsets.astype(np.int64)
+        ) % _HASH_PRIME
+        return (products % self._g).astype(np.int64)
+
+    def _sample_hash_functions(self, n: int, rng: np.random.Generator):
+        multipliers = rng.integers(1, _HASH_PRIME, size=n, dtype=np.int64)
+        offsets = rng.integers(0, _HASH_PRIME, size=n, dtype=np.int64)
+        return multipliers, offsets
+
+    # ------------------------------------------------------------------ #
+    # per-user protocol
+    # ------------------------------------------------------------------ #
+    def privatize(self, items: np.ndarray, rng: RngLike = None) -> LocalHashReports:
+        rng = ensure_rng(rng)
+        items = self.domain.validate_items(np.asarray(items))
+        n = len(items)
+        multipliers, offsets = self._sample_hash_functions(n, rng)
+        true_buckets = self._hash(multipliers, offsets, items)
+        keep = rng.random(n) < self._p
+        noise = rng.integers(0, self._g - 1, size=n)
+        noise = np.where(noise >= true_buckets, noise + 1, noise)
+        reported = np.where(keep, true_buckets, noise)
+        return LocalHashReports(
+            multipliers=multipliers,
+            offsets=offsets,
+            buckets=reported.astype(np.int64),
+            num_buckets=self._g,
+        )
+
+    def aggregate(
+        self, reports: LocalHashReports, n_users: Optional[int] = None
+    ) -> np.ndarray:
+        if reports.num_buckets != self._g:
+            raise ValueError(
+                f"reports use g={reports.num_buckets}, oracle expects g={self._g}"
+            )
+        n = int(n_users) if n_users is not None else len(reports)
+        if n <= 0:
+            raise ValueError("cannot aggregate zero reports")
+        domain_items = np.arange(self.domain_size, dtype=np.int64)
+        support = np.zeros(self.domain_size, dtype=np.float64)
+        # O(N * D) decoding, chunked over users to bound memory.
+        for start in range(0, len(reports), self._chunk):
+            stop = min(start + self._chunk, len(reports))
+            mult = reports.multipliers[start:stop, None]
+            off = reports.offsets[start:stop, None]
+            hashes = self._hash(mult, off, domain_items[None, :])
+            support += np.sum(hashes == reports.buckets[start:stop, None], axis=0)
+        return (support / n - self._q) / (self._p - self._q)
+
+    # ------------------------------------------------------------------ #
+    # aggregate simulation
+    # ------------------------------------------------------------------ #
+    def estimate_from_counts(
+        self, true_counts: np.ndarray, rng: RngLike = None
+    ) -> np.ndarray:
+        """Binomial simulation of the support counts.
+
+        An item's support receives a contribution with probability ``p``
+        from each user truly holding it and with probability ``1/g`` from
+        every other user (by pairwise independence of the hash family), so
+        ``T[x] ~ Bino(n_x, p) + Bino(N - n_x, 1/g)``.
+        """
+        rng = ensure_rng(rng)
+        counts = self._validate_counts(true_counts).astype(np.int64)
+        n = int(counts.sum())
+        if n <= 0:
+            return np.zeros(self.domain_size)
+        support = rng.binomial(counts, self._p) + rng.binomial(n - counts, self._q)
+        return (support.astype(np.float64) / n - self._q) / (self._p - self._q)
+
+    def variance_per_user(self) -> float:
+        # With the optimal g = e^eps + 1 this equals the standard bound; for
+        # other g we report the exact GRR-over-buckets variance.
+        p, q = self._p, self._q
+        exact = q * (1.0 - q) / (p - q) ** 2 + p * (1.0 - p) / (p - q) ** 2
+        standard = standard_oracle_variance(self.epsilon)
+        # The two coincide at the optimum; prefer the exact expression when
+        # the caller overrode g.
+        if abs(self._g - (round(self.privacy.e_eps) + 1)) < 1e-9:
+            return standard
+        return float(exact)

@@ -1,0 +1,114 @@
+"""B-adic intervals and the canonical decomposition of ranges (Facts 2-3).
+
+A *B-adic* interval has length ``B^j`` and starts at an integer multiple of
+its length.  Any range ``[a, b]`` of length ``r`` decomposes into at most
+``(B - 1)(2 log_B r + 1)`` disjoint B-adic intervals (Fact 3), and every
+B-adic interval corresponds to exactly one node of the complete B-ary tree
+imposed over the domain.  This module provides the greedy canonical
+decomposition used by the hierarchical-histogram estimator to answer range
+queries from tree-node estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.exceptions import InvalidRangeError
+from repro.core.types import is_power_of
+
+
+@dataclass(frozen=True)
+class BAdicInterval:
+    """A single B-adic interval ``[start, start + length - 1]``.
+
+    ``level_from_leaves`` is the exponent ``j`` such that the length equals
+    ``B^j``; ``0`` denotes a single leaf.
+    """
+
+    start: int
+    length: int
+    level_from_leaves: int
+
+    @property
+    def end(self) -> int:
+        """Inclusive right endpoint."""
+        return self.start + self.length - 1
+
+
+def is_badic(start: int, length: int, branching: int) -> bool:
+    """Return ``True`` iff ``[start, start + length - 1]`` is B-adic."""
+    if length < 1 or start < 0:
+        return False
+    if not is_power_of(branching, length):
+        return False
+    return start % length == 0
+
+
+def _largest_badic_length(position: int, limit: int, branching: int) -> int:
+    """Largest B-adic block length that may start at ``position``.
+
+    The block must start at a multiple of its own length and must not extend
+    beyond ``limit`` items.
+    """
+    length = 1
+    while True:
+        candidate = length * branching
+        if candidate > limit:
+            break
+        if position % candidate != 0:
+            break
+        length = candidate
+    return length
+
+
+def badic_decomposition(left: int, right: int, branching: int) -> List[BAdicInterval]:
+    """Greedy canonical decomposition of ``[left, right]`` into B-adic blocks.
+
+    The decomposition is the standard one used for dyadic/segment-tree range
+    queries, generalised to branching factor ``B``: walk from the left end,
+    at each position take the largest B-adic block that starts there and
+    fits inside the remaining range.
+
+    Returns the blocks in left-to-right order.  Raises
+    :class:`InvalidRangeError` on malformed input.
+    """
+    if branching < 2:
+        raise ValueError(f"branching factor must be >= 2, got {branching}")
+    if left < 0 or right < left:
+        raise InvalidRangeError(f"invalid range [{left}, {right}]")
+    blocks: List[BAdicInterval] = []
+    position = left
+    while position <= right:
+        remaining = right - position + 1
+        length = _largest_badic_length(position, remaining, branching)
+        level = 0
+        size = 1
+        while size < length:
+            size *= branching
+            level += 1
+        blocks.append(BAdicInterval(start=position, length=length, level_from_leaves=level))
+        position += length
+    return blocks
+
+
+def decomposition_size_bound(range_length: int, branching: int) -> int:
+    """Fact 3 upper bound on the number of blocks for a range of this length."""
+    if range_length < 1:
+        raise ValueError(f"range_length must be >= 1, got {range_length}")
+    if branching < 2:
+        raise ValueError(f"branching factor must be >= 2, got {branching}")
+    import math
+
+    log_term = math.log(range_length, branching) if range_length > 1 else 0.0
+    return int((branching - 1) * (2 * math.ceil(log_term) + 1) + branching)
+
+
+def worst_case_nodes_per_level(branching: int) -> int:
+    """Maximum number of tree nodes a range can touch at any single level.
+
+    A range's fringe intersects at most ``2 (B - 1)`` nodes per level
+    (``B - 1`` on each side), which is the constant that appears in
+    Theorem 4.3.
+    """
+    return 2 * (branching - 1)

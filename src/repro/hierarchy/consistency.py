@@ -1,0 +1,144 @@
+"""Constrained inference (consistency post-processing) for noisy trees.
+
+Section 4.5 of the paper adapts the two-stage least-squares procedure of
+Hay et al. (VLDB 2010) to the local model.  Given the unbiased but noisy
+per-node fraction estimates produced by the hierarchical-histogram
+aggregator, the procedure finds the minimum-L2 adjustment that makes every
+parent equal the sum of its children:
+
+* **Stage 1 (weighted averaging, bottom-up).**  Each non-leaf node's value is
+  replaced by a weighted combination of its own estimate and the sum of its
+  children's adjusted estimates,
+  ``f_bar(v) = (B^i - B^{i-1})/(B^i - 1) * f(v)
+  + (B^{i-1} - 1)/(B^i - 1) * sum_children f_bar(u)``,
+  where ``i`` is the node's height (leaves have height 1).
+* **Stage 2 (mean consistency, top-down).**  The residual between a parent
+  and the sum of its children is split equally among the children,
+  ``f_hat(v) = f_bar(v) + (1/B) * (f_hat(parent) - sum_siblings f_bar)``.
+
+Because the protocol works with *fractions* (level sampling means per-level
+counts need not agree), the root's value is known exactly: the fractions of
+the whole population sum to one.  We therefore pin the root to 1 before the
+top-down stage, which is itself a valid post-processing step and further
+reduces the children's error.
+
+The result is the best linear unbiased estimator subject to the tree
+constraints (Gauss-Markov, Lemma 4.6), reducing the per-node variance by a
+factor of at least ``B / (B + 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def _validate_levels(level_values: Sequence[np.ndarray], branching: int) -> List[np.ndarray]:
+    if branching < 2:
+        raise ValueError(f"branching factor must be >= 2, got {branching}")
+    levels = [np.array(values, dtype=np.float64, copy=True) for values in level_values]
+    if not levels:
+        raise ValueError("level_values must contain at least the root level")
+    for depth, values in enumerate(levels):
+        expected = branching ** depth
+        if len(values) != expected:
+            raise ValueError(
+                f"level {depth} must have {expected} nodes, got {len(values)}"
+            )
+    return levels
+
+
+def weighted_averaging(
+    level_values: Sequence[np.ndarray], branching: int
+) -> List[np.ndarray]:
+    """Stage 1: bottom-up weighted averaging of node estimates.
+
+    ``level_values[0]`` is the root, ``level_values[-1]`` the leaves.
+    Returns a new list; the input is not modified.
+    """
+    levels = _validate_levels(level_values, branching)
+    height = len(levels) - 1
+    b = float(branching)
+    # Walk from the last internal level up to the root.  A node at level
+    # ``depth`` has paper-height i = height - depth + 1 (leaves have i = 1).
+    for depth in range(height - 1, -1, -1):
+        i = height - depth + 1
+        child_sums = levels[depth + 1].reshape(-1, branching).sum(axis=1)
+        numerator_self = b**i - b ** (i - 1)
+        numerator_children = b ** (i - 1) - 1.0
+        denominator = b**i - 1.0
+        levels[depth] = (
+            numerator_self * levels[depth] + numerator_children * child_sums
+        ) / denominator
+    return levels
+
+
+def mean_consistency(
+    level_values: Sequence[np.ndarray],
+    branching: int,
+    root_value: float = None,
+) -> List[np.ndarray]:
+    """Stage 2: top-down redistribution of parent/children residuals.
+
+    If ``root_value`` is given the root is pinned to that value first (the
+    hierarchical-histogram protocol passes ``1.0`` because fractions over
+    the whole population must sum to one).
+    """
+    levels = _validate_levels(level_values, branching)
+    if root_value is not None:
+        levels[0] = np.array([float(root_value)])
+    height = len(levels) - 1
+    for depth in range(1, height + 1):
+        child_sums = levels[depth].reshape(-1, branching).sum(axis=1)
+        residual = (levels[depth - 1] - child_sums) / branching
+        levels[depth] = levels[depth] + np.repeat(residual, branching)
+    return levels
+
+
+def enforce_consistency(
+    level_values: Sequence[np.ndarray],
+    branching: int,
+    root_value: float = 1.0,
+) -> List[np.ndarray]:
+    """Full two-stage constrained inference (Stage 1 then Stage 2).
+
+    Parameters
+    ----------
+    level_values:
+        Per-level node estimates, root first.
+    branching:
+        Tree fan-out ``B``.
+    root_value:
+        Known exact value of the root, or ``None`` to keep the averaged
+        root.  The LDP protocol uses ``1.0``.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        Adjusted estimates with every parent equal to the sum of its
+        children (up to floating point error).
+    """
+    averaged = weighted_averaging(level_values, branching)
+    return mean_consistency(averaged, branching, root_value=root_value)
+
+
+def consistency_violation(level_values: Sequence[np.ndarray], branching: int) -> float:
+    """Maximum absolute violation of the parent = sum(children) constraint.
+
+    Useful in tests and as a sanity check after post-processing (should be
+    at floating-point noise level).
+    """
+    levels = _validate_levels(level_values, branching)
+    worst = 0.0
+    for depth in range(len(levels) - 1):
+        child_sums = levels[depth + 1].reshape(-1, branching).sum(axis=1)
+        worst = max(worst, float(np.max(np.abs(levels[depth] - child_sums))))
+    return worst
+
+
+def variance_reduction_factor(branching: int) -> float:
+    """Lemma 4.6 lower bound on the variance reduction: ``B / (B + 1)``."""
+    if branching < 2:
+        raise ValueError(f"branching factor must be >= 2, got {branching}")
+    return branching / (branching + 1.0)

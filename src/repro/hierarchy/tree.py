@@ -1,0 +1,165 @@
+"""Complete B-ary tree imposed over a discrete domain.
+
+The hierarchical-histogram protocol views the domain ``[D]`` as the leaves
+of a complete B-ary tree of height ``h = log_B(D_padded)``.  Every internal
+node corresponds to a B-adic interval (Fact 2) and stores, conceptually, the
+fraction of users whose item falls inside that interval.  This module holds
+the purely structural bookkeeping: level sizes, the ancestor of an item at a
+given level, the interval covered by a node, and conversion between a leaf
+histogram and per-level node histograms.
+
+Level numbering convention
+--------------------------
+``level 0`` is the root (one node covering the whole padded domain) and
+``level h`` is the leaf level (one node per item).  The paper's "height"
+``i`` of a node (leaves at height 1) relates to our level by
+``i = h - level + 1``; the consistency code documents where it uses heights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.exceptions import InvalidDomainError
+from repro.core.types import next_power_of
+from repro.hierarchy.badic import BAdicInterval, badic_decomposition
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """Identifier of a node: its level (0 = root) and index within the level."""
+
+    level: int
+    index: int
+
+
+class DomainTree:
+    """Structural view of the complete B-ary tree over a (padded) domain.
+
+    Parameters
+    ----------
+    domain_size:
+        The true domain size ``D``; it is padded up to the next power of
+        ``branching`` so the tree is complete.
+    branching:
+        The fan-out ``B >= 2``.
+    """
+
+    def __init__(self, domain_size: int, branching: int) -> None:
+        if branching < 2:
+            raise ValueError(f"branching factor must be >= 2, got {branching}")
+        if domain_size < 1:
+            raise InvalidDomainError(f"domain size must be positive, got {domain_size}")
+        self._domain_size = int(domain_size)
+        self._branching = int(branching)
+        self._padded_size = next_power_of(self._branching, self._domain_size)
+        height = 0
+        size = 1
+        while size < self._padded_size:
+            size *= self._branching
+            height += 1
+        self._height = height
+
+    # ------------------------------------------------------------------ #
+    # basic structure
+    # ------------------------------------------------------------------ #
+    @property
+    def domain_size(self) -> int:
+        """The caller-visible domain size ``D``."""
+        return self._domain_size
+
+    @property
+    def padded_size(self) -> int:
+        """The padded domain size ``B^h``."""
+        return self._padded_size
+
+    @property
+    def branching(self) -> int:
+        """The fan-out ``B``."""
+        return self._branching
+
+    @property
+    def height(self) -> int:
+        """The tree height ``h`` (number of non-root levels)."""
+        return self._height
+
+    @property
+    def num_levels(self) -> int:
+        """Total number of levels including the root (``h + 1``)."""
+        return self._height + 1
+
+    def level_size(self, level: int) -> int:
+        """Number of nodes at ``level`` (``B^level``)."""
+        self._check_level(level)
+        return self._branching ** level
+
+    def node_span(self, level: int) -> int:
+        """Number of leaves covered by a single node at ``level``."""
+        self._check_level(level)
+        return self._branching ** (self._height - level)
+
+    def _check_level(self, level: int) -> None:
+        if level < 0 or level > self._height:
+            raise ValueError(
+                f"level must be in [0, {self._height}], got {level}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # item <-> node mappings
+    # ------------------------------------------------------------------ #
+    def ancestor_index(self, items: np.ndarray, level: int) -> np.ndarray:
+        """Index of the ancestor node at ``level`` for each item."""
+        self._check_level(level)
+        items = np.asarray(items, dtype=np.int64)
+        return items // self.node_span(level)
+
+    def node_interval(self, node: TreeNode) -> BAdicInterval:
+        """The B-adic interval of leaves covered by ``node``."""
+        span = self.node_span(node.level)
+        start = node.index * span
+        return BAdicInterval(
+            start=start, length=span, level_from_leaves=self._height - node.level
+        )
+
+    def node_for_block(self, block: BAdicInterval) -> TreeNode:
+        """The tree node corresponding to a B-adic block."""
+        level = self._height - block.level_from_leaves
+        self._check_level(level)
+        span = self.node_span(level)
+        if block.length != span or block.start % span != 0:
+            raise ValueError(f"block {block} is not a node of this tree")
+        return TreeNode(level=level, index=block.start // span)
+
+    def decompose_range(self, left: int, right: int) -> List[TreeNode]:
+        """Tree nodes forming the canonical B-adic decomposition of ``[left, right]``."""
+        blocks = badic_decomposition(left, right, self._branching)
+        return [self.node_for_block(block) for block in blocks]
+
+    # ------------------------------------------------------------------ #
+    # histograms
+    # ------------------------------------------------------------------ #
+    def level_histogram(self, leaf_counts: np.ndarray, level: int) -> np.ndarray:
+        """Aggregate a leaf-level histogram up to the node counts at ``level``."""
+        self._check_level(level)
+        counts = np.asarray(leaf_counts, dtype=np.float64)
+        if len(counts) == self._domain_size:
+            padded = np.zeros(self._padded_size)
+            padded[: self._domain_size] = counts
+            counts = padded
+        elif len(counts) != self._padded_size:
+            raise ValueError(
+                f"leaf_counts must have length {self._domain_size} or "
+                f"{self._padded_size}, got {len(counts)}"
+            )
+        return counts.reshape(self.level_size(level), self.node_span(level)).sum(axis=1)
+
+    def all_level_histograms(self, leaf_counts: np.ndarray) -> List[np.ndarray]:
+        """Node counts for every level, root first."""
+        return [self.level_histogram(leaf_counts, level) for level in range(self.num_levels)]
+
+    def empty_levels(self) -> List[np.ndarray]:
+        """A list of zero arrays shaped like the per-level node values."""
+        return [np.zeros(self.level_size(level)) for level in range(self.num_levels)]

@@ -1,0 +1,5 @@
+"""Multi-dimensional range queries (Section 6 extension)."""
+
+from repro.multidim.grid import Grid2DEstimator, HierarchicalGrid2D
+
+__all__ = ["Grid2DEstimator", "HierarchicalGrid2D"]

@@ -1,0 +1,47 @@
+"""Query workloads and derived queries (prefix, CDF, quantiles)."""
+
+from repro.queries.prefix import (
+    estimated_cdf,
+    monotone_cdf,
+    prefix_answers,
+    prefix_variance_reduction_factor,
+)
+from repro.queries.quantile import (
+    QuantileEvaluation,
+    deciles,
+    estimate_quantile,
+    evaluate_quantiles,
+    quantile_by_binary_search,
+    quantile_rank,
+    true_quantile,
+)
+from repro.queries.workload import (
+    all_queries_of_length,
+    all_range_queries,
+    geometric_lengths,
+    group_by_length,
+    prefix_queries,
+    sampled_range_queries,
+    true_answers,
+)
+
+__all__ = [
+    "estimated_cdf",
+    "monotone_cdf",
+    "prefix_answers",
+    "prefix_variance_reduction_factor",
+    "QuantileEvaluation",
+    "deciles",
+    "estimate_quantile",
+    "evaluate_quantiles",
+    "quantile_by_binary_search",
+    "quantile_rank",
+    "true_quantile",
+    "all_queries_of_length",
+    "all_range_queries",
+    "geometric_lengths",
+    "group_by_length",
+    "prefix_queries",
+    "sampled_range_queries",
+    "true_answers",
+]

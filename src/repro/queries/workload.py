@@ -1,0 +1,117 @@
+"""Range-query workloads used by the paper's evaluation (Section 5).
+
+Two workload generators are needed:
+
+* :func:`all_range_queries` enumerates every one of the ``D choose 2``-ish
+  closed ranges (feasible for small and medium domains, which is how the
+  paper evaluates ``D = 2^8`` and ``2^16``);
+* :func:`sampled_range_queries` reproduces the paper's scalable sampling
+  strategy for large domains: pick evenly spaced starting points and
+  evaluate every range that begins at each of them.
+
+Both return lists of :class:`~repro.core.types.RangeSpec`, plus helpers to
+group queries by length (Figure 4 plots error per query length) and to
+compute exact answers in bulk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import InvalidRangeError
+from repro.core.types import RangeSpec
+
+
+def all_range_queries(domain_size: int, min_length: int = 1) -> List[RangeSpec]:
+    """Every closed range ``[a, b]`` with ``b - a + 1 >= min_length``."""
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    if min_length < 1:
+        raise ValueError(f"min_length must be >= 1, got {min_length}")
+    queries: List[RangeSpec] = []
+    for left in range(domain_size):
+        for right in range(left + min_length - 1, domain_size):
+            queries.append(RangeSpec(left, right))
+    return queries
+
+
+def all_queries_of_length(domain_size: int, length: int) -> List[RangeSpec]:
+    """All ``D - r + 1`` ranges of an exact length ``r``."""
+    if length < 1 or length > domain_size:
+        raise InvalidRangeError(
+            f"length must be in [1, {domain_size}], got {length}"
+        )
+    return [RangeSpec(left, left + length - 1) for left in range(domain_size - length + 1)]
+
+
+def sampled_range_queries(
+    domain_size: int,
+    num_start_points: int,
+    lengths: Optional[Sequence[int]] = None,
+) -> List[RangeSpec]:
+    """The paper's large-domain workload: evenly spaced starting points.
+
+    For each of ``num_start_points`` evenly spaced values of ``a`` we emit
+    ranges ``[a, a + r - 1]`` for every requested length ``r`` (by default a
+    geometric ladder of lengths up to the domain size) that fits inside the
+    domain.
+    """
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    if num_start_points < 1:
+        raise ValueError(f"num_start_points must be >= 1, got {num_start_points}")
+    starts = np.unique(
+        np.linspace(0, domain_size - 1, num=num_start_points, dtype=np.int64)
+    )
+    if lengths is None:
+        lengths = geometric_lengths(domain_size)
+    queries: List[RangeSpec] = []
+    for start in starts:
+        for length in lengths:
+            right = int(start) + int(length) - 1
+            if right < domain_size:
+                queries.append(RangeSpec(int(start), right))
+    return queries
+
+
+def geometric_lengths(domain_size: int, base: int = 2) -> List[int]:
+    """A geometric ladder of range lengths ``1, base, base^2, ..., ~D``."""
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    lengths = []
+    value = 1
+    while value < domain_size:
+        lengths.append(value)
+        value *= base
+    lengths.append(domain_size - 1 if domain_size > 1 else 1)
+    return sorted(set(lengths))
+
+
+def prefix_queries(domain_size: int) -> List[RangeSpec]:
+    """All prefix queries ``[0, b]`` (Section 4.7)."""
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    return [RangeSpec(0, right) for right in range(domain_size)]
+
+
+def group_by_length(queries: Iterable[RangeSpec]) -> Dict[int, List[RangeSpec]]:
+    """Group queries by their length ``r``."""
+    grouped: Dict[int, List[RangeSpec]] = {}
+    for query in queries:
+        grouped.setdefault(query.length, []).append(query)
+    return grouped
+
+
+def true_answers(queries: Sequence[RangeSpec], frequencies: np.ndarray) -> np.ndarray:
+    """Exact answers of every query against a frequency vector."""
+    freqs = np.asarray(frequencies, dtype=np.float64)
+    prefix = np.concatenate(([0.0], np.cumsum(freqs)))
+    if not queries:
+        return np.zeros(0)
+    lefts = np.fromiter((q.left for q in queries), dtype=np.int64, count=len(queries))
+    rights = np.fromiter((q.right for q in queries), dtype=np.int64, count=len(queries))
+    if rights.max() >= len(freqs):
+        raise InvalidRangeError("a query exceeds the frequency vector length")
+    return prefix[rights + 1] - prefix[lefts]

@@ -1,0 +1,28 @@
+"""Discrete Haar Transform based range queries (Section 4.6).
+
+:class:`HaarHRR` is the paper's wavelet protocol; the pure transform
+utilities in :mod:`repro.wavelet.haar` are exposed for reuse and testing.
+"""
+
+from repro.wavelet.haar import (
+    HaarCoefficients,
+    evaluate_range_from_coefficients,
+    haar_matrix,
+    haar_transform,
+    inverse_haar_transform,
+    leaf_membership,
+    range_coefficient_weights,
+)
+from repro.wavelet.haar_hrr import HaarEstimator, HaarHRR
+
+__all__ = [
+    "HaarCoefficients",
+    "haar_transform",
+    "inverse_haar_transform",
+    "haar_matrix",
+    "leaf_membership",
+    "range_coefficient_weights",
+    "evaluate_range_from_coefficients",
+    "HaarEstimator",
+    "HaarHRR",
+]

@@ -1,0 +1,211 @@
+"""The Discrete Haar Transform (DHT) over a power-of-two domain.
+
+The DHT (Section 4.6, Figure 3 of the paper) recursively averages and
+differences the frequency vector.  We use the paper's convention:
+
+* the 0-th ("smooth") coefficient is ``c_0 = (1/sqrt(D)) * sum_z f_z``;
+* a detail coefficient at *height* ``j`` (leaves have height 0, the single
+  coarsest detail coefficient has height ``h = log2 D``) for node ``k`` is
+  ``c_{j,k} = (C_left - C_right) / 2^{j/2}`` where ``C_left``/``C_right``
+  are the sums of ``f`` over the left/right halves of the node's interval.
+
+Reconstruction of a leaf value is
+``f_z = c_0 / sqrt(D) + sum_j s_j(z) * c_{j, anc_j(z)} / 2^{j/2}`` with
+``s_j(z) = +1`` when ``z`` lies in the left subtree of its height-``j``
+ancestor and ``-1`` otherwise -- exactly the rows of the matrix in the
+paper's Figure 3.
+
+The transform, its inverse and the explicit matrix are exact linear maps; no
+privacy is involved here.  :class:`HaarCoefficients` is the container the
+HaarHRR protocol fills with *estimated* coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.types import is_power_of
+
+
+@dataclass
+class HaarCoefficients:
+    """Haar coefficients of a length-``D`` vector (``D`` a power of two).
+
+    Attributes
+    ----------
+    smooth:
+        The 0-th coefficient ``c_0``.
+    details:
+        ``details[j - 1]`` holds the detail coefficients at height ``j``
+        (length ``D / 2^j``), for ``j = 1 .. log2(D)``.
+    """
+
+    smooth: float
+    details: List[np.ndarray]
+
+    @property
+    def domain_size(self) -> int:
+        """The length of the vector these coefficients describe."""
+        if not self.details:
+            return 1
+        return 2 * len(self.details[0])
+
+    @property
+    def height(self) -> int:
+        """Number of detail levels ``h = log2(D)``."""
+        return len(self.details)
+
+    def copy(self) -> "HaarCoefficients":
+        """Deep copy."""
+        return HaarCoefficients(
+            smooth=float(self.smooth),
+            details=[np.array(level, copy=True) for level in self.details],
+        )
+
+    def as_flat_array(self) -> np.ndarray:
+        """Coefficients flattened in the paper's Figure 3 column order.
+
+        Order: ``c_0`` first, then detail heights from the coarsest
+        (``j = h``) down to the finest (``j = 1``).
+        """
+        parts = [np.array([self.smooth])]
+        for level in reversed(self.details):
+            parts.append(np.asarray(level, dtype=np.float64))
+        return np.concatenate(parts)
+
+
+def _check_length(length: int) -> int:
+    if not is_power_of(2, length):
+        raise ValueError(f"Haar transform length must be a power of two, got {length}")
+    return int(math.log2(length))
+
+
+def haar_transform(values: Sequence[float]) -> HaarCoefficients:
+    """Forward DHT of a length ``D = 2^h`` vector."""
+    vector = np.asarray(values, dtype=np.float64)
+    if vector.ndim != 1:
+        raise ValueError(f"expected a 1-D vector, got shape {vector.shape}")
+    height = _check_length(len(vector))
+    sums = vector.copy()
+    details: List[np.ndarray] = []
+    for j in range(1, height + 1):
+        left = sums[0::2]
+        right = sums[1::2]
+        details.append((left - right) / (2.0 ** (j / 2.0)))
+        sums = left + right
+    smooth = float(sums[0] / math.sqrt(len(vector)))
+    return HaarCoefficients(smooth=smooth, details=details)
+
+
+def inverse_haar_transform(coefficients: HaarCoefficients) -> np.ndarray:
+    """Invert the DHT back to the original length-``D`` vector."""
+    domain_size = coefficients.domain_size
+    height = coefficients.height
+    sums = np.array([coefficients.smooth * math.sqrt(domain_size)])
+    for j in range(height, 0, -1):
+        detail = np.asarray(coefficients.details[j - 1], dtype=np.float64)
+        if len(detail) != len(sums):
+            raise ValueError(
+                f"detail level {j} has length {len(detail)}, expected {len(sums)}"
+            )
+        scaled = detail * (2.0 ** (j / 2.0))
+        left = (sums + scaled) / 2.0
+        right = (sums - scaled) / 2.0
+        expanded = np.empty(2 * len(sums))
+        expanded[0::2] = left
+        expanded[1::2] = right
+        sums = expanded
+    return sums
+
+
+def haar_matrix(domain_size: int) -> np.ndarray:
+    """The ``D x D`` reconstruction matrix of the paper's Figure 3.
+
+    Row ``z`` contains the weights such that
+    ``f_z = haar_matrix(D)[z] @ coefficients.as_flat_array()``.
+    """
+    height = _check_length(domain_size)
+    matrix = np.zeros((domain_size, domain_size))
+    matrix[:, 0] = 1.0 / math.sqrt(domain_size)
+    column = 1
+    for j in range(height, 0, -1):
+        num_nodes = domain_size // (2**j)
+        span = 2**j
+        for node in range(num_nodes):
+            start = node * span
+            half = span // 2
+            weight = 1.0 / (2.0 ** (j / 2.0))
+            matrix[start : start + half, column] = weight
+            matrix[start + half : start + span, column] = -weight
+            column += 1
+    return matrix
+
+
+def leaf_membership(items: np.ndarray, height_j: int) -> tuple:
+    """Ancestor node index and sign of each item at detail height ``j``.
+
+    ``sign`` is ``+1`` when the item falls in the left half of its ancestor's
+    interval and ``-1`` otherwise -- the per-user contribution to the Haar
+    coefficient (before the ``2^{j/2}`` scaling).
+    """
+    if height_j < 1:
+        raise ValueError(f"detail height must be >= 1, got {height_j}")
+    items = np.asarray(items, dtype=np.int64)
+    span = 2**height_j
+    nodes = items // span
+    in_left = (items % span) < (span // 2)
+    signs = np.where(in_left, 1.0, -1.0)
+    return nodes, signs
+
+
+def range_coefficient_weights(
+    left: int, right: int, domain_size: int
+) -> HaarCoefficients:
+    """Weights to combine Haar coefficients into the answer of ``[left, right]``.
+
+    The answer to a range query is the inner product of these weights with
+    the coefficient estimates: the smooth coefficient receives weight
+    ``r / sqrt(D)`` and a detail node at height ``j`` receives
+    ``(overlap_left - overlap_right) / 2^{j/2}`` where the overlaps count how
+    many of the range's items fall in the node's left/right halves.  Only
+    nodes cut by the range carry non-zero weight (at most two per level), so
+    this gives the ``O(log D)`` evaluation path of Section 4.6.
+    """
+    height = _check_length(domain_size)
+    if left < 0 or right < left or right >= domain_size:
+        raise ValueError(f"invalid range [{left}, {right}] for domain {domain_size}")
+    length = right - left + 1
+    smooth_weight = length / math.sqrt(domain_size)
+    details: List[np.ndarray] = []
+    for j in range(1, height + 1):
+        span = 2**j
+        half = span // 2
+        num_nodes = domain_size // span
+        weights = np.zeros(num_nodes)
+        first_node = left // span
+        last_node = right // span
+        for node in (first_node, last_node):
+            if node < first_node or node > last_node:
+                continue
+            start = node * span
+            # Overlap of the range with the node's left and right halves.
+            overlap_left = max(0, min(right, start + half - 1) - max(left, start) + 1)
+            overlap_right = max(0, min(right, start + span - 1) - max(left, start + half) + 1)
+            weights[node] = (overlap_left - overlap_right) / (2.0 ** (j / 2.0))
+        details.append(weights)
+    return HaarCoefficients(smooth=smooth_weight, details=details)
+
+
+def evaluate_range_from_coefficients(
+    coefficients: HaarCoefficients, left: int, right: int
+) -> float:
+    """Answer a range query directly from (estimated) Haar coefficients."""
+    weights = range_coefficient_weights(left, right, coefficients.domain_size)
+    answer = weights.smooth * coefficients.smooth
+    for weight_level, coeff_level in zip(weights.details, coefficients.details):
+        answer += float(np.dot(weight_level, coeff_level))
+    return answer

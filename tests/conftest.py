@@ -1,0 +1,37 @@
+"""Shared fixtures for the test-suite.
+
+All randomized tests use fixed seeds so the suite is deterministic, and all
+accuracy assertions use tolerances that are several standard deviations wide
+for the chosen population sizes so that the (seeded) noise cannot flip them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import cauchy_population, zipf_population
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cauchy():
+    """A small Cauchy population (D = 64) for fast end-to-end tests."""
+    return cauchy_population(domain_size=64, n_users=20_000, center_fraction=0.4, rng=7)
+
+
+@pytest.fixture
+def medium_cauchy():
+    """A medium Cauchy population (D = 256) for accuracy tests."""
+    return cauchy_population(domain_size=256, n_users=60_000, center_fraction=0.4, rng=11)
+
+
+@pytest.fixture
+def small_zipf():
+    """A skewed Zipf population (D = 128)."""
+    return zipf_population(domain_size=128, n_users=30_000, exponent=1.3, rng=13)

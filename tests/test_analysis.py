@@ -1,0 +1,165 @@
+"""Tests for the analytical variance formulas, optimal B and error metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RepeatedMeasurement,
+    branching_gradient_with_consistency,
+    branching_gradient_without_consistency,
+    consistency_node_variance_factor,
+    flat_average_error,
+    flat_range_variance,
+    frequency_oracle_variance,
+    haar_range_variance,
+    hierarchical_average_error,
+    hierarchical_range_variance,
+    max_absolute_error,
+    mean_absolute_error,
+    mean_squared_error,
+    mse_by_group,
+    optimal_branching_factor,
+    prefix_variance,
+    recommended_power_of_two,
+    scaled_for_presentation,
+    squared_errors,
+    summarize_repetitions,
+    variance_bound_factor,
+)
+
+
+class TestVarianceFormulas:
+    def test_frequency_oracle_variance(self):
+        eps, n = 1.1, 10**5
+        expected = 4 * math.exp(eps) / (n * (math.exp(eps) - 1) ** 2)
+        assert frequency_oracle_variance(eps, n) == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            frequency_oracle_variance(eps, 0)
+
+    def test_flat_variance_linear_in_r(self):
+        assert flat_range_variance(1.1, 10**5, 50) == pytest.approx(
+            50 * frequency_oracle_variance(1.1, 10**5)
+        )
+
+    def test_flat_average_error(self):
+        assert flat_average_error(1.1, 10**5, 1024) == pytest.approx(
+            1026 * frequency_oracle_variance(1.1, 10**5) / 3
+        )
+
+    def test_hierarchical_variance_beats_flat_for_long_ranges(self):
+        eps, n, domain = 1.1, 10**6, 2**16
+        long_range = domain // 2
+        hier = hierarchical_range_variance(eps, n, domain, 4, long_range, consistency=True)
+        flat = flat_range_variance(eps, n, long_range)
+        assert hier < flat
+
+    def test_flat_beats_hierarchical_for_point_queries(self):
+        eps, n, domain = 1.1, 10**6, 2**16
+        hier = hierarchical_range_variance(eps, n, domain, 4, 1)
+        flat = flat_range_variance(eps, n, 1)
+        assert flat < hier
+
+    def test_consistency_reduces_hierarchical_bound(self):
+        args = (1.1, 10**5, 2**12, 8, 500)
+        assert hierarchical_range_variance(*args, consistency=True) < (
+            hierarchical_range_variance(*args, consistency=False)
+        )
+
+    def test_haar_variance_matches_eq3(self):
+        eps, n, domain = 1.1, 10**5, 2**10
+        expected = 0.5 * 10**2 * frequency_oracle_variance(eps, n)
+        assert haar_range_variance(eps, n, domain) == pytest.approx(expected)
+
+    def test_haar_comparable_to_consistent_hh_for_long_ranges(self):
+        """Eq. (2) vs Eq. (3): the two bounds approach each other as r -> D."""
+        eps, n, domain = 1.1, 10**6, 2**16
+        haar = haar_range_variance(eps, n, domain)
+        hh8 = hierarchical_range_variance(eps, n, domain, 8, domain - 1, consistency=True)
+        assert 0.2 < haar / hh8 < 5.0
+
+    def test_hierarchical_average_error_positive_and_increasing_in_domain(self):
+        small = hierarchical_average_error(1.1, 10**5, 2**8, 4)
+        large = hierarchical_average_error(1.1, 10**5, 2**16, 4)
+        assert 0 < small < large
+
+    def test_prefix_variance_halves(self):
+        assert prefix_variance(2.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            prefix_variance(-1.0)
+
+    def test_consistency_node_factor(self):
+        assert consistency_node_variance_factor(4) == pytest.approx(0.8)
+
+
+class TestOptimalBranching:
+    def test_without_consistency_near_4_9(self):
+        optimum = optimal_branching_factor(consistency=False)
+        assert optimum == pytest.approx(4.92, abs=0.05)
+        assert branching_gradient_without_consistency(optimum) == pytest.approx(0.0, abs=1e-6)
+
+    def test_with_consistency_near_9_2(self):
+        optimum = optimal_branching_factor(consistency=True)
+        assert optimum == pytest.approx(9.18, abs=0.05)
+        assert branching_gradient_with_consistency(optimum) == pytest.approx(0.0, abs=1e-6)
+
+    def test_recommended_powers_of_two(self):
+        assert recommended_power_of_two(consistency=False) == 4
+        assert recommended_power_of_two(consistency=True) == 8
+
+    def test_bound_factor_minimised_near_optimum(self):
+        for consistency in (False, True):
+            optimum = optimal_branching_factor(consistency)
+            near = variance_bound_factor(int(round(optimum)), consistency)
+            assert near <= variance_bound_factor(2, consistency)
+            assert near <= variance_bound_factor(64, consistency)
+
+    def test_bound_factor_validation(self):
+        with pytest.raises(ValueError):
+            variance_bound_factor(1)
+
+
+class TestMetrics:
+    def test_squared_and_absolute_errors(self):
+        estimates = np.array([1.0, 2.0, 3.0])
+        truths = np.array([1.0, 1.0, 5.0])
+        assert np.allclose(squared_errors(estimates, truths), [0.0, 1.0, 4.0])
+        assert mean_squared_error(estimates, truths) == pytest.approx(5 / 3)
+        assert mean_absolute_error(estimates, truths) == pytest.approx(1.0)
+        assert max_absolute_error(estimates, truths) == pytest.approx(2.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.array([]), np.array([]))
+
+    def test_summarize_repetitions(self):
+        summary = summarize_repetitions([1.0, 2.0, 3.0])
+        assert isinstance(summary, RepeatedMeasurement)
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.count == 3
+
+    def test_summarize_single_value(self):
+        summary = summarize_repetitions([5.0])
+        assert summary.std == 0.0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_repetitions([])
+
+    def test_scaling(self):
+        assert scaled_for_presentation(0.0012) == pytest.approx(1.2)
+
+    def test_mse_by_group(self):
+        estimates = {1: np.array([1.0, 2.0]), 2: np.array([0.0])}
+        truths = {1: np.array([1.0, 1.0]), 2: np.array([2.0])}
+        grouped = mse_by_group(estimates, truths)
+        assert grouped[1] == pytest.approx(0.5)
+        assert grouped[2] == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            mse_by_group(estimates, {1: np.array([1.0, 1.0])})

@@ -1,0 +1,90 @@
+"""Tests for B-adic intervals and the canonical range decomposition."""
+
+import pytest
+
+from repro.core.exceptions import InvalidRangeError
+from repro.hierarchy.badic import (
+    badic_decomposition,
+    decomposition_size_bound,
+    is_badic,
+    worst_case_nodes_per_level,
+)
+
+
+class TestIsBadic:
+    def test_dyadic_examples(self):
+        assert is_badic(0, 4, 2)
+        assert is_badic(4, 4, 2)
+        assert not is_badic(2, 4, 2)
+        assert is_badic(6, 2, 2)
+        assert not is_badic(3, 2, 2)
+
+    def test_higher_branching(self):
+        assert is_badic(0, 16, 4)
+        assert is_badic(16, 16, 4)
+        assert not is_badic(8, 16, 4)
+        assert not is_badic(0, 8, 4)  # 8 is not a power of 4
+
+    def test_degenerate(self):
+        assert is_badic(5, 1, 2)
+        assert not is_badic(-1, 2, 2)
+        assert not is_badic(0, 0, 2)
+
+
+class TestDecomposition:
+    def test_paper_example(self):
+        """D=32, B=2: [2, 22] = [2,3] u [4,7] u [8,15] u [16,19] u [20,21] u [22,22]."""
+        blocks = badic_decomposition(2, 22, 2)
+        intervals = [(block.start, block.end) for block in blocks]
+        assert intervals == [(2, 3), (4, 7), (8, 15), (16, 19), (20, 21), (22, 22)]
+
+    def test_blocks_cover_range_exactly(self):
+        blocks = badic_decomposition(5, 200, 4)
+        covered = []
+        for block in blocks:
+            covered.extend(range(block.start, block.end + 1))
+        assert covered == list(range(5, 201))
+
+    def test_blocks_are_badic(self):
+        for branching in (2, 3, 4, 8):
+            blocks = badic_decomposition(7, 90, branching)
+            for block in blocks:
+                assert is_badic(block.start, block.length, branching)
+                assert branching**block.level_from_leaves == block.length
+
+    def test_single_point(self):
+        blocks = badic_decomposition(9, 9, 2)
+        assert len(blocks) == 1
+        assert blocks[0].length == 1
+
+    def test_full_aligned_range(self):
+        blocks = badic_decomposition(0, 63, 2)
+        assert len(blocks) == 1
+        assert blocks[0].length == 64
+
+    def test_size_respects_fact3_bound(self):
+        for branching in (2, 4, 8, 16):
+            for left, right in [(0, 99), (3, 77), (13, 500), (1, 1022)]:
+                blocks = badic_decomposition(left, right, branching)
+                bound = decomposition_size_bound(right - left + 1, branching)
+                assert len(blocks) <= bound
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidRangeError):
+            badic_decomposition(5, 4, 2)
+        with pytest.raises(InvalidRangeError):
+            badic_decomposition(-1, 4, 2)
+        with pytest.raises(ValueError):
+            badic_decomposition(0, 4, 1)
+
+
+class TestBounds:
+    def test_worst_case_nodes_per_level(self):
+        assert worst_case_nodes_per_level(2) == 2
+        assert worst_case_nodes_per_level(16) == 30
+
+    def test_decomposition_size_bound_validation(self):
+        with pytest.raises(ValueError):
+            decomposition_size_bound(0, 2)
+        with pytest.raises(ValueError):
+            decomposition_size_bound(4, 1)

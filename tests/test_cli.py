@@ -1,0 +1,211 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import (
+    main,
+    parse_quantiles,
+    parse_ranges,
+    read_items,
+    write_items,
+)
+
+
+class TestParsers:
+    def test_parse_ranges(self):
+        assert parse_ranges("0:10,20:30") == [(0, 10), (20, 30)]
+        assert parse_ranges("") == []
+        assert parse_ranges(" 5:5 ") == [(5, 5)]
+
+    def test_parse_ranges_errors(self):
+        with pytest.raises(ValueError):
+            parse_ranges("10:5")
+        with pytest.raises(ValueError):
+            parse_ranges("abc")
+
+    def test_parse_quantiles(self):
+        assert parse_quantiles("0.5, 0.9") == [0.5, 0.9]
+        assert parse_quantiles("") == []
+        with pytest.raises(ValueError):
+            parse_quantiles("1.5")
+
+
+class TestCsvIo:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "items.csv"
+        items = np.array([1, 5, 3, 0, 7])
+        write_items(str(path), items)
+        assert np.array_equal(read_items(str(path)), items)
+
+    def test_header_and_column(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("name,value\na,3\nb,9\n")
+        values = read_items(str(path), column=1, has_header=True)
+        assert list(values) == [3, 9]
+
+    def test_bad_file(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x\n")
+        with pytest.raises(ValueError):
+            read_items(str(path))
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            read_items(str(empty))
+
+
+class TestCommands:
+    def test_generate_then_run(self, tmp_path, capsys):
+        data_path = tmp_path / "users.csv"
+        exit_code = main(
+            [
+                "generate",
+                "--distribution",
+                "cauchy",
+                "--domain-size",
+                "128",
+                "--n-users",
+                "20000",
+                "--output",
+                str(data_path),
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        assert data_path.exists()
+
+        out_path = tmp_path / "answers.json"
+        exit_code = main(
+            [
+                "run",
+                "--input",
+                str(data_path),
+                "--domain-size",
+                "128",
+                "--epsilon",
+                "2.0",
+                "--method",
+                "hh",
+                "--branching",
+                "4",
+                "--ranges",
+                "0:63,32:95",
+                "--quantiles",
+                "0.5",
+                "--seed",
+                "2",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        result = json.loads(out_path.read_text())
+        assert result["method"] == "TreeOUECI"
+        assert set(result["ranges"]) == {"0:63", "32:95"}
+        # Sanity: compare against the exact answer from the generated file.
+        items = read_items(str(data_path))
+        exact = np.mean((items >= 0) & (items <= 63))
+        assert result["ranges"]["0:63"] == pytest.approx(exact, abs=0.1)
+        assert 0 <= result["quantiles"]["0.5"] < 128
+
+    def test_run_prints_json_to_stdout(self, tmp_path, capsys):
+        data_path = tmp_path / "users.csv"
+        write_items(str(data_path), np.random.default_rng(0).integers(0, 64, size=5000))
+        exit_code = main(
+            [
+                "run",
+                "--input",
+                str(data_path),
+                "--domain-size",
+                "64",
+                "--method",
+                "haar",
+                "--ranges",
+                "0:31",
+                "--seed",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json.loads(captured.out)
+        assert payload["method"] == "HaarHRR"
+        assert payload["ranges"]["0:31"] == pytest.approx(0.5, abs=0.15)
+
+    def test_run_rejects_out_of_domain_values(self, tmp_path):
+        data_path = tmp_path / "users.csv"
+        write_items(str(data_path), np.array([5, 600]))
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--input",
+                    str(data_path),
+                    "--domain-size",
+                    "64",
+                    "--ranges",
+                    "0:10",
+                ]
+            )
+
+    def test_compare_reports_all_methods(self, tmp_path, capsys):
+        data_path = tmp_path / "users.csv"
+        write_items(str(data_path), np.random.default_rng(1).integers(0, 64, size=20000))
+        exit_code = main(
+            [
+                "compare",
+                "--input",
+                str(data_path),
+                "--domain-size",
+                "64",
+                "--methods",
+                "flat,hh,haar",
+                "--ranges",
+                "0:31,8:56",
+                "--seed",
+                "4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        results = json.loads(captured.out)
+        assert set(results) == {"FlatOUE", "TreeOUECI", "HaarHRR"}
+        assert all(value >= 0 for value in results.values())
+
+    def test_compare_requires_ranges(self, tmp_path):
+        data_path = tmp_path / "users.csv"
+        write_items(str(data_path), np.arange(10))
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compare",
+                    "--input",
+                    str(data_path),
+                    "--domain-size",
+                    "16",
+                ]
+            )
+
+    def test_dump_frequencies(self, tmp_path, capsys):
+        data_path = tmp_path / "users.csv"
+        write_items(str(data_path), np.random.default_rng(2).integers(0, 32, size=5000))
+        main(
+            [
+                "run",
+                "--input",
+                str(data_path),
+                "--domain-size",
+                "32",
+                "--method",
+                "flat",
+                "--dump-frequencies",
+                "--seed",
+                "5",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["frequencies"]) == 32

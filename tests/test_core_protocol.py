@@ -1,0 +1,87 @@
+"""Tests for the abstract estimator/protocol interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidRangeError
+from repro.core.protocol import RangeQueryEstimator
+from repro.core.types import Domain, RangeSpec
+
+
+class _FixedEstimator(RangeQueryEstimator):
+    """An estimator wrapping a fixed frequency vector (no privacy)."""
+
+    def __init__(self, frequencies):
+        super().__init__(Domain(len(frequencies)))
+        self._frequencies = np.asarray(frequencies, dtype=np.float64)
+
+    def estimated_frequencies(self):
+        return self._frequencies.copy()
+
+
+class TestEstimatorInterface:
+    def setup_method(self):
+        self.freqs = np.array([0.1, 0.2, 0.05, 0.15, 0.3, 0.05, 0.1, 0.05])
+        self.estimator = _FixedEstimator(self.freqs)
+
+    def test_point_query(self):
+        assert self.estimator.point_query(4) == pytest.approx(0.3)
+        with pytest.raises(InvalidRangeError):
+            self.estimator.point_query(8)
+        with pytest.raises(InvalidRangeError):
+            self.estimator.point_query(-1)
+
+    def test_range_query_with_tuple_and_spec(self):
+        assert self.estimator.range_query((1, 3)) == pytest.approx(0.4)
+        assert self.estimator.range_query(RangeSpec(1, 3)) == pytest.approx(0.4)
+
+    def test_range_query_bounds(self):
+        with pytest.raises(InvalidRangeError):
+            self.estimator.range_query((0, 8))
+
+    def test_batch_queries(self):
+        answers = self.estimator.range_queries([(0, 0), (0, 7), (4, 6)])
+        assert np.allclose(answers, [0.1, 1.0, 0.45])
+
+    def test_batch_queries_empty(self):
+        assert len(self.estimator.range_queries([])) == 0
+
+    def test_prefix_and_cdf(self):
+        assert self.estimator.prefix_query(2) == pytest.approx(0.35)
+        cdf = self.estimator.cdf()
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_quantiles(self):
+        assert self.estimator.quantile_query(0.0) == 0
+        assert self.estimator.quantile_query(1.0) == 7
+        median = self.estimator.quantile_query(0.5)
+        assert self.estimator.prefix_query(median) >= 0.5
+        assert self.estimator.quantile_queries([0.25, 0.75]) == [
+            self.estimator.quantile_query(0.25),
+            self.estimator.quantile_query(0.75),
+        ]
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            self.estimator.quantile_query(2.0)
+
+    def test_cache_invalidation(self):
+        _ = self.estimator.range_query((0, 3))
+        self.estimator._frequencies = np.roll(self.freqs, 1)
+        # Cached prefix sums still reflect the old vector until invalidated.
+        self.estimator.invalidate_cache()
+        assert self.estimator.range_query((0, 0)) == pytest.approx(0.05)
+
+    def test_domain_accessors(self):
+        assert self.estimator.domain_size == 8
+        assert self.estimator.domain.size == 8
+
+
+class TestProtocolDescribe:
+    def test_describe_mentions_parameters(self):
+        from repro.flat import FlatRangeQuery
+
+        protocol = FlatRangeQuery(128, 0.5)
+        description = protocol.describe()
+        assert "128" in description and "0.5" in description

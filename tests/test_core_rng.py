@@ -1,0 +1,48 @@
+"""Tests for RNG coercion and spawning."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=5)
+        b = ensure_rng(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = ensure_rng(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_spawn_count(self):
+        children = spawn_rngs(0, 5)
+        assert len(children) == 5
+
+    def test_spawn_deterministic(self):
+        first = [g.integers(0, 10**6) for g in spawn_rngs(3, 4)]
+        second = [g.integers(0, 10**6) for g in spawn_rngs(3, 4)]
+        assert first == second
+
+    def test_spawn_streams_differ(self):
+        children = spawn_rngs(0, 3)
+        draws = [g.integers(0, 2**40) for g in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,146 @@
+"""Tests for the small value types in ``repro.core.types``."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    InvalidDomainError,
+    InvalidPrivacyBudgetError,
+    InvalidRangeError,
+)
+from repro.core.types import (
+    Domain,
+    PrivacyParams,
+    RangeSpec,
+    is_power_of,
+    next_power_of,
+)
+
+
+class TestPowerHelpers:
+    def test_next_power_of_two(self):
+        assert next_power_of(2, 1) == 1
+        assert next_power_of(2, 2) == 2
+        assert next_power_of(2, 3) == 4
+        assert next_power_of(2, 1000) == 1024
+
+    def test_next_power_of_larger_base(self):
+        assert next_power_of(4, 17) == 64
+        assert next_power_of(16, 16) == 16
+        assert next_power_of(16, 17) == 256
+
+    def test_next_power_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            next_power_of(1, 4)
+        with pytest.raises(ValueError):
+            next_power_of(2, 0)
+
+    def test_is_power_of(self):
+        assert is_power_of(2, 1)
+        assert is_power_of(2, 64)
+        assert not is_power_of(2, 65)
+        assert is_power_of(4, 64)
+        assert not is_power_of(4, 32)
+        assert not is_power_of(2, 0)
+
+
+class TestDomain:
+    def test_valid_domain(self):
+        domain = Domain(16)
+        assert domain.size == 16
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "16"])
+    def test_invalid_domain_sizes(self, bad):
+        with pytest.raises(InvalidDomainError):
+            Domain(bad)
+
+    def test_validate_items_accepts_in_range(self):
+        domain = Domain(8)
+        items = domain.validate_items(np.array([0, 3, 7]))
+        assert items.dtype == np.int64
+        assert list(items) == [0, 3, 7]
+
+    def test_validate_items_rejects_out_of_range(self):
+        domain = Domain(8)
+        with pytest.raises(InvalidDomainError):
+            domain.validate_items(np.array([0, 8]))
+        with pytest.raises(InvalidDomainError):
+            domain.validate_items(np.array([-1, 2]))
+
+    def test_validate_items_rejects_non_integers(self):
+        domain = Domain(8)
+        with pytest.raises(InvalidDomainError):
+            domain.validate_items(np.array([0.5, 1.2]))
+
+    def test_validate_items_accepts_integral_floats(self):
+        domain = Domain(8)
+        items = domain.validate_items(np.array([1.0, 2.0]))
+        assert list(items) == [1, 2]
+
+    def test_validate_items_rejects_2d(self):
+        with pytest.raises(InvalidDomainError):
+            Domain(8).validate_items(np.zeros((2, 2)))
+
+    def test_histogram_and_frequencies(self):
+        domain = Domain(4)
+        items = np.array([0, 0, 1, 3])
+        counts = domain.histogram(items)
+        assert list(counts) == [2, 1, 0, 1]
+        freqs = domain.frequencies(items)
+        assert freqs.sum() == pytest.approx(1.0)
+        assert freqs[0] == pytest.approx(0.5)
+
+    def test_padded_size(self):
+        assert Domain(10).padded_size(2) == 16
+        assert Domain(10).padded_size(4) == 16
+        assert Domain(17).padded_size(4) == 64
+
+
+class TestPrivacyParams:
+    def test_derived_quantities(self):
+        params = PrivacyParams(math.log(3.0))
+        assert params.e_eps == pytest.approx(3.0)
+        assert params.keep_probability == pytest.approx(0.75)
+        assert params.flip_probability == pytest.approx(0.25)
+
+    def test_grr_keep_probability(self):
+        params = PrivacyParams(math.log(3.0))
+        assert params.grr_keep_probability(3) == pytest.approx(3.0 / 5.0)
+        with pytest.raises(ValueError):
+            params.grr_keep_probability(1)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("inf"), float("nan"), "x", True])
+    def test_invalid_epsilon(self, bad):
+        with pytest.raises(InvalidPrivacyBudgetError):
+            PrivacyParams(bad)
+
+
+class TestRangeSpec:
+    def test_length_and_tuple(self):
+        spec = RangeSpec(2, 5)
+        assert spec.length == 4
+        assert spec.as_tuple() == (2, 5)
+
+    def test_point_range(self):
+        assert RangeSpec(3, 3).length == 1
+
+    def test_invalid_ranges(self):
+        with pytest.raises(InvalidRangeError):
+            RangeSpec(5, 2)
+        with pytest.raises(InvalidRangeError):
+            RangeSpec(-1, 2)
+
+    def test_validate_for_domain(self):
+        spec = RangeSpec(0, 7)
+        assert spec.validate_for_domain(8) is spec
+        with pytest.raises(InvalidRangeError):
+            spec.validate_for_domain(7)
+
+    def test_true_answer(self):
+        freqs = np.array([0.1, 0.2, 0.3, 0.4])
+        assert RangeSpec(1, 2).true_answer(freqs) == pytest.approx(0.5)
+        assert RangeSpec(0, 3).true_answer(freqs) == pytest.approx(1.0)
+        with pytest.raises(InvalidRangeError):
+            RangeSpec(0, 4).true_answer(freqs)

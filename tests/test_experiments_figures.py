@@ -1,0 +1,171 @@
+"""Smoke + shape tests for every figure reproduction driver.
+
+These run the actual experiment code end-to-end at a deliberately tiny scale
+and check that the outputs have the right structure and obey the paper's
+coarse qualitative claims where those are robust even at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_consistency_ablation,
+    run_prefix_vs_range,
+    run_sampling_vs_splitting,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure4 import best_method_per_cell, format_figure4, run_figure4
+from repro.experiments.figure5 import (
+    format_epsilon_sweep,
+    run_figure5,
+    winners_by_epsilon,
+)
+from repro.experiments.figure6 import (
+    format_figure6,
+    format_prefix_improvement,
+    prefix_improvement,
+    run_figure6,
+)
+from repro.experiments.figure7 import format_figure7, run_figure7
+from repro.experiments.figure8 import format_figure8, max_relative_spread, run_figure8
+from repro.experiments.figure9 import format_figure9, max_quantile_error, run_figure9
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+TINY = ExperimentConfig(
+    domain_sizes=(64,),
+    n_users=2**14,
+    epsilon=1.1,
+    epsilons=(0.4, 1.1),
+    center_fractions=(0.2, 0.6),
+    repetitions=1,
+    branching_factors=(2, 4),
+    num_start_points=6,
+    exhaustive_domain_limit=64,
+    centralized_domain_sizes=(32, 64),
+    seed=7,
+)
+
+
+class TestFigure4:
+    def test_runs_and_formats(self):
+        cells = run_figure4(TINY, rng=1)
+        assert cells
+        methods = {cell.method for cell in cells}
+        assert "FlatOUE" in methods and "HaarHRR" in methods
+        assert any(method.startswith("TreeOUE") for method in methods)
+        text = format_figure4(cells)
+        assert "Figure 4" in text and "HaarHRR" in text
+
+    def test_flat_not_best_for_long_ranges(self):
+        cells = run_figure4(TINY, rng=2)
+        best = best_method_per_cell(cells)
+        long_range = max(length for (_, length) in best)
+        assert best[(64, long_range)] != "FlatOUE"
+
+
+class TestFigures5And6:
+    def test_epsilon_sweep_structure(self):
+        cells = run_figure5(TINY, rng=3)
+        assert {cell.method for cell in cells} == {"HHc2", "HHc4", "HHc16", "HaarHRR"}
+        assert {cell.epsilon for cell in cells} == {0.4, 1.1}
+        text = format_epsilon_sweep(cells, "Figure 5")
+        assert "MSE x1000" in text
+
+    def test_error_decreases_with_epsilon(self):
+        cells = run_figure5(TINY, rng=4)
+        for method in ("HHc4", "HaarHRR"):
+            low = next(c for c in cells if c.method == method and c.epsilon == 0.4)
+            high = next(c for c in cells if c.method == method and c.epsilon == 1.1)
+            assert high.result.mse_mean < low.result.mse_mean
+
+    def test_winner_map_covers_all_cells(self):
+        cells = run_figure5(TINY, rng=5)
+        winners = winners_by_epsilon(cells)
+        assert set(winners) == {(64, 0.4), (64, 1.1)}
+
+    def test_prefix_sweep_and_improvement(self):
+        range_cells = run_figure5(TINY, rng=6)
+        prefix_cells = run_figure6(TINY, rng=6)
+        assert len(prefix_cells) == len(range_cells)
+        ratios = prefix_improvement(range_cells, prefix_cells)
+        assert ratios
+        # Prefixes should not be dramatically harder than arbitrary ranges.
+        assert np.median(list(ratios.values())) < 1.6
+        assert "prefix/range" in format_prefix_improvement(ratios)
+        assert "Figure 6" in format_figure6(prefix_cells)
+
+
+class TestFigure7:
+    def test_rows_and_ratios(self):
+        rows = run_figure7(TINY, rng=7)
+        assert [row.domain_size for row in rows] == [32, 64]
+        for row in rows:
+            assert row.central_wavelet_mse > 0
+            assert row.central_hh16_mse > 0
+            assert row.local_ratio_haar_vs_hh > 0
+        assert "Figure 7" in format_figure7(rows)
+
+    def test_centralized_error_below_local(self):
+        rows = run_figure7(TINY, rng=8)
+        for row in rows:
+            assert row.central_hh16_mse < row.local_hh4_mse
+
+
+class TestFigure8:
+    def test_structure_and_stability(self):
+        cells = run_figure8(TINY, rng=9)
+        assert {cell.method for cell in cells} == {"HHc4", "HaarHRR"}
+        assert {cell.center_fraction for cell in cells} == {0.2, 0.6}
+        assert max_relative_spread(cells) < 5.0
+        assert "Figure 8" in format_figure8(cells)
+
+
+class TestFigure9:
+    def test_quantile_errors_small(self):
+        cells = run_figure9(TINY, rng=10)
+        assert {cell.method for cell in cells} == {"HHc2", "HaarHRR"}
+        assert len(cells) == 2 * 2 * 9
+        assert max_quantile_error(cells) < 0.25
+        assert "Figure 9" in format_figure9(cells)
+
+
+class TestAblations:
+    def test_sampling_beats_splitting(self):
+        rows = run_sampling_vs_splitting(TINY, rng=11)
+        sample = next(r for r in rows if r.label.endswith("sample"))
+        split = next(r for r in rows if r.label.endswith("split"))
+        assert sample.mse < split.mse
+
+    def test_consistency_rows_present(self):
+        rows = run_consistency_ablation(TINY, rng=12)
+        labels = {row.label for row in rows}
+        assert any("CI" in label for label in labels)
+        assert any("CI" not in label for label in labels)
+        assert "variant" in format_ablation(rows, "A2")
+
+    def test_prefix_vs_range_rows(self):
+        rows = run_prefix_vs_range(TINY, rng=13)
+        assert any(row.label.endswith("prefix") for row in rows)
+        assert any(row.label.endswith("range") for row in rows)
+
+
+class TestCli:
+    def test_experiment_registry(self):
+        assert set(EXPERIMENTS) == {
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "ablations",
+        }
+
+    def test_main_runs_figure5_smoke(self, capsys):
+        exit_code = main(["figure5", "--preset", "smoke", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "figure5" in captured.out
+        assert "MSE x1000" in captured.out

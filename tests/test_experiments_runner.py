@@ -1,0 +1,140 @@
+"""Tests for the experiment harness: configs, method naming and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    PRESETS,
+    WorkloadEvaluation,
+    build_prefix_workload,
+    build_range_workload,
+    cauchy_counts,
+    evaluate_method,
+    format_table,
+    get_config,
+    make_method,
+)
+from repro.flat import FlatRangeQuery
+from repro.hierarchy import HierarchicalHistogram
+from repro.wavelet import HaarHRR
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        assert {"smoke", "default", "paper"} <= set(PRESETS)
+
+    def test_get_config(self):
+        assert get_config("smoke").repetitions == 1
+        with pytest.raises(KeyError):
+            get_config("gigantic")
+
+    def test_scaled_override(self):
+        config = get_config("smoke").scaled(n_users=123, epsilon=0.7)
+        assert config.n_users == 123
+        assert config.epsilon == 0.7
+        # The original preset is untouched (frozen dataclass copy).
+        assert get_config("smoke").n_users != 123
+
+
+class TestMethodNaming:
+    @pytest.mark.parametrize(
+        "name, cls, checks",
+        [
+            ("FlatOUE", FlatRangeQuery, {"oracle_name": "oue"}),
+            ("HHc4", HierarchicalHistogram, {"branching": 4, "consistency": True}),
+            ("HH16", HierarchicalHistogram, {"branching": 16, "consistency": False}),
+            ("HaarHRR", HaarHRR, {}),
+            ("TreeHRRCI", HierarchicalHistogram, {"oracle_name": "hrr", "consistency": True}),
+            ("TreeOLH", HierarchicalHistogram, {"oracle_name": "olh", "consistency": False}),
+        ],
+    )
+    def test_make_method(self, name, cls, checks):
+        protocol = make_method(name, 64, 1.1)
+        assert isinstance(protocol, cls)
+        for attribute, expected in checks.items():
+            assert getattr(protocol, attribute) == expected
+
+    def test_tree_names_use_supplied_branching(self):
+        protocol = make_method("TreeOUECI", 64, 1.1, branching=8)
+        assert protocol.branching == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_method("MadeUp", 64, 1.1)
+
+    def test_names_are_case_insensitive(self):
+        assert isinstance(make_method("haarhrr", 64, 1.1), HaarHRR)
+
+
+class TestWorkloads:
+    def test_small_domains_are_exhaustive(self):
+        queries = build_range_workload(16, exhaustive_limit=32, num_start_points=4)
+        assert len(queries) == 16 * 17 // 2
+
+    def test_large_domains_are_sampled(self):
+        queries = build_range_workload(4096, exhaustive_limit=512, num_start_points=8)
+        assert 0 < len(queries) < 4096 * 10
+
+    def test_prefix_workload(self):
+        assert len(build_prefix_workload(100)) == 100
+
+    def test_workload_evaluation_truths(self):
+        freqs = np.array([0.25, 0.25, 0.25, 0.25])
+        queries = build_range_workload(4, exhaustive_limit=8, num_start_points=2)
+        workload = WorkloadEvaluation.from_frequencies(queries, freqs)
+        assert len(workload.truths) == len(workload.queries)
+        assert workload.truths.max() <= 1.0 + 1e-9
+
+
+class TestEvaluation:
+    def test_evaluate_method_simulated(self):
+        counts = cauchy_counts(64, 20_000, 0.4, rng=0)
+        freqs = counts / counts.sum()
+        queries = build_range_workload(64, 128, 8)
+        workload = WorkloadEvaluation.from_frequencies(queries, freqs)
+        protocol = make_method("HHc4", 64, 1.1)
+        result = evaluate_method(protocol, counts, workload, repetitions=2, rng=1)
+        assert result.method == "TreeOUECI"
+        assert result.repetitions == 2
+        assert 0 < result.mse_mean < 0.1
+        assert result.scaled() == pytest.approx(result.mse_mean * 1000)
+
+    def test_evaluate_method_per_user(self):
+        counts = cauchy_counts(64, 5_000, 0.4, rng=0)
+        items = np.repeat(np.arange(64), counts.astype(int))
+        freqs = counts / counts.sum()
+        queries = build_range_workload(64, 128, 8)
+        workload = WorkloadEvaluation.from_frequencies(queries, freqs)
+        protocol = make_method("HaarHRR", 64, 1.1)
+        result = evaluate_method(
+            protocol, counts, workload, repetitions=1, rng=1, simulated=False, items=items
+        )
+        assert result.mse_mean > 0
+
+    def test_per_user_requires_items(self):
+        counts = cauchy_counts(64, 1_000, 0.4, rng=0)
+        queries = build_range_workload(64, 128, 8)
+        workload = WorkloadEvaluation.from_frequencies(queries, counts / counts.sum())
+        with pytest.raises(ValueError):
+            evaluate_method(
+                make_method("HHc2", 64, 1.1), counts, workload, 1, rng=0, simulated=False
+            )
+
+    def test_repetitions_validated(self):
+        counts = cauchy_counts(64, 1_000, 0.4, rng=0)
+        queries = build_range_workload(64, 128, 8)
+        workload = WorkloadEvaluation.from_frequencies(queries, counts / counts.sum())
+        with pytest.raises(ValueError):
+            evaluate_method(make_method("HHc2", 64, 1.1), counts, workload, 0, rng=0)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            [("a", 1), ("bbbb", 22)], headers=("name", "value"), title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5

@@ -1,0 +1,75 @@
+"""Tests for the flat range-query baseline (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolUsageError
+from repro.flat import FlatRangeQuery
+from repro.frequency_oracles.base import standard_oracle_variance
+
+
+class TestConfiguration:
+    def test_naming(self):
+        assert FlatRangeQuery(64, 1.0).name == "FlatOUE"
+        assert FlatRangeQuery(64, 1.0, oracle="hrr").name == "FlatHRR"
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("oracle", ["oue", "hrr"])
+    def test_range_estimates_close_to_truth(self, small_cauchy, oracle):
+        protocol = FlatRangeQuery(small_cauchy.domain_size, 2.0, oracle=oracle)
+        estimator = protocol.run(small_cauchy.items, rng=3)
+        truth = small_cauchy.frequencies()
+        assert estimator.range_query((10, 20)) == pytest.approx(
+            truth[10:21].sum(), abs=0.1
+        )
+
+    def test_point_queries_are_accurate(self, small_cauchy):
+        protocol = FlatRangeQuery(small_cauchy.domain_size, 3.0)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=4)
+        truth = small_cauchy.frequencies()
+        mode = int(np.argmax(truth))
+        assert estimator.point_query(mode) == pytest.approx(truth[mode], abs=0.03)
+
+    def test_simulated_unbiased(self, small_cauchy):
+        protocol = FlatRangeQuery(small_cauchy.domain_size, 1.1)
+        truth = small_cauchy.frequencies()[5:30].sum()
+        answers = [
+            protocol.run_simulated(small_cauchy.counts(), rng=seed).range_query((5, 29))
+            for seed in range(12)
+        ]
+        assert np.mean(answers) == pytest.approx(truth, abs=0.06)
+
+    def test_zero_users_rejected(self):
+        protocol = FlatRangeQuery(16, 1.0)
+        with pytest.raises(ProtocolUsageError):
+            protocol.run(np.array([], dtype=int), rng=0)
+        with pytest.raises(ProtocolUsageError):
+            protocol.run_simulated(np.zeros(16), rng=0)
+
+    def test_counts_length_checked(self):
+        with pytest.raises(ValueError):
+            FlatRangeQuery(16, 1.0).run_simulated(np.ones(4), rng=0)
+
+
+class TestTheory:
+    def test_fact1_linear_in_range_length(self):
+        protocol = FlatRangeQuery(1024, 1.1)
+        v1 = protocol.theoretical_range_variance(1, 10**5)
+        v100 = protocol.theoretical_range_variance(100, 10**5)
+        assert v100 / v1 == pytest.approx(100.0)
+        assert v1 == pytest.approx(standard_oracle_variance(1.1) / 10**5)
+
+    def test_lemma42_average_error(self):
+        protocol = FlatRangeQuery(1024, 1.1)
+        expected = (1024 + 2) * standard_oracle_variance(1.1) / (3 * 10**5)
+        assert protocol.average_worst_case_error(10**5) == pytest.approx(expected)
+
+    def test_validation(self):
+        protocol = FlatRangeQuery(64, 1.1)
+        with pytest.raises(ValueError):
+            protocol.theoretical_range_variance(0, 100)
+        with pytest.raises(ValueError):
+            protocol.theoretical_range_variance(65, 100)
+        with pytest.raises(ValueError):
+            protocol.average_worst_case_error(0)

@@ -1,0 +1,127 @@
+"""Tests for the HaarHRR range-query protocol (Section 4.6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ProtocolUsageError
+from repro.wavelet import HaarHRR
+from repro.wavelet.haar import haar_transform
+
+
+class TestConfiguration:
+    def test_padding(self):
+        protocol = HaarHRR(100, 1.0)
+        assert protocol.padded_size == 128
+        assert protocol.height == 7
+
+    def test_domain_of_one_rejected(self):
+        with pytest.raises(ValueError):
+            HaarHRR(1, 1.0)
+
+    def test_level_probabilities_default_uniform(self):
+        protocol = HaarHRR(64, 1.0)
+        assert np.allclose(protocol.level_probabilities, 1.0 / 6.0)
+
+    def test_level_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            HaarHRR(64, 1.0, level_probabilities=[0.5, 0.5])
+
+    def test_name(self):
+        assert HaarHRR(64, 1.0).name == "HaarHRR"
+
+
+class TestEndToEnd:
+    def test_range_estimates_close_to_truth(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 2.0)
+        estimator = protocol.run(small_cauchy.items, rng=3)
+        truth = small_cauchy.frequencies()
+        for left, right in [(0, 63), (10, 40), (5, 5), (32, 60)]:
+            expected = truth[left : right + 1].sum()
+            assert estimator.range_query((left, right)) == pytest.approx(expected, abs=0.12)
+
+    def test_full_domain_range_is_one(self, small_cauchy):
+        """The smooth coefficient is hard-coded, so the full range is exact."""
+        protocol = HaarHRR(small_cauchy.domain_size, 0.5)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=4)
+        assert estimator.range_query((0, small_cauchy.domain_size - 1)) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_simulated_estimates_unbiased(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        truth = small_cauchy.frequencies()[10:41].sum()
+        answers = [
+            protocol.run_simulated(small_cauchy.counts(), rng=seed).range_query((10, 40))
+            for seed in range(12)
+        ]
+        assert np.mean(answers) == pytest.approx(truth, abs=0.05)
+
+    def test_zero_users_rejected(self):
+        protocol = HaarHRR(16, 1.0)
+        with pytest.raises(ProtocolUsageError):
+            protocol.run(np.array([], dtype=int), rng=0)
+        with pytest.raises(ProtocolUsageError):
+            protocol.run_simulated(np.zeros(16), rng=0)
+
+    def test_counts_length_checked(self):
+        with pytest.raises(ValueError):
+            HaarHRR(16, 1.0).run_simulated(np.ones(8), rng=0)
+
+    def test_level_user_counts_partition_population(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run(small_cauchy.items, rng=5)
+        counts = estimator.level_user_counts
+        assert counts[1:].sum() == small_cauchy.n_users
+
+
+class TestEstimator:
+    def test_coefficient_evaluation_matches_prefix_sums(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=6)
+        for query in [(0, 5), (7, 42), (20, 63), (13, 13)]:
+            assert estimator.range_query_from_coefficients(query) == pytest.approx(
+                estimator.range_query(query), abs=1e-9
+            )
+
+    def test_smooth_coefficient_is_exact(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=7)
+        assert estimator.coefficients.smooth == pytest.approx(
+            1.0 / math.sqrt(protocol.padded_size)
+        )
+
+    def test_noiseless_limit_recovers_exact_coefficients(self, small_cauchy):
+        """With a huge epsilon the estimated coefficients converge to exact."""
+        protocol = HaarHRR(small_cauchy.domain_size, 12.0)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=8)
+        exact = haar_transform(small_cauchy.frequencies())
+        estimated = estimator.coefficients
+        for exact_level, estimated_level in zip(exact.details, estimated.details):
+            assert np.allclose(exact_level, estimated_level, atol=0.03)
+
+    def test_estimated_frequencies_sum_to_one(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=9)
+        assert estimator.estimated_frequencies().sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTheory:
+    def test_variance_independent_of_range_length(self):
+        protocol = HaarHRR(1024, 1.1)
+        assert protocol.theoretical_range_variance(2, 10**5) == pytest.approx(
+            protocol.theoretical_range_variance(1000, 10**5)
+        )
+
+    def test_variance_grows_with_log_squared_domain(self):
+        small = HaarHRR(2**8, 1.1).theoretical_range_variance(10, 10**5)
+        large = HaarHRR(2**16, 1.1).theoretical_range_variance(10, 10**5)
+        assert large / small == pytest.approx((16 / 8) ** 2)
+
+    def test_variance_bound_validation(self):
+        protocol = HaarHRR(64, 1.1)
+        with pytest.raises(ValueError):
+            protocol.theoretical_range_variance(0, 100)
+        with pytest.raises(ValueError):
+            protocol.theoretical_range_variance(10, -5)

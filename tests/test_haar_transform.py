@@ -1,0 +1,130 @@
+"""Tests for the Discrete Haar Transform utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.wavelet.haar import (
+    HaarCoefficients,
+    evaluate_range_from_coefficients,
+    haar_matrix,
+    haar_transform,
+    inverse_haar_transform,
+    leaf_membership,
+    range_coefficient_weights,
+)
+
+
+class TestTransform:
+    def test_roundtrip(self, rng):
+        for size in (2, 4, 8, 64, 256):
+            vector = rng.normal(size=size)
+            coefficients = haar_transform(vector)
+            assert np.allclose(inverse_haar_transform(coefficients), vector)
+
+    def test_smooth_coefficient(self):
+        vector = np.array([0.1, 0.15, 0.23, 0.12, 0.2, 0.05, 0.07, 0.08])
+        coefficients = haar_transform(vector)
+        assert coefficients.smooth == pytest.approx(vector.sum() / math.sqrt(8))
+
+    def test_detail_levels_shapes(self):
+        coefficients = haar_transform(np.arange(16, dtype=float))
+        assert [len(level) for level in coefficients.details] == [8, 4, 2, 1]
+        assert coefficients.height == 4
+        assert coefficients.domain_size == 16
+
+    def test_detail_definition_matches_paper(self):
+        """c_v = (C_left - C_right) / 2^{j/2} for a node at height j."""
+        vector = np.array([1.0, 2.0, 3.0, 4.0])
+        coefficients = haar_transform(vector)
+        # Height 1, node 0: (1 - 2) / sqrt(2); node 1: (3 - 4) / sqrt(2).
+        assert coefficients.details[0][0] == pytest.approx(-1 / math.sqrt(2))
+        assert coefficients.details[0][1] == pytest.approx(-1 / math.sqrt(2))
+        # Height 2, single node: ((1+2) - (3+4)) / 2.
+        assert coefficients.details[1][0] == pytest.approx(-2.0)
+
+    def test_uniform_vector_has_zero_details(self):
+        coefficients = haar_transform(np.full(32, 0.5))
+        for level in coefficients.details:
+            assert np.allclose(level, 0.0)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            haar_transform(np.ones(6))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            haar_transform(np.ones((2, 4)))
+
+
+class TestMatrix:
+    def test_matrix_reconstruction_matches_inverse(self, rng):
+        vector = rng.normal(size=8)
+        coefficients = haar_transform(vector)
+        matrix = haar_matrix(8)
+        assert np.allclose(matrix @ coefficients.as_flat_array(), vector)
+
+    def test_matrix_matches_paper_figure3_row0(self):
+        matrix = haar_matrix(8) * math.sqrt(8)
+        expected = np.array([1.0, 1.0, math.sqrt(2), 0.0, 2.0, 0.0, 0.0, 0.0])
+        assert np.allclose(matrix[0], expected)
+
+    def test_matrix_matches_paper_figure3_row7(self):
+        matrix = haar_matrix(8) * math.sqrt(8)
+        expected = np.array([1.0, -1.0, 0.0, -math.sqrt(2), 0.0, 0.0, 0.0, -2.0])
+        assert np.allclose(matrix[7], expected)
+
+    def test_matrix_columns_orthogonal(self):
+        matrix = haar_matrix(16)
+        gram = matrix.T @ matrix
+        assert np.allclose(gram, np.diag(np.diag(gram)))
+
+
+class TestLeafMembership:
+    def test_signs_and_nodes(self):
+        items = np.array([0, 1, 2, 3, 4, 5, 6, 7])
+        nodes, signs = leaf_membership(items, 1)
+        assert list(nodes) == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert list(signs) == [1, -1, 1, -1, 1, -1, 1, -1]
+        nodes, signs = leaf_membership(items, 3)
+        assert list(nodes) == [0] * 8
+        assert list(signs) == [1, 1, 1, 1, -1, -1, -1, -1]
+
+    def test_rejects_bad_height(self):
+        with pytest.raises(ValueError):
+            leaf_membership(np.array([0]), 0)
+
+
+class TestRangeEvaluation:
+    def test_range_weights_match_prefix_sums(self, rng):
+        vector = rng.random(32)
+        coefficients = haar_transform(vector)
+        for left, right in [(0, 0), (0, 31), (3, 17), (5, 5), (16, 31), (1, 30)]:
+            expected = vector[left : right + 1].sum()
+            assert evaluate_range_from_coefficients(
+                coefficients, left, right
+            ) == pytest.approx(expected)
+
+    def test_weights_sparse_per_level(self):
+        weights = range_coefficient_weights(3, 17, 32)
+        for level in weights.details:
+            assert np.count_nonzero(level) <= 2
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            range_coefficient_weights(5, 3, 32)
+        with pytest.raises(ValueError):
+            range_coefficient_weights(0, 32, 32)
+
+
+class TestCoefficientContainer:
+    def test_copy_is_deep(self):
+        coefficients = haar_transform(np.arange(8, dtype=float))
+        duplicate = coefficients.copy()
+        duplicate.details[0][0] = 999.0
+        assert coefficients.details[0][0] != 999.0
+
+    def test_flat_array_length(self):
+        coefficients = haar_transform(np.arange(16, dtype=float))
+        assert len(coefficients.as_flat_array()) == 16

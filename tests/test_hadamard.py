@@ -1,0 +1,95 @@
+"""Tests for the Walsh--Hadamard transform utilities."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles.hadamard import (
+    fwht,
+    hadamard_entry,
+    hadamard_matrix,
+    ifwht,
+    pad_to_power_of_two,
+    popcount_parity,
+)
+
+
+class TestPopcountParity:
+    def test_small_values(self):
+        assert list(popcount_parity(np.array([0, 1, 2, 3, 4, 7]))) == [0, 1, 1, 0, 1, 1]
+
+    def test_large_values(self):
+        value = (1 << 40) | (1 << 3)
+        assert popcount_parity(np.array([value]))[0] == 0
+        assert popcount_parity(np.array([value | 1]))[0] == 1
+
+
+class TestHadamardMatrix:
+    def test_entries_match_definition(self):
+        matrix = hadamard_matrix(8)
+        for i in range(8):
+            for j in range(8):
+                expected = (-1) ** bin(i & j).count("1")
+                assert matrix[i, j] == expected
+
+    def test_orthogonality(self):
+        matrix = hadamard_matrix(16)
+        product = matrix @ matrix.T
+        assert np.allclose(product, 16 * np.eye(16))
+
+    def test_symmetry(self):
+        matrix = hadamard_matrix(8)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_matches_paper_figure1_scaled(self):
+        """Figure 1 of the paper shows H_8 / sqrt(8)."""
+        matrix = hadamard_matrix(8) / np.sqrt(8)
+        expected_row_1 = np.array([1, -1, 1, -1, 1, -1, 1, -1]) / np.sqrt(8)
+        assert np.allclose(matrix[1], expected_row_1)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            hadamard_matrix(6)
+
+
+class TestHadamardEntry:
+    def test_vectorised_entries(self):
+        rows = np.array([0, 1, 2, 3])
+        cols = np.array([3, 3, 3, 3])
+        matrix = hadamard_matrix(4)
+        assert np.allclose(hadamard_entry(rows, cols), matrix[rows, cols])
+
+    def test_broadcasting(self):
+        rows = np.arange(4)[:, None]
+        cols = np.arange(4)[None, :]
+        assert np.allclose(hadamard_entry(rows, cols), hadamard_matrix(4))
+
+
+class TestFwht:
+    def test_matches_matrix_multiplication(self, rng):
+        for size in (2, 4, 8, 32):
+            vector = rng.normal(size=size)
+            assert np.allclose(fwht(vector), hadamard_matrix(size) @ vector)
+
+    def test_inverse_roundtrip(self, rng):
+        vector = rng.normal(size=64)
+        assert np.allclose(ifwht(fwht(vector)), vector)
+
+    def test_length_one(self):
+        assert np.allclose(fwht(np.array([3.0])), [3.0])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fwht(np.ones(6))
+
+    def test_does_not_mutate_input(self):
+        vector = np.ones(8)
+        fwht(vector)
+        assert np.all(vector == 1.0)
+
+
+class TestPadding:
+    def test_pad_to_power_of_two(self):
+        assert pad_to_power_of_two(1) == 1
+        assert pad_to_power_of_two(5) == 8
+        assert pad_to_power_of_two(8) == 8
+        assert pad_to_power_of_two(1000) == 1024

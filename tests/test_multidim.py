@@ -1,0 +1,69 @@
+"""Tests for the 2-D hierarchical grid extension (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidRangeError, ProtocolUsageError
+from repro.multidim import HierarchicalGrid2D
+
+
+def _make_population(rng, n_users=30_000, dx=16, dy=16):
+    """A correlated 2-D population concentrated in one quadrant."""
+    x = np.clip(rng.normal(4, 2, size=n_users), 0, dx - 1).astype(np.int64)
+    y = np.clip(rng.normal(11, 2, size=n_users), 0, dy - 1).astype(np.int64)
+    return x, y
+
+
+class TestConfiguration:
+    def test_name(self):
+        protocol = HierarchicalGrid2D(16, 16, 1.0, oracle="hrr")
+        assert protocol.name == "Grid2DHRR"
+        assert protocol.branching == 2
+
+    def test_variance_bound_positive_and_decreasing_in_users(self):
+        protocol = HierarchicalGrid2D(16, 16, 1.0)
+        assert protocol.theoretical_rectangle_variance(1000) > (
+            protocol.theoretical_rectangle_variance(100_000)
+        )
+        with pytest.raises(ValueError):
+            protocol.theoretical_rectangle_variance(0)
+
+
+class TestEndToEnd:
+    def test_rectangle_estimates_close_to_truth(self, rng):
+        x, y = _make_population(rng)
+        protocol = HierarchicalGrid2D(16, 16, 3.0, oracle="hrr")
+        estimator = protocol.run(x, y, rng=rng)
+        for (xl, xr), (yl, yr) in [((0, 7), (8, 15)), ((0, 15), (0, 15)), ((2, 5), (9, 13))]:
+            truth = np.mean((x >= xl) & (x <= xr) & (y >= yl) & (y <= yr))
+            estimate = estimator.rectangle_query((xl, xr), (yl, yr))
+            assert estimate == pytest.approx(truth, abs=0.15)
+
+    def test_full_domain_close_to_one(self, rng):
+        x, y = _make_population(rng, n_users=20_000)
+        protocol = HierarchicalGrid2D(16, 16, 2.0)
+        estimator = protocol.run(x, y, rng=rng)
+        assert estimator.rectangle_query((0, 15), (0, 15)) == pytest.approx(1.0, abs=0.2)
+
+    def test_grid_accessor(self, rng):
+        x, y = _make_population(rng, n_users=5_000)
+        protocol = HierarchicalGrid2D(16, 16, 2.0)
+        estimator = protocol.run(x, y, rng=rng)
+        assert estimator.grid(1, 1).shape == (2, 2)
+        assert (1, 1) in estimator.level_pairs
+
+    def test_input_validation(self, rng):
+        protocol = HierarchicalGrid2D(16, 16, 1.0)
+        with pytest.raises(ProtocolUsageError):
+            protocol.run(np.array([1, 2]), np.array([1]), rng=rng)
+        with pytest.raises(ProtocolUsageError):
+            protocol.run(np.array([], dtype=int), np.array([], dtype=int), rng=rng)
+
+    def test_rectangle_validation(self, rng):
+        x, y = _make_population(rng, n_users=2_000)
+        protocol = HierarchicalGrid2D(16, 16, 1.0)
+        estimator = protocol.run(x, y, rng=rng)
+        with pytest.raises(InvalidRangeError):
+            estimator.rectangle_query((5, 2), (0, 3))
+        with pytest.raises(InvalidRangeError):
+            estimator.rectangle_query((0, 16), (0, 3))

@@ -1,0 +1,105 @@
+"""Tests for the Naive Bayes application built on LDP range queries."""
+
+import numpy as np
+import pytest
+
+from repro.applications import AttributeSpec, LDPNaiveBayes
+from repro.core.exceptions import ProtocolUsageError
+from repro.hierarchy import HierarchicalHistogram
+
+
+def _two_class_dataset(rng, n_per_class=8_000, domain=64):
+    """Two well-separated classes over two numeric attributes."""
+    low = np.clip(rng.normal(16, 5, size=(n_per_class, 2)), 0, domain - 1).astype(int)
+    high = np.clip(rng.normal(48, 5, size=(n_per_class, 2)), 0, domain - 1).astype(int)
+    features = np.vstack([low, high])
+    labels = np.array([0] * n_per_class + [1] * n_per_class)
+    return features, labels
+
+
+def _protocol_factory(domain_size):
+    return HierarchicalHistogram(domain_size, epsilon=2.0, branching=4, oracle="hrr")
+
+
+class TestAttributeSpec:
+    def test_bin_edges_cover_domain(self):
+        spec = AttributeSpec("age", 64, num_bins=8)
+        edges = spec.bin_edges()
+        assert edges[0][0] == 0
+        assert edges[-1][1] == 63
+        covered = sum(right - left + 1 for left, right in edges)
+        assert covered == 64
+
+    def test_bin_of(self):
+        spec = AttributeSpec("age", 64, num_bins=8)
+        assert spec.bin_of(0) == 0
+        assert spec.bin_of(63) == 7
+        assert spec.bin_of(32) == 4
+        with pytest.raises(ValueError):
+            spec.bin_of(64)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("x", 4, num_bins=10).bin_edges()
+
+
+class TestClassifier:
+    def test_learns_separable_classes(self, rng):
+        features, labels = _two_class_dataset(rng)
+        attributes = [AttributeSpec("a", 64), AttributeSpec("b", 64)]
+        classifier = LDPNaiveBayes(attributes, _protocol_factory)
+        classifier.fit([features[:, 0], features[:, 1]], labels, rng=rng)
+        test_samples = np.array([[10, 12], [50, 52], [15, 20], [45, 40]])
+        predictions = classifier.predict_batch(test_samples)
+        assert list(predictions) == [0, 1, 0, 1]
+
+    def test_accuracy_high_on_training_style_data(self, rng):
+        features, labels = _two_class_dataset(rng, n_per_class=5_000)
+        attributes = [AttributeSpec("a", 64), AttributeSpec("b", 64)]
+        classifier = LDPNaiveBayes(attributes, _protocol_factory)
+        classifier.fit([features[:, 0], features[:, 1]], labels, rng=rng)
+        holdout, holdout_labels = _two_class_dataset(rng, n_per_class=200)
+        assert classifier.accuracy(holdout, holdout_labels) > 0.9
+
+    def test_priors_reflect_class_imbalance(self, rng):
+        features, labels = _two_class_dataset(rng, n_per_class=2_000)
+        # Drop most of class 1 to unbalance.
+        keep = np.concatenate([np.arange(2_000), 2_000 + np.arange(400)])
+        features, labels = features[keep], labels[keep]
+        classifier = LDPNaiveBayes([AttributeSpec("a", 64)], _protocol_factory)
+        classifier.fit([features[:, 0]], labels, rng=rng)
+        scores_mid = classifier.predict_log_scores([32])
+        assert scores_mid[0] > scores_mid[1]
+
+    def test_classes_property(self, rng):
+        features, labels = _two_class_dataset(rng, n_per_class=1_000)
+        classifier = LDPNaiveBayes([AttributeSpec("a", 64)], _protocol_factory)
+        with pytest.raises(ProtocolUsageError):
+            classifier.classes
+        classifier.fit([features[:, 0]], labels, rng=rng)
+        assert list(classifier.classes) == [0, 1]
+
+    def test_validation(self, rng):
+        classifier = LDPNaiveBayes([AttributeSpec("a", 64)], _protocol_factory)
+        with pytest.raises(ValueError):
+            classifier.fit([np.array([1]), np.array([2])], np.array([0]), rng=rng)
+        with pytest.raises(ProtocolUsageError):
+            classifier.fit([np.array([], dtype=int)], np.array([], dtype=int), rng=rng)
+        with pytest.raises(ValueError):
+            LDPNaiveBayes([], _protocol_factory)
+        with pytest.raises(ValueError):
+            LDPNaiveBayes([AttributeSpec("a", 64)], _protocol_factory, smoothing=0)
+
+    def test_predict_requires_fit(self):
+        classifier = LDPNaiveBayes([AttributeSpec("a", 64)], _protocol_factory)
+        with pytest.raises(ProtocolUsageError):
+            classifier.predict([3])
+
+    def test_predict_shape_validation(self, rng):
+        features, labels = _two_class_dataset(rng, n_per_class=1_000)
+        classifier = LDPNaiveBayes([AttributeSpec("a", 64)], _protocol_factory)
+        classifier.fit([features[:, 0]], labels, rng=rng)
+        with pytest.raises(ValueError):
+            classifier.predict([1, 2])
+        with pytest.raises(ValueError):
+            classifier.predict_batch(np.zeros((3, 2)))

@@ -1,0 +1,89 @@
+"""Tests for generalized and binary randomized response."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import GeneralizedRandomizedResponse
+from repro.frequency_oracles.grr import BinaryRandomizedResponse
+
+
+class TestGRRConfiguration:
+    def test_probabilities(self):
+        oracle = GeneralizedRandomizedResponse(4, np.log(3.0))
+        assert oracle.keep_probability == pytest.approx(3.0 / 6.0)
+        assert oracle.lie_probability == pytest.approx((1 - 0.5) / 3)
+
+    def test_requires_at_least_two_items(self):
+        with pytest.raises(ValueError):
+            GeneralizedRandomizedResponse(1, 1.0)
+
+
+class TestGRRProtocol:
+    def test_reports_stay_in_domain(self, rng):
+        oracle = GeneralizedRandomizedResponse(10, 1.0)
+        items = rng.integers(0, 10, size=5000)
+        reports = oracle.privatize(items, rng=rng)
+        assert reports.min() >= 0 and reports.max() < 10
+
+    def test_estimates_recover_distribution(self, rng):
+        oracle = GeneralizedRandomizedResponse(5, 3.0)
+        probabilities = np.array([0.5, 0.2, 0.15, 0.1, 0.05])
+        items = rng.choice(5, size=40_000, p=probabilities)
+        estimates = oracle.estimate(items, rng=rng)
+        assert np.allclose(estimates, probabilities, atol=0.03)
+
+    def test_high_epsilon_is_nearly_exact(self, rng):
+        oracle = GeneralizedRandomizedResponse(4, 10.0)
+        items = np.repeat(np.arange(4), 1000)
+        estimates = oracle.estimate(items, rng=rng)
+        assert np.allclose(estimates, 0.25, atol=0.02)
+
+    def test_aggregate_requires_users(self):
+        oracle = GeneralizedRandomizedResponse(4, 1.0)
+        with pytest.raises(ValueError):
+            oracle.aggregate(np.array([], dtype=int), n_users=0)
+
+    def test_simulation_unbiased(self, rng):
+        oracle = GeneralizedRandomizedResponse(6, 1.1)
+        counts = np.array([100, 900, 400, 250, 300, 50], dtype=float)
+        repeats = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(200)]
+        )
+        assert np.allclose(repeats.mean(axis=0), counts / counts.sum(), atol=0.02)
+
+
+class TestBinaryRR:
+    def test_keep_probability(self):
+        oracle = BinaryRandomizedResponse(np.log(3.0))
+        assert oracle.keep_probability == pytest.approx(0.75)
+
+    def test_value_perturbation_and_debias(self, rng):
+        oracle = BinaryRandomizedResponse(1.1)
+        values = np.ones(30_000)
+        reported = oracle.privatize_values(values, rng=rng)
+        assert set(np.unique(reported)) <= {-1.0, 1.0}
+        debiased = oracle.debias_values(reported)
+        assert debiased.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_value_perturbation_negative_inputs(self, rng):
+        oracle = BinaryRandomizedResponse(1.1)
+        values = -np.ones(30_000)
+        debiased = oracle.debias_values(oracle.privatize_values(values, rng=rng))
+        assert debiased.mean() == pytest.approx(-1.0, abs=0.05)
+
+    def test_binary_estimate(self, rng):
+        oracle = BinaryRandomizedResponse(2.0)
+        items = np.array([1] * 7000 + [0] * 3000)
+        estimates = oracle.estimate(items, rng=rng)
+        assert estimates[1] == pytest.approx(0.7, abs=0.04)
+        assert estimates[0] == pytest.approx(0.3, abs=0.04)
+
+    def test_binary_simulation(self, rng):
+        oracle = BinaryRandomizedResponse(2.0)
+        repeats = np.array(
+            [oracle.estimate_from_counts(np.array([3000.0, 7000.0]), rng=rng) for _ in range(100)]
+        )
+        assert repeats.mean(axis=0)[1] == pytest.approx(0.7, abs=0.02)
+
+    def test_variance_positive(self):
+        assert BinaryRandomizedResponse(0.5).variance_per_user() > 0

@@ -1,0 +1,112 @@
+"""Tests for the Hadamard Randomized Response oracle."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import HadamardRandomizedResponse
+from repro.frequency_oracles.base import standard_oracle_variance
+
+
+class TestConfiguration:
+    def test_padding_to_power_of_two(self):
+        oracle = HadamardRandomizedResponse(10, 1.0)
+        assert oracle.padded_size == 16
+
+    def test_variance_matches_standard_bound(self):
+        oracle = HadamardRandomizedResponse(16, 0.8)
+        assert oracle.variance_per_user() == pytest.approx(standard_oracle_variance(0.8))
+
+    def test_keep_probability(self):
+        oracle = HadamardRandomizedResponse(8, np.log(3.0))
+        assert oracle.keep_probability == pytest.approx(0.75)
+
+
+class TestPerUserProtocol:
+    def test_report_fields(self, rng):
+        oracle = HadamardRandomizedResponse(8, 1.0)
+        items = rng.integers(0, 8, size=500)
+        reports = oracle.privatize(items, rng=rng)
+        assert len(reports) == 500
+        assert reports.padded_size == 8
+        assert reports.indices.min() >= 0 and reports.indices.max() < 8
+        assert set(np.unique(reports.values)) <= {-1.0, 1.0}
+
+    def test_estimates_recover_distribution(self, rng):
+        oracle = HadamardRandomizedResponse(8, 3.0)
+        probabilities = np.array([0.4, 0.3, 0.1, 0.05, 0.05, 0.04, 0.03, 0.03])
+        items = rng.choice(8, size=60_000, p=probabilities)
+        estimates = oracle.estimate(items, rng=rng)
+        assert np.allclose(estimates, probabilities, atol=0.05)
+
+    def test_signed_inputs_validated(self, rng):
+        oracle = HadamardRandomizedResponse(8, 1.0)
+        items = np.array([0, 1, 2])
+        with pytest.raises(ValueError):
+            oracle.privatize_signed(items, np.array([1.0, 0.5, -1.0]), rng=rng)
+        with pytest.raises(ValueError):
+            oracle.privatize_signed(items, np.array([1.0, -1.0]), rng=rng)
+
+    def test_signed_estimates(self, rng):
+        """Half the users hold +e_1, half hold -e_2; estimates reflect signs."""
+        oracle = HadamardRandomizedResponse(4, 3.0)
+        items = np.array([1] * 20_000 + [2] * 20_000)
+        signs = np.array([1.0] * 20_000 + [-1.0] * 20_000)
+        reports = oracle.privatize_signed(items, signs, rng=rng)
+        estimates = oracle.aggregate(reports, n_users=len(items))
+        assert estimates[1] == pytest.approx(0.5, abs=0.05)
+        assert estimates[2] == pytest.approx(-0.5, abs=0.05)
+        assert estimates[0] == pytest.approx(0.0, abs=0.05)
+
+    def test_aggregate_rejects_mismatched_padding(self, rng):
+        oracle_small = HadamardRandomizedResponse(8, 1.0)
+        oracle_large = HadamardRandomizedResponse(16, 1.0)
+        reports = oracle_small.privatize(np.zeros(10, dtype=int), rng=rng)
+        with pytest.raises(ValueError):
+            oracle_large.aggregate(reports, n_users=10)
+
+
+class TestAggregateSimulation:
+    def test_simulation_is_unbiased(self, rng):
+        oracle = HadamardRandomizedResponse(8, 1.1)
+        counts = np.array([500, 1500, 250, 250, 1000, 300, 100, 100], dtype=float)
+        repeats = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(300)]
+        )
+        assert np.allclose(repeats.mean(axis=0), counts / counts.sum(), atol=0.02)
+
+    def test_simulation_spread_matches_per_user(self, rng):
+        oracle = HadamardRandomizedResponse(4, 1.0)
+        items = np.repeat(np.arange(4), [400, 300, 200, 100])
+        counts = np.bincount(items, minlength=4).astype(float)
+        per_user = np.array([oracle.estimate(items, rng=rng) for _ in range(80)])
+        simulated = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(80)]
+        )
+        assert np.allclose(per_user.std(axis=0), simulated.std(axis=0), rtol=0.6, atol=0.02)
+
+    def test_signed_simulation_unbiased(self, rng):
+        oracle = HadamardRandomizedResponse(4, 1.5)
+        positive = np.array([1000.0, 0.0, 500.0, 0.0])
+        negative = np.array([0.0, 800.0, 0.0, 0.0])
+        repeats = np.array(
+            [
+                oracle.estimate_from_signed_counts(positive, negative, rng=rng)
+                for _ in range(300)
+            ]
+        )
+        total = positive.sum() + negative.sum()
+        expected = (positive - negative) / total
+        assert np.allclose(repeats.mean(axis=0), expected, atol=0.02)
+
+    def test_zero_population(self, rng):
+        oracle = HadamardRandomizedResponse(8, 1.0)
+        assert np.all(oracle.estimate_from_counts(np.zeros(8), rng=rng) == 0)
+
+    def test_empirical_variance_close_to_theory(self, rng):
+        oracle = HadamardRandomizedResponse(8, 1.1)
+        n_users = 8000
+        counts = np.full(8, n_users / 8)
+        estimates = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng)[3] for _ in range(400)]
+        )
+        assert estimates.var() == pytest.approx(oracle.variance(n_users), rel=0.4)

@@ -1,0 +1,99 @@
+"""Tests for the Optimized Unary Encoding oracle."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import OptimizedUnaryEncoding
+from repro.frequency_oracles.base import standard_oracle_variance
+
+
+class TestConfiguration:
+    def test_probabilities(self):
+        oracle = OptimizedUnaryEncoding(16, 1.0)
+        assert oracle.p_one == pytest.approx(0.5)
+        assert oracle.p_zero == pytest.approx(1.0 / (1.0 + np.e))
+
+    def test_variance_matches_standard_bound(self):
+        oracle = OptimizedUnaryEncoding(16, 1.1)
+        assert oracle.variance_per_user() == pytest.approx(standard_oracle_variance(1.1))
+        assert oracle.variance(1000) == pytest.approx(standard_oracle_variance(1.1) / 1000)
+
+    def test_variance_requires_positive_users(self):
+        with pytest.raises(ValueError):
+            OptimizedUnaryEncoding(16, 1.1).variance(0)
+
+
+class TestPerUserProtocol:
+    def test_report_shape_and_dtype(self, rng):
+        oracle = OptimizedUnaryEncoding(8, 1.0)
+        items = rng.integers(0, 8, size=100)
+        reports = oracle.privatize(items, rng=rng)
+        assert reports.shape == (100, 8)
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_estimates_sum_close_to_one(self, rng):
+        oracle = OptimizedUnaryEncoding(16, 2.0)
+        items = rng.integers(0, 16, size=20_000)
+        estimates = oracle.estimate(items, rng=rng)
+        assert estimates.sum() == pytest.approx(1.0, abs=0.15)
+
+    def test_estimates_recover_point_mass(self, rng):
+        oracle = OptimizedUnaryEncoding(8, 3.0)
+        items = np.full(20_000, 5)
+        estimates = oracle.estimate(items, rng=rng)
+        assert estimates[5] == pytest.approx(1.0, abs=0.05)
+        others = np.delete(estimates, 5)
+        assert np.all(np.abs(others) < 0.05)
+
+    def test_aggregate_rejects_bad_shapes(self):
+        oracle = OptimizedUnaryEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            oracle.aggregate(np.zeros((10, 4)))
+        with pytest.raises(ValueError):
+            oracle.aggregate(np.zeros((0, 8)), n_users=0)
+
+
+class TestAggregateSimulation:
+    def test_simulation_is_unbiased(self, rng):
+        oracle = OptimizedUnaryEncoding(8, 1.1)
+        counts = np.array([100, 500, 1000, 2000, 200, 50, 3000, 150], dtype=float)
+        repeats = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(200)]
+        )
+        mean_estimate = repeats.mean(axis=0)
+        truth = counts / counts.sum()
+        assert np.allclose(mean_estimate, truth, atol=0.01)
+
+    def test_simulation_matches_per_user_distribution(self, rng):
+        """The simulated and per-user estimates have comparable spread."""
+        oracle = OptimizedUnaryEncoding(4, 1.0)
+        items = np.repeat(np.arange(4), [100, 200, 300, 400])
+        counts = np.bincount(items, minlength=4).astype(float)
+        per_user = np.array([oracle.estimate(items, rng=rng) for _ in range(60)])
+        simulated = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(60)]
+        )
+        assert np.allclose(per_user.mean(axis=0), simulated.mean(axis=0), atol=0.03)
+        assert np.allclose(per_user.std(axis=0), simulated.std(axis=0), atol=0.03)
+
+    def test_empirical_variance_matches_theory(self, rng):
+        oracle = OptimizedUnaryEncoding(8, 1.1)
+        n_users = 4000
+        counts = np.full(8, n_users // 8, dtype=float)
+        estimates = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng)[0] for _ in range(400)]
+        )
+        theoretical = oracle.variance(n_users)
+        measured = estimates.var()
+        assert measured == pytest.approx(theoretical, rel=0.35)
+
+    def test_zero_population_returns_zeros(self, rng):
+        oracle = OptimizedUnaryEncoding(8, 1.0)
+        assert np.all(oracle.estimate_from_counts(np.zeros(8), rng=rng) == 0)
+
+    def test_count_validation(self, rng):
+        oracle = OptimizedUnaryEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            oracle.estimate_from_counts(np.ones(4), rng=rng)
+        with pytest.raises(ValueError):
+            oracle.estimate_from_counts(-np.ones(8), rng=rng)

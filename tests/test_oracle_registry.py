@@ -1,0 +1,74 @@
+"""Tests for the frequency-oracle registry and the protocol registry."""
+
+import pytest
+
+from repro import PROTOCOL_REGISTRY, make_protocol
+from repro.flat import FlatRangeQuery
+from repro.frequency_oracles import (
+    ORACLE_REGISTRY,
+    GeneralizedRandomizedResponse,
+    HadamardRandomizedResponse,
+    OptimalLocalHashing,
+    OptimizedUnaryEncoding,
+    make_oracle,
+)
+from repro.hierarchy import HierarchicalHistogram
+from repro.wavelet import HaarHRR
+
+
+class TestOracleRegistry:
+    def test_registry_contents(self):
+        assert set(ORACLE_REGISTRY) == {
+            "oue",
+            "olh",
+            "hrr",
+            "grr",
+            "sue",
+            "she",
+            "the",
+        }
+
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("oue", OptimizedUnaryEncoding),
+            ("olh", OptimalLocalHashing),
+            ("hrr", HadamardRandomizedResponse),
+            ("grr", GeneralizedRandomizedResponse),
+        ],
+    )
+    def test_make_oracle(self, name, cls):
+        oracle = make_oracle(name, 16, 1.0)
+        assert isinstance(oracle, cls)
+        assert oracle.domain_size == 16
+
+    def test_make_oracle_case_insensitive(self):
+        assert isinstance(make_oracle("  OUE ", 8, 1.0), OptimizedUnaryEncoding)
+
+    def test_make_oracle_unknown(self):
+        with pytest.raises(KeyError):
+            make_oracle("nope", 8, 1.0)
+
+    def test_oracle_kwargs_forwarded(self):
+        oracle = make_oracle("olh", 16, 1.0, num_buckets=6)
+        assert oracle.num_buckets == 6
+
+
+class TestProtocolRegistry:
+    def test_registry_contents(self):
+        assert set(PROTOCOL_REGISTRY) == {"flat", "hh", "haar"}
+
+    def test_make_protocol(self):
+        assert isinstance(make_protocol("flat", 64, 1.0), FlatRangeQuery)
+        assert isinstance(make_protocol("hh", 64, 1.0, branching=8), HierarchicalHistogram)
+        assert isinstance(make_protocol("haar", 64, 1.0), HaarHRR)
+
+    def test_make_protocol_unknown(self):
+        with pytest.raises(KeyError):
+            make_protocol("unknown", 64, 1.0)
+
+    def test_protocol_kwargs_forwarded(self):
+        protocol = make_protocol("hh", 64, 1.0, branching=8, oracle="hrr", consistency=False)
+        assert protocol.branching == 8
+        assert protocol.oracle_name == "hrr"
+        assert protocol.consistency is False

@@ -1,0 +1,147 @@
+"""Tests for the SUE (basic RAPPOR) and Histogram Encoding oracles."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import (
+    OptimizedUnaryEncoding,
+    SummationHistogramEncoding,
+    SymmetricUnaryEncoding,
+    ThresholdHistogramEncoding,
+    make_oracle,
+)
+
+
+class TestSymmetricUnaryEncoding:
+    def test_probabilities(self):
+        oracle = SymmetricUnaryEncoding(16, 2.0)
+        half = np.exp(1.0)
+        assert oracle.keep_probability == pytest.approx(half / (half + 1))
+
+    def test_estimates_recover_distribution(self, rng):
+        oracle = SymmetricUnaryEncoding(8, 3.0)
+        probabilities = np.array([0.35, 0.25, 0.15, 0.1, 0.05, 0.04, 0.03, 0.03])
+        items = rng.choice(8, size=40_000, p=probabilities)
+        estimates = oracle.estimate(items, rng=rng)
+        assert np.allclose(estimates, probabilities, atol=0.04)
+
+    def test_simulation_unbiased(self, rng):
+        oracle = SymmetricUnaryEncoding(8, 1.1)
+        counts = np.array([500, 1500, 250, 250, 1000, 300, 100, 100], dtype=float)
+        repeats = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(200)]
+        )
+        assert np.allclose(repeats.mean(axis=0), counts / counts.sum(), atol=0.02)
+
+    def test_worse_than_oue(self):
+        """OUE was designed precisely to beat SUE's variance at every epsilon."""
+        for epsilon in (0.5, 1.1, 2.0):
+            sue = SymmetricUnaryEncoding(16, epsilon)
+            oue = OptimizedUnaryEncoding(16, epsilon)
+            assert sue.variance_per_user() > oue.variance_per_user()
+
+    def test_report_shape(self, rng):
+        oracle = SymmetricUnaryEncoding(8, 1.0)
+        reports = oracle.privatize(rng.integers(0, 8, size=50), rng=rng)
+        assert reports.shape == (50, 8)
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_aggregate_validation(self):
+        oracle = SymmetricUnaryEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            oracle.aggregate(np.zeros((5, 4)))
+        with pytest.raises(ValueError):
+            oracle.aggregate(np.zeros((0, 8)), n_users=0)
+
+
+class TestSummationHistogramEncoding:
+    def test_noise_scale(self):
+        assert SummationHistogramEncoding(16, 2.0).noise_scale == pytest.approx(1.0)
+
+    def test_estimates_recover_distribution(self, rng):
+        oracle = SummationHistogramEncoding(8, 2.0)
+        probabilities = np.array([0.3, 0.3, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05])
+        items = rng.choice(8, size=30_000, p=probabilities)
+        estimates = oracle.estimate(items, rng=rng)
+        assert np.allclose(estimates, probabilities, atol=0.05)
+
+    def test_variance_formula(self):
+        oracle = SummationHistogramEncoding(16, 1.0)
+        assert oracle.variance_per_user() == pytest.approx(8.0)
+
+    def test_simulation_unbiased(self, rng):
+        oracle = SummationHistogramEncoding(8, 1.1)
+        counts = np.array([400, 1600, 200, 300, 900, 350, 150, 100], dtype=float)
+        repeats = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(200)]
+        )
+        assert np.allclose(repeats.mean(axis=0), counts / counts.sum(), atol=0.02)
+
+    def test_simulation_spread_matches_per_user(self, rng):
+        oracle = SummationHistogramEncoding(4, 1.0)
+        items = np.repeat(np.arange(4), [400, 300, 200, 100])
+        counts = np.bincount(items, minlength=4).astype(float)
+        per_user = np.array([oracle.estimate(items, rng=rng) for _ in range(60)])
+        simulated = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(60)]
+        )
+        assert np.allclose(per_user.std(axis=0), simulated.std(axis=0), rtol=0.6)
+
+    def test_aggregate_validation(self):
+        oracle = SummationHistogramEncoding(8, 1.0)
+        with pytest.raises(ValueError):
+            oracle.aggregate(np.zeros((3, 5)))
+
+
+class TestThresholdHistogramEncoding:
+    def test_threshold_default_and_override(self):
+        assert ThresholdHistogramEncoding(16, 1.0).threshold == pytest.approx(0.67)
+        assert ThresholdHistogramEncoding(16, 1.0, threshold=0.9).threshold == 0.9
+        with pytest.raises(ValueError):
+            ThresholdHistogramEncoding(16, 1.0, threshold=2.0)
+
+    def test_hit_probabilities_ordering(self):
+        p, q = ThresholdHistogramEncoding(16, 1.0).hit_probabilities
+        assert 0 < q < p < 1
+
+    def test_estimates_recover_distribution(self, rng):
+        oracle = ThresholdHistogramEncoding(8, 3.0)
+        probabilities = np.array([0.3, 0.3, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05])
+        items = rng.choice(8, size=30_000, p=probabilities)
+        estimates = oracle.estimate(items, rng=rng)
+        assert np.allclose(estimates, probabilities, atol=0.05)
+
+    def test_simulation_unbiased(self, rng):
+        oracle = ThresholdHistogramEncoding(8, 1.1)
+        counts = np.array([400, 1600, 200, 300, 900, 350, 150, 100], dtype=float)
+        repeats = np.array(
+            [oracle.estimate_from_counts(counts, rng=rng) for _ in range(200)]
+        )
+        assert np.allclose(repeats.mean(axis=0), counts / counts.sum(), atol=0.02)
+
+    def test_reports_are_bit_vectors(self, rng):
+        oracle = ThresholdHistogramEncoding(8, 1.0)
+        reports = oracle.privatize(rng.integers(0, 8, size=100), rng=rng)
+        assert set(np.unique(reports)) <= {0, 1}
+
+    def test_variance_positive(self):
+        assert ThresholdHistogramEncoding(8, 1.0).variance_per_user() > 0
+
+
+class TestHierarchicalIntegrationWithNewOracles:
+    @pytest.mark.parametrize("oracle_name", ["sue", "she", "the"])
+    def test_hh_accepts_every_registered_oracle(self, small_cauchy, oracle_name):
+        """The HH framework is oracle-agnostic; new oracles plug straight in."""
+        from repro.hierarchy import HierarchicalHistogram
+
+        protocol = HierarchicalHistogram(
+            small_cauchy.domain_size, 2.0, branching=4, oracle=oracle_name
+        )
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=1)
+        truth = small_cauchy.frequencies()[8:40].sum()
+        assert estimator.range_query((8, 39)) == pytest.approx(truth, abs=0.15)
+
+    def test_make_oracle_handles(self):
+        assert isinstance(make_oracle("sue", 8, 1.0), SymmetricUnaryEncoding)
+        assert isinstance(make_oracle("she", 8, 1.0), SummationHistogramEncoding)
+        assert isinstance(make_oracle("the", 8, 1.0), ThresholdHistogramEncoding)

@@ -1,0 +1,133 @@
+"""Tests for prefix, CDF and quantile queries (Section 4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.flat import FlatRangeQuery
+from repro.hierarchy import HierarchicalHistogram
+from repro.queries.prefix import (
+    estimated_cdf,
+    monotone_cdf,
+    prefix_answers,
+    prefix_variance_reduction_factor,
+)
+from repro.queries.quantile import (
+    deciles,
+    estimate_quantile,
+    evaluate_quantiles,
+    quantile_by_binary_search,
+    quantile_rank,
+    true_quantile,
+)
+from repro.wavelet import HaarHRR
+
+
+class TestTrueQuantiles:
+    def test_uniform_distribution(self):
+        freqs = np.full(10, 0.1)
+        assert true_quantile(freqs, 0.5) == 4
+        assert true_quantile(freqs, 0.05) == 0
+        assert true_quantile(freqs, 1.0) == 9
+
+    def test_point_mass(self):
+        freqs = np.zeros(10)
+        freqs[7] = 1.0
+        for phi in (0.1, 0.5, 0.9):
+            assert true_quantile(freqs, phi) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            true_quantile(np.full(4, 0.25), 1.5)
+        with pytest.raises(ValueError):
+            true_quantile(np.zeros(4), 0.5)
+
+    def test_quantile_rank(self):
+        freqs = np.array([0.2, 0.3, 0.5])
+        assert quantile_rank(freqs, 0) == pytest.approx(0.2)
+        assert quantile_rank(freqs, 2) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            quantile_rank(freqs, 3)
+
+
+class TestEstimatedQuantiles:
+    def test_quantiles_close_to_truth(self, medium_cauchy):
+        protocol = HierarchicalHistogram(medium_cauchy.domain_size, 1.5, branching=4)
+        estimator = protocol.run_simulated(medium_cauchy.counts(), rng=3)
+        freqs = medium_cauchy.frequencies()
+        for phi in (0.25, 0.5, 0.75):
+            estimated = estimate_quantile(estimator, phi)
+            achieved_rank = quantile_rank(freqs, estimated)
+            assert abs(achieved_rank - phi) < 0.08
+
+    def test_evaluate_quantiles_structure(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=4)
+        evaluations = evaluate_quantiles(estimator, small_cauchy.frequencies(), deciles())
+        assert len(evaluations) == 9
+        for evaluation in evaluations:
+            assert 0 <= evaluation.estimated_item < small_cauchy.domain_size
+            assert evaluation.value_error >= 0
+            assert 0 <= evaluation.quantile_error <= 1
+
+    def test_deciles(self):
+        assert deciles() == [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+
+    def test_binary_search_quantile_close_to_cdf_quantile(self, medium_cauchy):
+        protocol = HierarchicalHistogram(medium_cauchy.domain_size, 1.5, branching=4)
+        estimator = protocol.run_simulated(medium_cauchy.counts(), rng=12)
+        freqs = medium_cauchy.frequencies()
+        for phi in (0.25, 0.5, 0.75):
+            by_search = quantile_by_binary_search(estimator, phi)
+            achieved = quantile_rank(freqs, by_search)
+            assert abs(achieved - phi) < 0.08
+
+    def test_binary_search_quantile_exact_estimator(self):
+        """On a noiseless estimator binary search matches the CDF search."""
+        from repro.flat import FlatEstimator
+        from repro.core.types import Domain
+
+        freqs = np.array([0.1, 0.4, 0.2, 0.1, 0.1, 0.05, 0.03, 0.02])
+        estimator = FlatEstimator(Domain(8), freqs)
+        for phi in (0.05, 0.1, 0.5, 0.77, 1.0):
+            assert quantile_by_binary_search(estimator, phi) == estimator.quantile_query(phi)
+
+    def test_binary_search_quantile_validation(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=13)
+        with pytest.raises(ValueError):
+            quantile_by_binary_search(estimator, -0.2)
+
+    def test_quantile_query_validation(self, small_cauchy):
+        protocol = FlatRangeQuery(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=5)
+        with pytest.raises(ValueError):
+            estimator.quantile_query(-0.1)
+        with pytest.raises(ValueError):
+            estimator.quantile_query(1.1)
+
+
+class TestPrefixHelpers:
+    def test_prefix_answers_match_range_queries(self, small_cauchy):
+        protocol = HierarchicalHistogram(small_cauchy.domain_size, 1.1, branching=4)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=6)
+        endpoints = [0, 10, 40, 63]
+        answers = prefix_answers(estimator, endpoints)
+        expected = [estimator.range_query((0, b)) for b in endpoints]
+        assert np.allclose(answers, expected)
+
+    def test_cdf_shapes_and_final_value(self, small_cauchy):
+        protocol = HaarHRR(small_cauchy.domain_size, 1.1)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=7)
+        cdf = estimated_cdf(estimator)
+        assert len(cdf) == small_cauchy.domain_size
+        assert cdf[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_monotone_cdf_is_monotone_and_clipped(self, small_cauchy):
+        protocol = FlatRangeQuery(small_cauchy.domain_size, 0.5)
+        estimator = protocol.run_simulated(small_cauchy.counts(), rng=8)
+        cdf = monotone_cdf(estimator)
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf.min() >= 0.0 and cdf.max() <= 1.0
+
+    def test_reduction_factor_constant(self):
+        assert prefix_variance_reduction_factor() == pytest.approx(0.5)

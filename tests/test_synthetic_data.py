@@ -1,0 +1,92 @@
+"""Tests for the synthetic population generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DISTRIBUTIONS,
+    cauchy_population,
+    gaussian_population,
+    make_population,
+    uniform_population,
+    zipf_population,
+)
+
+
+class TestCauchy:
+    def test_size_and_domain(self):
+        data = cauchy_population(256, 10_000, rng=0)
+        assert data.n_users == 10_000
+        assert data.items.min() >= 0 and data.items.max() < 256
+
+    def test_center_controls_mass_location(self):
+        left = cauchy_population(256, 20_000, center_fraction=0.2, rng=1)
+        right = cauchy_population(256, 20_000, center_fraction=0.8, rng=1)
+        assert left.items.mean() < right.items.mean()
+
+    def test_height_controls_spread(self):
+        narrow = cauchy_population(256, 20_000, height=2.0, rng=2)
+        wide = cauchy_population(256, 20_000, height=64.0, rng=2)
+        assert narrow.items.std() < wide.items.std()
+
+    def test_counts_and_frequencies(self):
+        data = cauchy_population(64, 5_000, rng=3)
+        counts = data.counts()
+        assert counts.sum() == 5_000
+        assert data.frequencies().sum() == pytest.approx(1.0)
+
+    def test_reproducibility(self):
+        a = cauchy_population(64, 1_000, rng=42)
+        b = cauchy_population(64, 1_000, rng=42)
+        assert np.array_equal(a.items, b.items)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            cauchy_population(0, 10)
+        with pytest.raises(ValueError):
+            cauchy_population(10, 0)
+        with pytest.raises(ValueError):
+            cauchy_population(10, 10, center_fraction=1.5)
+        with pytest.raises(ValueError):
+            cauchy_population(10, 10, height=-1)
+
+
+class TestOtherDistributions:
+    def test_zipf_is_head_heavy(self):
+        data = zipf_population(128, 30_000, exponent=1.5, rng=4)
+        freqs = data.frequencies()
+        assert freqs[0] > freqs[10] > freqs[100]
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_population(10, 10, exponent=0)
+
+    def test_gaussian_centered(self):
+        data = gaussian_population(256, 30_000, center_fraction=0.5, rng=5)
+        assert data.items.mean() == pytest.approx(128, abs=10)
+
+    def test_gaussian_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_population(10, 10, std_fraction=0)
+
+    def test_uniform_is_flat(self):
+        data = uniform_population(16, 64_000, rng=6)
+        freqs = data.frequencies()
+        assert np.allclose(freqs, 1 / 16, atol=0.01)
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_population(0, 10)
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(DISTRIBUTIONS) == {"cauchy", "zipf", "gaussian", "uniform"}
+
+    def test_make_population(self):
+        data = make_population("cauchy", 64, 1_000, rng=7, center_fraction=0.3)
+        assert data.n_users == 1_000
+
+    def test_unknown_distribution(self):
+        with pytest.raises(KeyError):
+            make_population("poisson", 64, 100)

@@ -1,0 +1,112 @@
+"""Tests for the structural B-ary domain tree."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.badic import BAdicInterval
+from repro.hierarchy.tree import DomainTree, TreeNode
+
+
+class TestStructure:
+    def test_power_of_two_domain(self):
+        tree = DomainTree(64, 2)
+        assert tree.padded_size == 64
+        assert tree.height == 6
+        assert tree.num_levels == 7
+        assert tree.level_size(0) == 1
+        assert tree.level_size(6) == 64
+
+    def test_padded_domain(self):
+        tree = DomainTree(100, 4)
+        assert tree.padded_size == 256
+        assert tree.height == 4
+        assert tree.domain_size == 100
+
+    def test_node_span(self):
+        tree = DomainTree(64, 4)
+        assert tree.node_span(0) == 64
+        assert tree.node_span(1) == 16
+        assert tree.node_span(3) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DomainTree(64, 1)
+        with pytest.raises(Exception):
+            DomainTree(0, 2)
+
+    def test_level_bounds_checked(self):
+        tree = DomainTree(16, 2)
+        with pytest.raises(ValueError):
+            tree.level_size(5)
+        with pytest.raises(ValueError):
+            tree.node_span(-1)
+
+
+class TestMappings:
+    def test_ancestor_index(self):
+        tree = DomainTree(16, 2)
+        items = np.array([0, 1, 7, 8, 15])
+        assert list(tree.ancestor_index(items, 4)) == [0, 1, 7, 8, 15]
+        assert list(tree.ancestor_index(items, 3)) == [0, 0, 3, 4, 7]
+        assert list(tree.ancestor_index(items, 1)) == [0, 0, 0, 1, 1]
+        assert list(tree.ancestor_index(items, 0)) == [0, 0, 0, 0, 0]
+
+    def test_node_interval_roundtrip(self):
+        tree = DomainTree(64, 4)
+        for level in range(tree.num_levels):
+            for index in range(tree.level_size(level)):
+                node = TreeNode(level=level, index=index)
+                interval = tree.node_interval(node)
+                assert tree.node_for_block(interval) == node
+
+    def test_node_for_block_rejects_non_nodes(self):
+        tree = DomainTree(64, 2)
+        with pytest.raises(ValueError):
+            tree.node_for_block(BAdicInterval(start=1, length=2, level_from_leaves=1))
+
+    def test_decompose_range_matches_badic(self):
+        tree = DomainTree(64, 2)
+        nodes = tree.decompose_range(2, 22)
+        spans = [tree.node_interval(node) for node in nodes]
+        assert [(s.start, s.end) for s in spans] == [
+            (2, 3),
+            (4, 7),
+            (8, 15),
+            (16, 19),
+            (20, 21),
+            (22, 22),
+        ]
+
+
+class TestHistograms:
+    def test_level_histogram_sums(self):
+        tree = DomainTree(8, 2)
+        leaf_counts = np.arange(8, dtype=float)
+        assert list(tree.level_histogram(leaf_counts, 3)) == list(leaf_counts)
+        assert list(tree.level_histogram(leaf_counts, 2)) == [1, 5, 9, 13]
+        assert list(tree.level_histogram(leaf_counts, 1)) == [6, 22]
+        assert list(tree.level_histogram(leaf_counts, 0)) == [28]
+
+    def test_level_histogram_pads_short_domains(self):
+        tree = DomainTree(6, 2)
+        counts = np.ones(6)
+        level = tree.level_histogram(counts, tree.height)
+        assert len(level) == 8
+        assert level.sum() == 6
+
+    def test_level_histogram_rejects_bad_length(self):
+        tree = DomainTree(8, 2)
+        with pytest.raises(ValueError):
+            tree.level_histogram(np.ones(5), 1)
+
+    def test_all_level_histograms_consistent(self):
+        tree = DomainTree(16, 4)
+        counts = np.random.default_rng(0).integers(0, 50, size=16).astype(float)
+        levels = tree.all_level_histograms(counts)
+        for level_values in levels:
+            assert level_values.sum() == pytest.approx(counts.sum())
+
+    def test_empty_levels_shapes(self):
+        tree = DomainTree(16, 4)
+        empties = tree.empty_levels()
+        assert [len(level) for level in empties] == [1, 4, 16]
