@@ -1,0 +1,100 @@
+"""Benchmarks for the streaming client/server aggregation path.
+
+These establish the baseline for the sharded execution model introduced
+with the client/server API: how fast servers fold privatized reports into
+their sufficient-statistics accumulators (ingest throughput, reports/sec)
+and what merging costs as the shard count grows.  Future PRs optimizing
+the hot path (batched ingestion, accumulator layouts, parallel shards)
+should compare against these numbers.
+
+Run with:  pytest benchmarks/bench_streaming.py --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import AccumulatorState
+from repro.data import cauchy_population
+from repro.flat import FlatRangeQuery
+from repro.hierarchy import HierarchicalHistogram
+from repro.wavelet import HaarHRR
+
+DOMAIN = 1024
+N_USERS = 50_000
+EPSILON = 1.1
+CLIENT_BATCH = 2_500
+
+
+@pytest.fixture(scope="module")
+def population():
+    return cauchy_population(DOMAIN, N_USERS, rng=0)
+
+
+def _encoded_stream(protocol, items):
+    client = protocol.client()
+    rng = np.random.default_rng(1)
+    return [
+        client.encode_batch(batch, rng=rng)
+        for batch in np.array_split(items, N_USERS // CLIENT_BATCH)
+    ]
+
+
+def _bench_ingest(benchmark, protocol, items):
+    reports = _encoded_stream(protocol, items)
+
+    def ingest_all():
+        return protocol.server().ingest(reports)
+
+    server = benchmark(ingest_all)
+    assert server.n_reports == N_USERS
+    mean_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["reports_per_sec"] = round(N_USERS / mean_seconds)
+    print(
+        f"\n    {protocol.name}: ingest {N_USERS / mean_seconds:,.0f} reports/sec "
+        f"({len(reports)} batches of {CLIENT_BATCH})"
+    )
+
+
+def test_bench_ingest_flat_oue(benchmark, population):
+    """Flat OUE ingestion: bit-matrix column sums per batch."""
+    _bench_ingest(benchmark, FlatRangeQuery(DOMAIN, EPSILON, oracle="oue"), population.items)
+
+
+def test_bench_ingest_hh_oue(benchmark, population):
+    """TreeOUE ingestion: per-level accumulators with level bookkeeping."""
+    _bench_ingest(
+        benchmark,
+        HierarchicalHistogram(DOMAIN, EPSILON, branching=4, oracle="oue"),
+        population.items,
+    )
+
+
+def test_bench_ingest_haar(benchmark, population):
+    """HaarHRR ingestion: per-height signed Hadamard sums."""
+    _bench_ingest(benchmark, HaarHRR(DOMAIN, EPSILON), population.items)
+
+
+@pytest.mark.parametrize("n_shards", [2, 4, 8])
+def test_bench_merge_vs_shard_count(benchmark, population, n_shards):
+    """Merge cost as the shard count grows (fresh shard copies per round)."""
+    protocol = HierarchicalHistogram(DOMAIN, EPSILON, branching=4, oracle="oue")
+    reports = _encoded_stream(protocol, population.items)
+    shards = [protocol.server() for _ in range(n_shards)]
+    for index, report in enumerate(reports):
+        shards[index % n_shards].ingest(report)
+    blobs = [shard.to_bytes() for shard in shards]
+
+    def fresh_states():
+        return ([AccumulatorState.from_bytes(blob) for blob in blobs],), {}
+
+    def merge_all(states):
+        combined = protocol.server(state=states[0])
+        for state in states[1:]:
+            combined.merge(state)
+        return combined
+
+    combined = benchmark.pedantic(merge_all, setup=fresh_states, rounds=20)
+    assert combined.n_reports == N_USERS
+    mean_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["n_shards"] = n_shards
+    print(f"\n    merge of {n_shards} shards: {mean_seconds * 1e3:.3f} ms")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Sharded aggregation: N clients -> 4 server shards -> merge -> queries.
+
+This demonstrates the deployment topology the paper assumes, using the
+client/server streaming API:
+
+1. a fleet of *clients* (here: batches of users) privatize their items
+   locally with ``ProtocolClient.encode_batch`` -- raw values never leave
+   the user side, every report individually satisfies epsilon-LDP;
+2. four independent *server shards* ingest disjoint slices of the report
+   stream, each folding reports into a compact sufficient-statistics
+   accumulator (size O(D) for this protocol, independent of N);
+3. the shard states are serialized (as they would be for cross-machine
+   transport or checkpointing), merged -- merging is exact, so the result
+   is bit-for-bit identical to a single server ingesting everything --
+   and finalized into one estimator;
+4. the estimator answers range and quantile queries.
+
+Run with:  python examples/sharded_aggregation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HierarchicalHistogram, load_server
+from repro.data import cauchy_population
+
+DOMAIN_SIZE = 1024
+N_USERS = 200_000
+EPSILON = 1.1
+N_SHARDS = 4
+CLIENT_BATCH = 5_000  # users per upload batch
+
+
+def main() -> None:
+    population = cauchy_population(
+        domain_size=DOMAIN_SIZE, n_users=N_USERS, center_fraction=0.4, rng=0
+    )
+    exact = population.frequencies()
+    protocol = HierarchicalHistogram(DOMAIN_SIZE, EPSILON, branching=4, oracle="oue")
+
+    # --- client side -------------------------------------------------- #
+    client = protocol.client()
+    rng = np.random.default_rng(1)
+    batches = np.array_split(population.items, N_USERS // CLIENT_BATCH)
+    reports = [client.encode_batch(batch, rng=rng) for batch in batches]
+    print(f"{len(reports)} client batches encoded ({N_USERS:,} users total)")
+
+    # --- server side: four shards ingest disjoint report slices ------- #
+    shards = [protocol.server() for _ in range(N_SHARDS)]
+    for index, report in enumerate(reports):
+        shards[index % N_SHARDS].ingest(report)
+    for index, shard in enumerate(shards):
+        print(f"  shard {index}: {shard.n_reports:,} reports accumulated")
+
+    # --- transport + merge: shard states travel as bytes --------------- #
+    blobs = [shard.to_bytes() for shard in shards]
+    print(f"serialized shard states: {[len(blob) for blob in blobs]} bytes")
+    combined = load_server(blobs[0])
+    for blob in blobs[1:]:
+        combined.merge(load_server(blob))
+
+    # Exactness check: merging shards reproduces single-server ingestion
+    # bit for bit.
+    single = protocol.server().ingest(reports)
+    assert np.array_equal(
+        combined.finalize().estimated_frequencies(),
+        single.finalize().estimated_frequencies(),
+    ), "sharded merge must equal single-pass aggregation exactly"
+
+    # --- queries -------------------------------------------------------- #
+    estimator = combined.finalize()
+    print(f"\n{'query':>14} {'exact':>9} {'estimate':>9}")
+    for left, right in [(100, 199), (0, 511), (700, 1023)]:
+        truth = float(exact[left : right + 1].sum())
+        estimate = estimator.range_query((left, right))
+        print(f"  [{left:>4}, {right:>4}] {truth:>9.4f} {estimate:>9.4f}")
+    for phi in (0.25, 0.5, 0.9):
+        print(f"  {phi:>4.0%} quantile: item {estimator.quantile_query(phi)}")
+
+
+if __name__ == "__main__":
+    main()

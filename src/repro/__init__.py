@@ -1,15 +1,18 @@
 """repro: Answering Range Queries Under Local Differential Privacy.
 
-A complete reproduction of Cormode, Kulkarni and Srivastava (VLDB 2019).
-The public API centres on three range-query protocols sharing a common
-interface (:class:`~repro.core.protocol.RangeQueryProtocol`):
+A complete reproduction of Cormode, Kulkarni and Srivastava (VLDB 2019),
+built around the deployment topology the paper assumes: many untrusted-free
+*clients* randomize locally, a fleet of *servers* aggregates their reports.
+Three range-query protocols share the same interfaces
+(:class:`~repro.core.protocol.RangeQueryProtocol` and the streaming roles
+in :mod:`repro.core.session`):
 
 * :class:`~repro.flat.FlatRangeQuery` -- the per-item baseline;
 * :class:`~repro.hierarchy.HierarchicalHistogram` -- the HH_B framework
   (TreeOUE / TreeHRR / TreeOLH, with or without constrained inference);
 * :class:`~repro.wavelet.HaarHRR` -- the Discrete Haar Transform protocol.
 
-Quick start::
+Quick start (client/server streaming model)::
 
     import numpy as np
     from repro import HierarchicalHistogram
@@ -17,35 +20,68 @@ Quick start::
 
     data = cauchy_population(domain_size=1024, n_users=200_000, rng=0)
     protocol = HierarchicalHistogram(domain_size=1024, epsilon=1.1, branching=4)
-    estimator = protocol.run(data.items, rng=1)
+
+    # User side: a stateless client encodes privatized reports.  Each
+    # user's report individually satisfies epsilon-LDP; raw items never
+    # leave the client.
+    client = protocol.client()
+    rng = np.random.default_rng(1)
+    reports = [client.encode_batch(batch, rng=rng)
+               for batch in np.array_split(data.items, 100)]
+
+    # Server side: shards ingest reports independently and merge exactly
+    # -- any sharding, merged in any order, equals single-server ingest.
+    shards = [protocol.server() for _ in range(4)]
+    for index, report in enumerate(reports):
+        shards[index % 4].ingest(report)
+    combined = shards[0]
+    for shard in shards[1:]:
+        combined.merge(shard)
+
+    estimator = combined.finalize()
     print(estimator.range_query((100, 400)))
 
-See ``examples/`` for runnable end-to-end scripts and ``benchmarks/`` for
-the reproduction of every table and figure in the paper.
+Server state is serializable (``server.to_bytes()`` /
+:func:`~repro.core.session.load_server`), so aggregation can be sharded
+across processes or machines and resumed across restarts.  For one-shot
+scripts, ``protocol.run(items)`` wraps one client plus one server, and
+``protocol.run_simulated(counts)`` produces a statistically equivalent
+estimator directly from the true histogram.
+
+See ``examples/`` (``sharded_aggregation.py`` in particular) for runnable
+end-to-end scripts and ``benchmarks/`` for the reproduction of every table
+and figure in the paper.
 """
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, Type
 
 from repro.core import (
+    AccumulatorState,
     Domain,
     InvalidDomainError,
     InvalidPrivacyBudgetError,
     InvalidRangeError,
     PrivacyParams,
+    ProtocolClient,
+    ProtocolServer,
     ProtocolUsageError,
     RangeQueryEstimator,
     RangeQueryProtocol,
     RangeSpec,
+    Report,
     ReproError,
+    load_server,
+    protocol_from_spec,
 )
 from repro.flat import FlatRangeQuery
 from repro.frequency_oracles import make_oracle
 from repro.hierarchy import HierarchicalHistogram
 from repro.wavelet import HaarHRR
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: Protocol registry used by the experiment harness and the CLI.
 PROTOCOL_REGISTRY: Dict[str, Type[RangeQueryProtocol]] = {
@@ -54,20 +90,49 @@ PROTOCOL_REGISTRY: Dict[str, Type[RangeQueryProtocol]] = {
     "haar": HaarHRR,
 }
 
+#: Alternative handles accepted by :func:`make_protocol`.
+PROTOCOL_ALIASES: Dict[str, str] = {
+    "wavelet": "haar",
+}
+
+
+def _accepted_protocol_kwargs(cls: Type[RangeQueryProtocol]) -> list:
+    """Keyword parameters a protocol constructor accepts beyond the basics."""
+    parameters = inspect.signature(cls.__init__).parameters
+    return [name for name in parameters if name not in ("self", "domain_size", "epsilon")]
+
 
 def make_protocol(name: str, domain_size: int, epsilon: float, **kwargs) -> RangeQueryProtocol:
     """Construct a range-query protocol by registry handle.
 
-    ``name`` is one of ``"flat"``, ``"hh"`` or ``"haar"``; keyword arguments
-    are forwarded to the protocol constructor (e.g. ``branching=8,
-    oracle="hrr", consistency=True`` for the hierarchical method).
+    ``name`` is one of ``"flat"``, ``"hh"`` or ``"haar"`` (alias
+    ``"wavelet"``); keyword arguments are forwarded to the protocol
+    constructor (e.g. ``branching=8, oracle="hrr", consistency=True`` for
+    the hierarchical method).  Unknown keyword arguments raise a
+    ``TypeError`` naming the handle and the parameters it accepts.
     """
     key = name.strip().lower()
+    key = PROTOCOL_ALIASES.get(key, key)
     if key not in PROTOCOL_REGISTRY:
-        raise KeyError(
-            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOL_REGISTRY)}"
+        known = sorted(set(PROTOCOL_REGISTRY) | set(PROTOCOL_ALIASES))
+        raise KeyError(f"unknown protocol {name!r}; expected one of {known}")
+    cls = PROTOCOL_REGISTRY[key]
+    accepted = _accepted_protocol_kwargs(cls)
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise TypeError(
+            f"protocol {key!r} ({cls.__name__}) got unexpected keyword "
+            f"argument(s) {unknown}; accepted parameters: {accepted}"
         )
-    return PROTOCOL_REGISTRY[key](domain_size, epsilon, **kwargs)
+    try:
+        return cls(domain_size, epsilon, **kwargs)
+    except TypeError as exc:
+        # Constructor-level TypeErrors (e.g. wrong value types) still get
+        # the registry context instead of a bare traceback.
+        raise TypeError(
+            f"could not construct protocol {key!r} ({cls.__name__}) with "
+            f"kwargs {sorted(kwargs)}; accepted parameters: {accepted}"
+        ) from exc
 
 
 __all__ = [
@@ -82,10 +147,17 @@ __all__ = [
     "ProtocolUsageError",
     "RangeQueryEstimator",
     "RangeQueryProtocol",
+    "ProtocolClient",
+    "ProtocolServer",
+    "Report",
+    "AccumulatorState",
     "FlatRangeQuery",
     "HierarchicalHistogram",
     "HaarHRR",
     "make_oracle",
     "make_protocol",
+    "protocol_from_spec",
+    "load_server",
     "PROTOCOL_REGISTRY",
+    "PROTOCOL_ALIASES",
 ]

@@ -12,12 +12,30 @@ data, this CLI is the "production" entry point a practitioner would use:
   report their mean squared error against the exact answers, i.e. a
   one-dataset version of the paper's accuracy comparison.
 
+The streaming trio exposes the client/server split on files, demonstrating
+a sharded multi-server round trip:
+
+* ``repro-cli encode``    -- user side only: privatize a CSV of items into
+  one or more report files (``--shards K`` splits the population);
+* ``repro-cli aggregate`` -- server side only: fold report files into a
+  serialized accumulator state (run once per server shard);
+* ``repro-cli merge``     -- combine shard states (exactly, in any order),
+  finalize, and answer range/quantile queries.
+
 Example::
 
     repro-cli generate --distribution cauchy --domain-size 1024 \
         --n-users 100000 --output users.csv
     repro-cli run --input users.csv --domain-size 1024 --epsilon 1.1 \
         --method hh --branching 4 --ranges 0:127,128:511 --quantiles 0.5,0.9
+
+    # The same computation, sharded across two aggregation servers:
+    repro-cli encode --input users.csv --domain-size 1024 --epsilon 1.1 \
+        --method hh --branching 4 --shards 2 --output reports.bin
+    repro-cli aggregate --reports reports.bin.0 --output shard0.state
+    repro-cli aggregate --reports reports.bin.1 --output shard1.state
+    repro-cli merge --states shard0.state shard1.state \
+        --ranges 0:127,128:511 --quantiles 0.5,0.9
 """
 
 from __future__ import annotations
@@ -32,7 +50,15 @@ import numpy as np
 
 from repro import make_protocol
 from repro.analysis.metrics import mean_squared_error
+from repro.core.exceptions import ProtocolUsageError
 from repro.core.rng import ensure_rng
+from repro.core.serialization import SerializationError
+from repro.core.session import (
+    load_report_file,
+    load_server_file,
+    save_report_file,
+    save_server_file,
+)
 from repro.data.synthetic import DISTRIBUTIONS, make_population
 from repro.queries.workload import true_answers
 from repro.core.types import RangeSpec
@@ -106,6 +132,14 @@ def write_items(path: str, items: np.ndarray) -> None:
             writer.writerow([int(value)])
 
 
+def _check_domain_bounds(items: np.ndarray, domain_size: int) -> None:
+    if items.max() >= domain_size or items.min() < 0:
+        raise SystemExit(
+            f"input values fall outside [0, {domain_size}); "
+            "pass the correct --domain-size"
+        )
+
+
 def _build_protocol(args: argparse.Namespace):
     kwargs = {}
     if args.method == "hh":
@@ -136,11 +170,7 @@ def command_generate(args: argparse.Namespace) -> int:
 
 def command_run(args: argparse.Namespace) -> int:
     items = read_items(args.input, column=args.column, has_header=args.has_header)
-    if items.max() >= args.domain_size or items.min() < 0:
-        raise SystemExit(
-            f"input values fall outside [0, {args.domain_size}); "
-            "pass the correct --domain-size"
-        )
+    _check_domain_bounds(items, args.domain_size)
     protocol = _build_protocol(args)
     estimator = protocol.run(items, rng=ensure_rng(args.seed))
 
@@ -149,23 +179,117 @@ def command_run(args: argparse.Namespace) -> int:
         "epsilon": args.epsilon,
         "domain_size": args.domain_size,
         "n_users": int(len(items)),
-        "ranges": {},
-        "quantiles": {},
     }
-    for left, right in parse_ranges(args.ranges):
-        output["ranges"][f"{left}:{right}"] = estimator.range_query((left, right))
-    for phi in parse_quantiles(args.quantiles):
-        output["quantiles"][f"{phi:g}"] = int(estimator.quantile_query(phi))
-    if args.dump_frequencies:
-        output["frequencies"] = [float(v) for v in estimator.estimated_frequencies()]
+    output.update(_answer_queries(estimator, args))
 
+    _write_query_output(output, args)
+    return 0
+
+
+def _answer_queries(estimator, args: argparse.Namespace) -> dict:
+    """Evaluate the --ranges / --quantiles / --dump-frequencies requests."""
+    answers = {"ranges": {}, "quantiles": {}}
+    for left, right in parse_ranges(args.ranges):
+        answers["ranges"][f"{left}:{right}"] = estimator.range_query((left, right))
+    for phi in parse_quantiles(args.quantiles):
+        answers["quantiles"][f"{phi:g}"] = int(estimator.quantile_query(phi))
+    if getattr(args, "dump_frequencies", False):
+        answers["frequencies"] = [float(v) for v in estimator.estimated_frequencies()]
+    return answers
+
+
+def _write_query_output(output: dict, args: argparse.Namespace) -> None:
     text = json.dumps(output, indent=2, sort_keys=True)
-    if args.output:
+    if getattr(args, "output", None):
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote results to {args.output}")
     else:
         print(text)
+
+
+def command_encode(args: argparse.Namespace) -> int:
+    """Client side of the streaming pipeline: items -> report file(s)."""
+    items = read_items(args.input, column=args.column, has_header=args.has_header)
+    _check_domain_bounds(items, args.domain_size)
+    protocol = _build_protocol(args)
+    client = protocol.client()
+    rng = ensure_rng(args.seed)
+    shards = int(args.shards)
+    if shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    paths = []
+    for index, chunk in enumerate(np.array_split(items, shards)):
+        report = client.encode_batch(chunk, rng=rng)
+        path = args.output if shards == 1 else f"{args.output}.{index}"
+        save_report_file(path, protocol, report)
+        paths.append(path)
+    print(
+        f"encoded {len(items)} users with {protocol.name} into "
+        f"{len(paths)} report file(s): {', '.join(paths)}"
+    )
+    return 0
+
+
+def command_aggregate(args: argparse.Namespace) -> int:
+    """Server side of the streaming pipeline: report files -> shard state."""
+    server = None
+    spec = None
+    for path in args.reports:
+        try:
+            protocol, report = load_report_file(path)
+        except (OSError, SerializationError) as exc:
+            raise SystemExit(f"could not load report file {path}: {exc}")
+        if server is None:
+            server = protocol.server()
+            spec = protocol.spec()
+        elif protocol.spec() != spec:
+            raise SystemExit(
+                f"{path} was encoded with a different protocol configuration "
+                f"({protocol.spec()} != {spec})"
+            )
+        server.ingest(report)
+    if server is None:
+        raise SystemExit("no report files given")
+    save_server_file(args.output, server)
+    print(
+        f"aggregated {server.n_reports} reports from {len(args.reports)} "
+        f"file(s) into {args.output}"
+    )
+    return 0
+
+
+def command_merge(args: argparse.Namespace) -> int:
+    """Combine shard states exactly, finalize, and answer queries."""
+    servers = []
+    for path in args.states:
+        try:
+            servers.append(load_server_file(path))
+        except (OSError, SerializationError) as exc:
+            raise SystemExit(f"could not load state file {path}: {exc}")
+    combined = servers[0]
+    for other in servers[1:]:
+        try:
+            combined.merge(other)
+        except ProtocolUsageError as exc:
+            raise SystemExit(str(exc))
+    if args.output_state:
+        save_server_file(args.output_state, combined)
+        print(f"wrote merged state ({combined.n_reports} reports) to {args.output_state}")
+
+    try:
+        estimator = combined.finalize()
+    except ProtocolUsageError as exc:
+        raise SystemExit(str(exc))
+    output = {
+        "method": combined.protocol.name,
+        "epsilon": combined.protocol.epsilon,
+        "domain_size": combined.protocol.domain_size,
+        "n_users": int(combined.n_reports),
+        "n_shards": len(args.states),
+    }
+    output.update(_answer_queries(estimator, args))
+    _write_query_output(output, args)
     return 0
 
 
@@ -241,6 +365,53 @@ def build_parser() -> argparse.ArgumentParser:
     add_common_run_arguments(compare)
     compare.add_argument("--methods", default="flat,hh,haar")
     compare.set_defaults(func=command_compare)
+
+    encode = subparsers.add_parser(
+        "encode", help="privatize a CSV of items into report file(s) (client side)"
+    )
+    encode.add_argument("--input", required=True, help="CSV file with one user per row")
+    encode.add_argument("--column", type=int, default=0)
+    encode.add_argument("--has-header", action="store_true")
+    encode.add_argument("--domain-size", type=int, required=True)
+    encode.add_argument("--epsilon", type=float, default=1.1)
+    encode.add_argument("--method", choices=["flat", "hh", "haar"], default="hh")
+    encode.add_argument("--branching", type=int, default=4)
+    encode.add_argument("--oracle", default="oue")
+    encode.add_argument("--no-consistency", action="store_true")
+    encode.add_argument("--seed", type=int, default=None)
+    encode.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the population into K report files (suffix .0 .. .K-1)",
+    )
+    encode.add_argument("--output", required=True, help="report file (or prefix)")
+    encode.set_defaults(func=command_encode)
+
+    aggregate = subparsers.add_parser(
+        "aggregate",
+        help="fold report file(s) into a serialized accumulator state (server side)",
+    )
+    aggregate.add_argument(
+        "--reports", nargs="+", required=True, help="report files from encode"
+    )
+    aggregate.add_argument("--output", required=True, help="accumulator state file")
+    aggregate.set_defaults(func=command_aggregate)
+
+    merge = subparsers.add_parser(
+        "merge", help="merge shard states exactly and answer queries"
+    )
+    merge.add_argument(
+        "--states", nargs="+", required=True, help="state files from aggregate"
+    )
+    merge.add_argument("--ranges", default="", help="comma separated left:right pairs")
+    merge.add_argument("--quantiles", default="", help="comma separated values in [0, 1]")
+    merge.add_argument("--dump-frequencies", action="store_true")
+    merge.add_argument("--output", default=None, help="write JSON here instead of stdout")
+    merge.add_argument(
+        "--output-state", default=None, help="also write the merged state here"
+    )
+    merge.set_defaults(func=command_merge)
 
     return parser
 

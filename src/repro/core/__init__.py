@@ -10,6 +10,12 @@ from but that are not themselves specific to any one mechanism:
 * :mod:`repro.core.protocol`   -- the abstract ``RangeQueryProtocol`` /
   ``RangeQueryEstimator`` interfaces implemented by the flat, hierarchical
   and wavelet methods.
+* :mod:`repro.core.session`    -- the streaming execution roles: the
+  stateless ``ProtocolClient`` encoder, the incremental ``ProtocolServer``
+  aggregator, typed ``Report`` payloads and the mergeable, serializable
+  ``AccumulatorState``.
+* :mod:`repro.core.serialization` -- the pickle-free wire format reports
+  and accumulator states use to cross process boundaries.
 """
 
 from repro.core.exceptions import (
@@ -20,8 +26,25 @@ from repro.core.exceptions import (
     ProtocolUsageError,
 )
 from repro.core.rng import ensure_rng, spawn_rngs
+from repro.core.serialization import SerializationError, pack_blob, unpack_blob
 from repro.core.types import Domain, PrivacyParams, RangeSpec
 from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
+from repro.core.session import (
+    AccumulatorState,
+    CompositeAccumulator,
+    FlatReport,
+    HaarReport,
+    HierarchicalReport,
+    ProtocolClient,
+    ProtocolServer,
+    Report,
+    load_report_file,
+    load_server,
+    load_server_file,
+    protocol_from_spec,
+    save_report_file,
+    save_server_file,
+)
 
 __all__ = [
     "ReproError",
@@ -29,11 +52,28 @@ __all__ = [
     "InvalidPrivacyBudgetError",
     "InvalidRangeError",
     "ProtocolUsageError",
+    "SerializationError",
     "ensure_rng",
     "spawn_rngs",
+    "pack_blob",
+    "unpack_blob",
     "Domain",
     "PrivacyParams",
     "RangeSpec",
     "RangeQueryEstimator",
     "RangeQueryProtocol",
+    "AccumulatorState",
+    "CompositeAccumulator",
+    "ProtocolClient",
+    "ProtocolServer",
+    "Report",
+    "FlatReport",
+    "HierarchicalReport",
+    "HaarReport",
+    "protocol_from_spec",
+    "load_server",
+    "save_report_file",
+    "load_report_file",
+    "save_server_file",
+    "load_server_file",
 ]

@@ -3,33 +3,47 @@
 Every method the paper studies (flat, hierarchical histograms, HaarHRR) is a
 *protocol*: a recipe for what each user sends under epsilon-LDP and how the
 untrusted aggregator turns the collected reports into an *estimator* that can
-answer arbitrary range queries.  The two abstract classes here capture that
-split:
+answer arbitrary range queries.  The execution model mirrors the real
+deployment topology -- many clients, a fleet of aggregation servers:
 
-* :class:`RangeQueryProtocol` is the configuration object (domain size,
-  privacy budget, method parameters).  Calling :meth:`RangeQueryProtocol.run`
-  on the private items executes the full user-side randomization and
-  server-side aggregation and returns an estimator.  Calling
+* :class:`RangeQueryProtocol` is the pure configuration object (domain
+  size, privacy budget, method parameters).  It is a factory for the two
+  runtime roles: :meth:`RangeQueryProtocol.client` builds the stateless
+  user-side encoder (:class:`~repro.core.session.ProtocolClient`, whose
+  ``encode`` / ``encode_batch`` emit privatized
+  :class:`~repro.core.session.Report` payloads) and
+  :meth:`RangeQueryProtocol.server` builds the incremental aggregator
+  (:class:`~repro.core.session.ProtocolServer`, whose ``ingest`` folds
+  reports into a mergeable, serializable accumulator and whose
+  ``finalize`` produces the estimator).  Server shards ``merge`` exactly:
+  any sharding of a report stream, combined in any order, finalizes to the
+  same estimator as single-server ingestion.
+* :meth:`RangeQueryProtocol.run` is a convenience wrapper -- one client,
+  one server, one batch -- so scripts and experiments can stay one-liners.
   :meth:`RangeQueryProtocol.run_simulated` produces a statistically
-  equivalent estimator directly from the true histogram, which is the same
+  equivalent estimator directly from the true histogram, the same
   simulation device the paper uses to scale its OUE experiments.
 * :class:`RangeQueryEstimator` answers point, range, prefix and quantile
   queries from the aggregated noisy view.
 
 Concrete implementations live in :mod:`repro.flat`, :mod:`repro.hierarchy`
-and :mod:`repro.wavelet`.
+and :mod:`repro.wavelet`; the role interfaces live in
+:mod:`repro.core.session`.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.exceptions import InvalidRangeError
+from repro.core.exceptions import InvalidRangeError, ProtocolUsageError
 from repro.core.rng import RngLike, ensure_rng
 from repro.core.types import Domain, PrivacyParams, RangeSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.session import AccumulatorState, ProtocolClient, ProtocolServer
 
 RangeLike = Union[RangeSpec, Tuple[int, int]]
 
@@ -56,6 +70,7 @@ class RangeQueryEstimator(abc.ABC):
     def __init__(self, domain: Domain) -> None:
         self._domain = domain
         self._prefix_cache: Optional[np.ndarray] = None
+        self._monotone_cdf_cache: Optional[np.ndarray] = None
 
     @property
     def domain(self) -> Domain:
@@ -78,9 +93,21 @@ class RangeQueryEstimator(abc.ABC):
             self._prefix_cache = np.concatenate(([0.0], np.cumsum(freqs)))
         return self._prefix_cache
 
+    def _monotone_cdf(self) -> np.ndarray:
+        """Cached monotonized CDF used by quantile queries.
+
+        Monotonizing the (possibly noisy, non-monotone) CDF is a valid LDP
+        post-processing step; caching it makes repeated quantile queries
+        O(log D) instead of O(D) each.
+        """
+        if self._monotone_cdf_cache is None:
+            self._monotone_cdf_cache = np.maximum.accumulate(self.cdf())
+        return self._monotone_cdf_cache
+
     def invalidate_cache(self) -> None:
         """Drop cached prefix sums (call after mutating internal state)."""
         self._prefix_cache = None
+        self._monotone_cdf_cache = None
 
     def point_query(self, item: int) -> float:
         """Estimated frequency of a single item."""
@@ -122,11 +149,9 @@ class RangeQueryEstimator(abc.ABC):
         """
         if not 0.0 <= phi <= 1.0:
             raise ValueError(f"phi must be in [0, 1], got {phi}")
-        cdf = self.cdf()
-        # np.searchsorted over the (possibly noisy, non-monotone) cdf is not
-        # safe; enforce monotonicity first, which is itself a valid
-        # post-processing step under LDP.
-        monotone = np.maximum.accumulate(cdf)
+        # np.searchsorted over the noisy cdf is not safe without enforcing
+        # monotonicity first; the monotone cdf is cached across calls.
+        monotone = self._monotone_cdf()
         index = int(np.searchsorted(monotone, phi, side="left"))
         return min(index, self.domain_size - 1)
 
@@ -173,14 +198,53 @@ class RangeQueryProtocol(abc.ABC):
         """The epsilon privacy budget."""
         return self._privacy.epsilon
 
+    # ------------------------------------------------------------------ #
+    # client / server factories
+    # ------------------------------------------------------------------ #
     @abc.abstractmethod
+    def client(self) -> "ProtocolClient":
+        """The stateless user-side encoder for this configuration."""
+
+    @abc.abstractmethod
+    def server(self, state: Optional["AccumulatorState"] = None) -> "ProtocolServer":
+        """An incremental aggregator, optionally resumed from ``state``.
+
+        ``state`` is an accumulator previously obtained from another
+        server's ``state`` property or deserialized with
+        :meth:`~repro.core.session.AccumulatorState.from_bytes`; it must
+        belong to an identically configured protocol.
+        """
+
+    @abc.abstractmethod
+    def spec(self) -> dict:
+        """JSON-able description sufficient to rebuild this protocol.
+
+        The returned dict always contains ``name`` (the
+        ``PROTOCOL_REGISTRY`` handle), ``domain_size`` and ``epsilon``;
+        remaining keys are constructor keyword arguments.  Serialized
+        reports and accumulator states embed this spec so servers can be
+        reconstructed from bytes alone (see
+        :func:`repro.core.session.load_server`).
+        """
+
     def run(self, items: np.ndarray, rng: RngLike = None) -> RangeQueryEstimator:
         """Execute the protocol end-to-end on raw private items.
 
-        Each entry of ``items`` is one user's private value.  The method
-        performs the user-side randomization for every user individually and
-        then the server-side aggregation, returning the resulting estimator.
+        Each entry of ``items`` is one user's private value.  This is a
+        thin wrapper over the streaming roles -- one client encodes the
+        whole population, one server ingests the single report batch and
+        finalizes -- kept for scripts and experiments that do not need
+        sharded or incremental aggregation.
         """
+        rng = ensure_rng(rng)
+        items = np.asarray(items)
+        # encode_batch performs the full domain validation; only the
+        # zero-user check lives here so the error matches run()'s contract.
+        if items.ndim == 1 and len(items) == 0:
+            raise ProtocolUsageError("cannot run the protocol with zero users")
+        server = self.server()
+        server.ingest(self.client().encode_batch(items, rng=rng))
+        return server.finalize()
 
     def run_simulated(
         self, true_counts: np.ndarray, rng: RngLike = None

@@ -1,0 +1,96 @@
+"""Binary wire format for accumulator states and client reports.
+
+Sharded aggregation only works if the intermediate objects -- the reports
+clients upload and the sufficient-statistics accumulators servers keep --
+can cross process and machine boundaries.  This module defines the single
+container format both use:
+
+``MAGIC | <u64 header length> | <JSON header> | <npy arrays, concatenated>``
+
+The JSON header carries small metadata (state kind, protocol spec, report
+counts, and -- for the exact summation accumulator -- arbitrary-precision
+integer sums, which JSON represents losslessly).  Bulk numeric payloads are
+written as standard ``.npy`` blocks in a declared order, so decoding never
+needs pickle and the format is stable across Python/numpy versions.
+
+Nested objects (e.g. the hierarchical accumulator's per-level oracle
+accumulators) embed each child's packed bytes as a ``uint8`` array, which
+keeps the format strictly compositional.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+#: Format tag; bump the trailing byte on incompatible layout changes.
+MAGIC = b"REPROACC\x01"
+
+_LENGTH = struct.Struct("<Q")
+
+
+class SerializationError(ValueError):
+    """Raised when a byte blob cannot be decoded as a packed state/report."""
+
+
+def pack_blob(header: dict, arrays: Mapping[str, np.ndarray] = ()) -> bytes:
+    """Serialize a JSON-able header plus named numeric arrays to bytes.
+
+    ``header`` must be JSON serializable (Python's ``json`` keeps integer
+    values exact at arbitrary precision, which the exact accumulators rely
+    on).  ``arrays`` values are written as raw ``.npy`` blocks; object
+    dtypes are rejected.
+    """
+    arrays = dict(arrays or {})
+    body = io.BytesIO()
+    for name, array in arrays.items():
+        np.lib.format.write_array(
+            body, np.ascontiguousarray(array), allow_pickle=False
+        )
+    document = {"header": header, "arrays": list(arrays)}
+    encoded = json.dumps(document, sort_keys=True).encode("utf-8")
+    return MAGIC + _LENGTH.pack(len(encoded)) + encoded + body.getvalue()
+
+
+def unpack_blob(data: bytes) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_blob`: return ``(header, arrays)``."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SerializationError(
+            f"expected bytes, got {type(data).__name__}"
+        )
+    data = bytes(data)
+    if not data.startswith(MAGIC):
+        raise SerializationError("bad magic: not a packed repro state/report")
+    offset = len(MAGIC)
+    if len(data) < offset + _LENGTH.size:
+        raise SerializationError("truncated blob: missing header length")
+    (header_length,) = _LENGTH.unpack_from(data, offset)
+    offset += _LENGTH.size
+    if len(data) < offset + header_length:
+        raise SerializationError("truncated blob: missing header")
+    try:
+        document = json.loads(data[offset : offset + header_length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError("corrupt header JSON") from exc
+    body = io.BytesIO(data[offset + header_length :])
+    arrays: Dict[str, np.ndarray] = {}
+    for name in document.get("arrays", []):
+        try:
+            arrays[name] = np.lib.format.read_array(body, allow_pickle=False)
+        except Exception as exc:  # numpy raises several internal types here
+            raise SerializationError(f"corrupt array block {name!r}") from exc
+    return document.get("header", {}), arrays
+
+
+def pack_child(child_bytes: bytes) -> np.ndarray:
+    """View packed child bytes as a ``uint8`` array for nesting in a blob."""
+    return np.frombuffer(child_bytes, dtype=np.uint8)
+
+
+def unpack_child(array: np.ndarray) -> bytes:
+    """Recover the packed bytes of a nested child from its ``uint8`` array."""
+    return np.asarray(array, dtype=np.uint8).tobytes()

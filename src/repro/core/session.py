@@ -1,0 +1,610 @@
+"""Client/server streaming sessions for LDP range-query protocols.
+
+The paper's protocols are distributed by nature: every user randomizes her
+item locally and an untrusted aggregator combines the reports.  This module
+makes that split first-class instead of hiding it inside a batch
+``run()`` call:
+
+* :class:`ProtocolClient` is the stateless user side.  ``encode(item)`` /
+  ``encode_batch(items)`` perform only the epsilon-LDP randomization and
+  produce a typed :class:`Report` -- the one object that ever leaves a
+  user's device.
+* :class:`ProtocolServer` is the aggregator side.  ``ingest(reports)``
+  folds reports into a compact sufficient-statistics accumulator,
+  ``merge(other)`` combines the accumulators of independently run server
+  shards, and ``finalize()`` turns the current state into a
+  :class:`~repro.core.protocol.RangeQueryEstimator`.
+* :class:`AccumulatorState` is the mergeable, serializable state a server
+  carries.  ``merge`` is exactly associative and commutative -- every
+  concrete accumulator stores integer (or exact dyadic) sums -- so any
+  sharding of a report stream, merged in any order, finalizes to an
+  estimator that is bit-for-bit identical to single-server ingestion.
+  ``to_bytes()`` / ``from_bytes()`` round-trip the state through a stable,
+  pickle-free wire format (:mod:`repro.core.serialization`), enabling
+  persistence and cross-process aggregation.
+
+:meth:`RangeQueryProtocol.run` is a thin convenience wrapper over one
+client plus one server; the experiments, benchmarks and CLI all keep
+working unchanged on top of this streaming model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.exceptions import ProtocolUsageError
+from repro.core.rng import RngLike
+from repro.core.serialization import (
+    SerializationError,
+    pack_blob,
+    pack_child,
+    unpack_blob,
+    unpack_child,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
+
+
+# --------------------------------------------------------------------- #
+# accumulator states
+# --------------------------------------------------------------------- #
+#: Registry mapping ``state_kind`` tags to decoders ``(header, arrays) -> state``.
+_STATE_DECODERS: Dict[str, Callable[[dict, Dict[str, np.ndarray]], "AccumulatorState"]] = {}
+
+
+def register_state_decoder(
+    kind: str, decoder: Callable[[dict, Dict[str, np.ndarray]], "AccumulatorState"]
+) -> None:
+    """Register a decoder for :meth:`AccumulatorState.from_bytes` dispatch."""
+    _STATE_DECODERS[str(kind)] = decoder
+
+
+class AccumulatorState(abc.ABC):
+    """Mergeable, serializable sufficient statistics of an aggregation.
+
+    Concrete states guarantee *exact* merge associativity and
+    commutativity: merging any sharding of the same report stream in any
+    order yields bit-identical statistics, because all internal sums are
+    integers (or exact dyadic rationals for the Laplace-based SHE oracle).
+    """
+
+    #: Serialization tag; concrete classes override and register a decoder.
+    state_kind: ClassVar[str] = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def n_reports(self) -> int:
+        """Number of user reports folded into this state."""
+
+    @abc.abstractmethod
+    def merge(self, other: "AccumulatorState") -> "AccumulatorState":
+        """Fold ``other`` into this state in place and return ``self``."""
+
+    @abc.abstractmethod
+    def to_bytes(self) -> bytes:
+        """Serialize this state with :func:`repro.core.serialization.pack_blob`."""
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "AccumulatorState":
+        """Decode any registered accumulator state from its packed bytes."""
+        header, arrays = unpack_blob(data)
+        kind = header.get("state_kind")
+        decoder = _STATE_DECODERS.get(kind)
+        if decoder is None:
+            raise SerializationError(f"unknown accumulator state kind {kind!r}")
+        return decoder(header, arrays)
+
+    def copy(self) -> "AccumulatorState":
+        """An independent deep copy (default: serialize and re-load)."""
+        return AccumulatorState.from_bytes(self.to_bytes())
+
+
+class CompositeAccumulator(AccumulatorState):
+    """An accumulator made of child accumulators plus a user counter.
+
+    This is the state shape shared by every protocol server: the flat
+    protocol has a single child (its oracle accumulator), the hierarchical
+    protocol one child per tree level, and HaarHRR one child per detail
+    height.  ``config`` carries the owning protocol's spec so that merges
+    across incompatible configurations fail loudly and a server can be
+    rebuilt from the state alone (see :func:`load_server`).
+    """
+
+    state_kind = "composite"
+
+    def __init__(
+        self,
+        label: str,
+        config: dict,
+        children: List[AccumulatorState],
+        n_users: int = 0,
+    ) -> None:
+        self.label = str(label)
+        self.config = dict(config)
+        self.children = list(children)
+        self.n_users = int(n_users)
+
+    @property
+    def n_reports(self) -> int:
+        return self.n_users
+
+    def _check_compatible(self, other: "CompositeAccumulator") -> None:
+        if not isinstance(other, CompositeAccumulator):
+            raise ProtocolUsageError(
+                f"cannot merge {type(other).__name__} into a composite accumulator"
+            )
+        if self.label != other.label or len(self.children) != len(other.children):
+            raise ProtocolUsageError(
+                f"cannot merge accumulator {other.label!r} into {self.label!r}"
+            )
+        if self.config != other.config:
+            raise ProtocolUsageError(
+                "cannot merge accumulators of differently configured protocols: "
+                f"{self.config} != {other.config}"
+            )
+
+    def merge(self, other: AccumulatorState) -> "CompositeAccumulator":
+        self._check_compatible(other)
+        for child, other_child in zip(self.children, other.children):
+            child.merge(other_child)
+        self.n_users += other.n_users
+        return self
+
+    def to_bytes(self) -> bytes:
+        arrays = {
+            f"child_{index}": pack_child(child.to_bytes())
+            for index, child in enumerate(self.children)
+        }
+        header = {
+            "state_kind": self.state_kind,
+            "label": self.label,
+            "config": self.config,
+            "n_users": self.n_users,
+            "num_children": len(self.children),
+        }
+        return pack_blob(header, arrays)
+
+    @classmethod
+    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "CompositeAccumulator":
+        children = [
+            AccumulatorState.from_bytes(unpack_child(arrays[f"child_{index}"]))
+            for index in range(int(header["num_children"]))
+        ]
+        return cls(
+            label=header["label"],
+            config=header["config"],
+            children=children,
+            n_users=int(header["n_users"]),
+        )
+
+
+register_state_decoder(CompositeAccumulator.state_kind, CompositeAccumulator._decode)
+
+
+# --------------------------------------------------------------------- #
+# oracle payload (de)serialization
+# --------------------------------------------------------------------- #
+def _pack_payload(payload: Any, prefix: str) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Describe one oracle report payload as ``(meta, named arrays)``.
+
+    Imports are deferred so that :mod:`repro.core` never depends on
+    :mod:`repro.frequency_oracles` at module load time.
+    """
+    from repro.frequency_oracles.hrr import HadamardReports
+    from repro.frequency_oracles.olh import LocalHashReports
+
+    if isinstance(payload, HadamardReports):
+        meta = {"payload_kind": "hadamard", "padded_size": int(payload.padded_size)}
+        arrays = {
+            f"{prefix}.indices": np.asarray(payload.indices),
+            f"{prefix}.values": np.asarray(payload.values),
+        }
+        return meta, arrays
+    if isinstance(payload, LocalHashReports):
+        meta = {"payload_kind": "localhash", "num_buckets": int(payload.num_buckets)}
+        arrays = {
+            f"{prefix}.multipliers": np.asarray(payload.multipliers),
+            f"{prefix}.offsets": np.asarray(payload.offsets),
+            f"{prefix}.buckets": np.asarray(payload.buckets),
+        }
+        return meta, arrays
+    if isinstance(payload, np.ndarray):
+        return {"payload_kind": "array"}, {prefix: payload}
+    raise SerializationError(
+        f"cannot serialize oracle payload of type {type(payload).__name__}"
+    )
+
+
+def _unpack_payload(meta: dict, arrays: Dict[str, np.ndarray], prefix: str) -> Any:
+    """Inverse of :func:`_pack_payload`."""
+    from repro.frequency_oracles.hrr import HadamardReports
+    from repro.frequency_oracles.olh import LocalHashReports
+
+    kind = meta.get("payload_kind")
+    if kind == "hadamard":
+        return HadamardReports(
+            indices=arrays[f"{prefix}.indices"],
+            values=arrays[f"{prefix}.values"],
+            padded_size=int(meta["padded_size"]),
+        )
+    if kind == "localhash":
+        return LocalHashReports(
+            multipliers=arrays[f"{prefix}.multipliers"],
+            offsets=arrays[f"{prefix}.offsets"],
+            buckets=arrays[f"{prefix}.buckets"],
+            num_buckets=int(meta["num_buckets"]),
+        )
+    if kind == "array":
+        return arrays[prefix]
+    raise SerializationError(f"unknown oracle payload kind {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# reports
+# --------------------------------------------------------------------- #
+#: Registry mapping ``report_kind`` tags to decoders.
+_REPORT_DECODERS: Dict[str, Callable[[dict, Dict[str, np.ndarray]], "Report"]] = {}
+
+
+def register_report_decoder(
+    kind: str, decoder: Callable[[dict, Dict[str, np.ndarray]], "Report"]
+) -> None:
+    """Register a decoder for :meth:`Report.from_bytes` dispatch."""
+    _REPORT_DECODERS[str(kind)] = decoder
+
+
+class Report(abc.ABC):
+    """The privatized payload a batch of clients uploads to a server.
+
+    A report contains only randomized data -- each entry individually
+    satisfies epsilon-LDP -- plus the bookkeeping a server needs to fold it
+    into its accumulator (how many users it covers and, for level-sampled
+    protocols, how many landed on each level).
+    """
+
+    #: Serialization tag; concrete classes override and register a decoder.
+    kind: ClassVar[str] = "abstract"
+
+    #: Number of users whose randomized values this report carries.
+    n_users: int
+
+    @abc.abstractmethod
+    def to_bytes(self) -> bytes:
+        """Serialize with :func:`repro.core.serialization.pack_blob`."""
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Report":
+        """Decode any registered report type from its packed bytes."""
+        header, arrays = unpack_blob(data)
+        kind = header.get("report_kind")
+        decoder = _REPORT_DECODERS.get(kind)
+        if decoder is None:
+            raise SerializationError(f"unknown report kind {kind!r}")
+        return decoder(header, arrays)
+
+
+@dataclass
+class FlatReport(Report):
+    """Reports of users running a flat (whole-domain oracle) protocol."""
+
+    kind: ClassVar[str] = "flat"
+
+    #: Oracle-specific randomized payload (``None`` for an empty batch).
+    payload: Any
+    n_users: int = 0
+
+    def to_bytes(self) -> bytes:
+        arrays: Dict[str, np.ndarray] = {}
+        meta: Optional[dict] = None
+        if self.n_users > 0:
+            meta, arrays = _pack_payload(self.payload, "payload")
+        header = {"report_kind": self.kind, "n_users": int(self.n_users), "payload": meta}
+        return pack_blob(header, arrays)
+
+    @classmethod
+    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "FlatReport":
+        n_users = int(header["n_users"])
+        payload = None
+        if n_users > 0:
+            payload = _unpack_payload(header["payload"], arrays, "payload")
+        return cls(payload=payload, n_users=n_users)
+
+
+@dataclass
+class HierarchicalReport(Report):
+    """Reports of users running the hierarchical-histogram protocol.
+
+    ``level_payloads`` maps each tree level (1 = children of the root) to
+    the oracle payload of the users assigned there; ``level_user_counts``
+    is indexed by level with entry 0 holding the total user count.
+    """
+
+    kind: ClassVar[str] = "hierarchical"
+
+    level_payloads: Dict[int, Any] = field(default_factory=dict)
+    level_user_counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    n_users: int = 0
+
+    def to_bytes(self) -> bytes:
+        arrays: Dict[str, np.ndarray] = {
+            "level_user_counts": np.asarray(self.level_user_counts, dtype=np.int64)
+        }
+        level_meta: Dict[str, dict] = {}
+        for level, payload in sorted(self.level_payloads.items()):
+            meta, payload_arrays = _pack_payload(payload, f"level_{level}")
+            level_meta[str(level)] = meta
+            arrays.update(payload_arrays)
+        header = {
+            "report_kind": self.kind,
+            "n_users": int(self.n_users),
+            "levels": level_meta,
+        }
+        return pack_blob(header, arrays)
+
+    @classmethod
+    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "HierarchicalReport":
+        payloads = {
+            int(level): _unpack_payload(meta, arrays, f"level_{int(level)}")
+            for level, meta in header.get("levels", {}).items()
+        }
+        return cls(
+            level_payloads=payloads,
+            level_user_counts=np.asarray(arrays["level_user_counts"], dtype=np.int64),
+            n_users=int(header["n_users"]),
+        )
+
+
+@dataclass
+class HaarReport(Report):
+    """Reports of users running the HaarHRR wavelet protocol.
+
+    ``height_payloads`` maps each Haar detail height ``j`` (1 = finest) to
+    the Hadamard reports of the users that sampled it;
+    ``level_user_counts[j]`` is the number of such users (index 0 unused,
+    matching the protocol's diagnostics convention).
+    """
+
+    kind: ClassVar[str] = "haar"
+
+    height_payloads: Dict[int, Any] = field(default_factory=dict)
+    level_user_counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    n_users: int = 0
+
+    def to_bytes(self) -> bytes:
+        arrays: Dict[str, np.ndarray] = {
+            "level_user_counts": np.asarray(self.level_user_counts, dtype=np.int64)
+        }
+        height_meta: Dict[str, dict] = {}
+        for height_j, payload in sorted(self.height_payloads.items()):
+            meta, payload_arrays = _pack_payload(payload, f"height_{height_j}")
+            height_meta[str(height_j)] = meta
+            arrays.update(payload_arrays)
+        header = {
+            "report_kind": self.kind,
+            "n_users": int(self.n_users),
+            "heights": height_meta,
+        }
+        return pack_blob(header, arrays)
+
+    @classmethod
+    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "HaarReport":
+        payloads = {
+            int(height): _unpack_payload(meta, arrays, f"height_{int(height)}")
+            for height, meta in header.get("heights", {}).items()
+        }
+        return cls(
+            height_payloads=payloads,
+            level_user_counts=np.asarray(arrays["level_user_counts"], dtype=np.int64),
+            n_users=int(header["n_users"]),
+        )
+
+
+register_report_decoder(FlatReport.kind, FlatReport._decode)
+register_report_decoder(HierarchicalReport.kind, HierarchicalReport._decode)
+register_report_decoder(HaarReport.kind, HaarReport._decode)
+
+
+# --------------------------------------------------------------------- #
+# client / server roles
+# --------------------------------------------------------------------- #
+class ProtocolClient(abc.ABC):
+    """Stateless user-side encoder of one range-query protocol.
+
+    A client holds only protocol configuration (domain, epsilon, method
+    parameters) -- never data -- so a single instance can encode for any
+    number of users, and constructing one per device is equally valid.
+    """
+
+    def __init__(self, protocol: "RangeQueryProtocol") -> None:
+        self._protocol = protocol
+
+    @property
+    def protocol(self) -> "RangeQueryProtocol":
+        """The protocol configuration this client encodes for."""
+        return self._protocol
+
+    @abc.abstractmethod
+    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> Report:
+        """Randomize one report per user for a batch of private items.
+
+        Only the returned :class:`Report` may leave the clients; each
+        user's entry individually satisfies epsilon-LDP.  An empty batch
+        yields an empty report that servers ingest as a no-op.
+        """
+
+    def encode(self, item: int, rng: RngLike = None) -> Report:
+        """Randomize a single user's item (convenience over a 1-batch)."""
+        return self.encode_batch(np.asarray([item]), rng=rng)
+
+
+class ProtocolServer(abc.ABC):
+    """Incremental, mergeable aggregator of one range-query protocol.
+
+    Servers never see raw items: they fold privatized :class:`Report`
+    batches into a compact :class:`AccumulatorState` -- ``O(D)`` integer
+    sums independent of the number of users for every oracle except SHE,
+    whose exact-summation state grows by ``O(D)`` per ingested *batch*
+    (see :class:`~repro.frequency_oracles.base.ExactSumAccumulator`) --
+    merge exactly with other shards of the same protocol, and can
+    finalize into an estimator at any point; further ``ingest`` /
+    ``merge`` calls after a ``finalize`` are allowed.
+    """
+
+    def __init__(
+        self, protocol: "RangeQueryProtocol", state: Optional[AccumulatorState] = None
+    ) -> None:
+        self._protocol = protocol
+        empty = self._empty_state()
+        if state is None:
+            state = empty
+        else:
+            if not isinstance(state, CompositeAccumulator):
+                raise ProtocolUsageError(
+                    f"expected a CompositeAccumulator state, got {type(state).__name__}"
+                )
+            empty._check_compatible(state)
+        self._state = state
+
+    @property
+    def protocol(self) -> "RangeQueryProtocol":
+        """The protocol configuration this server aggregates for."""
+        return self._protocol
+
+    @property
+    def state(self) -> CompositeAccumulator:
+        """The live accumulator state (shared, not a copy)."""
+        return self._state
+
+    @property
+    def n_reports(self) -> int:
+        """Total number of user reports ingested or merged so far."""
+        return self._state.n_reports
+
+    @abc.abstractmethod
+    def _empty_state(self) -> CompositeAccumulator:
+        """A fresh zero-report accumulator for this protocol configuration."""
+
+    @abc.abstractmethod
+    def _ingest_one(self, report: Report) -> None:
+        """Fold a single report batch into the state."""
+
+    def ingest(self, reports: Union[Report, Iterable[Report]]) -> "ProtocolServer":
+        """Fold one report or an iterable of reports into the accumulator."""
+        if isinstance(reports, Report):
+            reports = [reports]
+        for report in reports:
+            if not isinstance(report, Report):
+                raise ProtocolUsageError(
+                    f"ingest expects Report instances, got {type(report).__name__}"
+                )
+            self._ingest_one(report)
+        return self
+
+    def merge(
+        self, other: Union["ProtocolServer", AccumulatorState]
+    ) -> "ProtocolServer":
+        """Fold another shard's accumulated state into this server.
+
+        ``other`` may be a server of the same protocol configuration or a
+        bare :class:`AccumulatorState`.  Merging is exact: any merge order
+        over any sharding reproduces single-server ingestion bit-for-bit.
+        """
+        state = other.state if isinstance(other, ProtocolServer) else other
+        self._state.merge(state)
+        return self
+
+    @abc.abstractmethod
+    def finalize(self) -> "RangeQueryEstimator":
+        """Build the estimator for everything aggregated so far."""
+
+    def to_bytes(self) -> bytes:
+        """Serialize the accumulator state (protocol spec included)."""
+        return self._state.to_bytes()
+
+    def _require_reports(self) -> None:
+        if self._state.n_reports <= 0:
+            raise ProtocolUsageError("cannot finalize a server with zero reports")
+
+
+# --------------------------------------------------------------------- #
+# rebuilding protocols and servers from serialized state
+# --------------------------------------------------------------------- #
+def protocol_from_spec(spec: dict) -> "RangeQueryProtocol":
+    """Reconstruct a protocol from the dict produced by ``protocol.spec()``."""
+    from repro import make_protocol  # deferred: repro imports this module
+
+    spec = dict(spec)
+    try:
+        name = spec.pop("name")
+        domain_size = spec.pop("domain_size")
+        epsilon = spec.pop("epsilon")
+    except KeyError as exc:
+        raise SerializationError(f"protocol spec is missing {exc}") from exc
+    kwargs = {key: value for key, value in spec.items() if value is not None}
+    return make_protocol(name, domain_size, epsilon, **kwargs)
+
+
+def load_server(data: bytes) -> ProtocolServer:
+    """Rebuild a server (protocol included) from ``server.to_bytes()`` output."""
+    state = AccumulatorState.from_bytes(data)
+    if not isinstance(state, CompositeAccumulator):
+        raise SerializationError(
+            f"expected a protocol server state, got {type(state).__name__}"
+        )
+    spec = state.config.get("protocol")
+    if not isinstance(spec, dict):
+        raise SerializationError("server state does not embed a protocol spec")
+    protocol = protocol_from_spec(spec)
+    return protocol.server(state=state)
+
+
+# --------------------------------------------------------------------- #
+# file helpers used by the CLI and the sharded-aggregation example
+# --------------------------------------------------------------------- #
+def save_report_file(path: str, protocol: "RangeQueryProtocol", report: Report) -> None:
+    """Write one encoded report batch plus its protocol spec to ``path``."""
+    blob = pack_blob(
+        {"file_kind": "report", "protocol": protocol.spec()},
+        {"report": pack_child(report.to_bytes())},
+    )
+    with open(path, "wb") as handle:
+        handle.write(blob)
+
+
+def load_report_file(path: str) -> Tuple["RangeQueryProtocol", Report]:
+    """Read a file written by :func:`save_report_file`."""
+    with open(path, "rb") as handle:
+        header, arrays = unpack_blob(handle.read())
+    if header.get("file_kind") != "report":
+        raise SerializationError(f"{path} is not an encoded report file")
+    protocol = protocol_from_spec(header["protocol"])
+    report = Report.from_bytes(unpack_child(arrays["report"]))
+    return protocol, report
+
+
+def save_server_file(path: str, server: ProtocolServer) -> None:
+    """Write a server's accumulator state to ``path``."""
+    with open(path, "wb") as handle:
+        handle.write(server.to_bytes())
+
+
+def load_server_file(path: str) -> ProtocolServer:
+    """Rebuild a server from a file written by :func:`save_server_file`."""
+    with open(path, "rb") as handle:
+        return load_server(handle.read())

@@ -6,6 +6,6 @@ estimates.  Accurate for point queries, but the variance grows linearly
 with the range length (Fact 1).
 """
 
-from repro.flat.flat import FlatEstimator, FlatRangeQuery
+from repro.flat.flat import FlatClient, FlatEstimator, FlatRangeQuery, FlatServer
 
-__all__ = ["FlatEstimator", "FlatRangeQuery"]
+__all__ = ["FlatClient", "FlatEstimator", "FlatRangeQuery", "FlatServer"]

@@ -17,6 +17,14 @@ import numpy as np
 from repro.core.exceptions import ProtocolUsageError
 from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
 from repro.core.rng import RngLike, ensure_rng
+from repro.core.session import (
+    AccumulatorState,
+    CompositeAccumulator,
+    FlatReport,
+    ProtocolClient,
+    ProtocolServer,
+    Report,
+)
 from repro.core.types import Domain
 from repro.frequency_oracles import make_oracle
 from repro.frequency_oracles.base import standard_oracle_variance
@@ -36,6 +44,56 @@ class FlatEstimator(RangeQueryEstimator):
 
     def estimated_frequencies(self) -> np.ndarray:
         return self._frequencies.copy()
+
+
+class FlatClient(ProtocolClient):
+    """User-side encoder of the flat protocol: one oracle report per user."""
+
+    def __init__(self, protocol: "FlatRangeQuery") -> None:
+        super().__init__(protocol)
+        self._oracle = protocol._make_oracle()
+
+    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> FlatReport:
+        rng = ensure_rng(rng)
+        items = self._protocol.domain.validate_items(np.asarray(items))
+        if len(items) == 0:
+            return FlatReport(payload=None, n_users=0)
+        payload = self._oracle.privatize(items, rng=rng)
+        return FlatReport(payload=payload, n_users=len(items))
+
+
+class FlatServer(ProtocolServer):
+    """Aggregator of the flat protocol: a single oracle accumulator."""
+
+    def __init__(
+        self, protocol: "FlatRangeQuery", state: Optional[AccumulatorState] = None
+    ) -> None:
+        self._oracle = protocol._make_oracle()
+        super().__init__(protocol, state)
+
+    def _empty_state(self) -> CompositeAccumulator:
+        return CompositeAccumulator(
+            "flat",
+            {"protocol": self._protocol.spec()},
+            [self._oracle.make_accumulator()],
+        )
+
+    def _ingest_one(self, report: Report) -> None:
+        if not isinstance(report, FlatReport):
+            raise ProtocolUsageError(
+                f"flat server cannot ingest a {type(report).__name__}"
+            )
+        if report.n_users <= 0:
+            return
+        self._oracle.accumulate(
+            self._state.children[0], report.payload, n_users=report.n_users
+        )
+        self._state.n_users += report.n_users
+
+    def finalize(self) -> FlatEstimator:
+        self._require_reports()
+        frequencies = self._oracle.finalize(self._state.children[0])
+        return FlatEstimator(self._protocol.domain, frequencies)
 
 
 class FlatRangeQuery(RangeQueryProtocol):
@@ -63,14 +121,19 @@ class FlatRangeQuery(RangeQueryProtocol):
     def _make_oracle(self):
         return make_oracle(self._oracle_name, self.domain_size, self.epsilon)
 
-    def run(self, items: np.ndarray, rng: RngLike = None) -> FlatEstimator:
-        rng = ensure_rng(rng)
-        items = self.domain.validate_items(np.asarray(items))
-        if len(items) == 0:
-            raise ProtocolUsageError("cannot run the protocol with zero users")
-        oracle = self._make_oracle()
-        frequencies = oracle.estimate(items, rng=rng)
-        return FlatEstimator(self.domain, frequencies)
+    def client(self) -> FlatClient:
+        return FlatClient(self)
+
+    def server(self, state: Optional[AccumulatorState] = None) -> FlatServer:
+        return FlatServer(self, state)
+
+    def spec(self) -> dict:
+        return {
+            "name": "flat",
+            "domain_size": self.domain_size,
+            "epsilon": self.epsilon,
+            "oracle": self._oracle_name,
+        }
 
     def run_simulated(
         self, true_counts: np.ndarray, rng: RngLike = None

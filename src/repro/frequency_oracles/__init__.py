@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from typing import Dict, Type
 
-from repro.frequency_oracles.base import FrequencyOracle, standard_oracle_variance
+from repro.frequency_oracles.base import (
+    ExactSumAccumulator,
+    FrequencyOracle,
+    OracleAccumulator,
+    standard_oracle_variance,
+)
 from repro.frequency_oracles.grr import (
     BinaryRandomizedResponse,
     GeneralizedRandomizedResponse,
@@ -76,6 +81,8 @@ def make_oracle(name: str, domain_size: int, epsilon: float, **kwargs) -> Freque
 
 __all__ = [
     "FrequencyOracle",
+    "OracleAccumulator",
+    "ExactSumAccumulator",
     "OptimizedUnaryEncoding",
     "OptimalLocalHashing",
     "HadamardRandomizedResponse",

@@ -24,12 +24,175 @@ All oracles in this package share:
 from __future__ import annotations
 
 import abc
-from typing import Any, Optional
+import math
+from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
 from repro.core.rng import RngLike, ensure_rng
+from repro.core.serialization import pack_blob
+from repro.core.session import AccumulatorState, register_state_decoder
 from repro.core.types import Domain, PrivacyParams
+
+
+class OracleAccumulator(AccumulatorState):
+    """Mergeable sufficient statistics of one frequency oracle.
+
+    Every oracle reduces its reports to a handful of named *integer* sum
+    vectors (report counts, bit sums, support counts, signed Hadamard
+    sums) plus the number of contributing users.  Integer sums make
+    ``merge`` exactly associative and commutative: aggregating a report
+    stream in shards and merging in any order is bit-for-bit identical to
+    a single-pass aggregation.  ``config`` pins the oracle parameters so
+    that accumulators of differently configured oracles refuse to merge.
+    """
+
+    state_kind = "oracle"
+
+    def __init__(
+        self,
+        oracle_kind: str,
+        config: Mapping[str, Any],
+        vectors: Mapping[str, np.ndarray],
+        n_reports: int = 0,
+    ) -> None:
+        self.oracle_kind = str(oracle_kind)
+        self.config = dict(config)
+        self.vectors: Dict[str, np.ndarray] = {
+            name: np.asarray(vector, dtype=np.int64) for name, vector in vectors.items()
+        }
+        self._n_reports = int(n_reports)
+
+    @property
+    def n_reports(self) -> int:
+        return self._n_reports
+
+    def add_reports(self, count: int) -> None:
+        """Record ``count`` additional contributing users."""
+        self._n_reports += int(count)
+
+    def _check_compatible(self, other: "OracleAccumulator") -> None:
+        if type(other) is not type(self):
+            raise ValueError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+        if self.oracle_kind != other.oracle_kind or self.config != other.config:
+            raise ValueError(
+                "cannot merge accumulators of differently configured oracles: "
+                f"{self.oracle_kind}/{self.config} != {other.oracle_kind}/{other.config}"
+            )
+
+    def merge(self, other: AccumulatorState) -> "OracleAccumulator":
+        self._check_compatible(other)
+        for name, vector in self.vectors.items():
+            vector += other.vectors[name]
+        self._n_reports += other._n_reports
+        return self
+
+    def to_bytes(self) -> bytes:
+        header = {
+            "state_kind": self.state_kind,
+            "oracle_kind": self.oracle_kind,
+            "config": self.config,
+            "n_reports": self._n_reports,
+        }
+        return pack_blob(header, self.vectors)
+
+    @classmethod
+    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "OracleAccumulator":
+        return cls(
+            oracle_kind=header["oracle_kind"],
+            config=header["config"],
+            vectors=arrays,
+            n_reports=int(header["n_reports"]),
+        )
+
+
+class ExactSumAccumulator(OracleAccumulator):
+    """Order-independent sums of real-valued report batches (used by SHE).
+
+    Floating-point addition is not associative, so a single running float
+    sum would break the "sharding never changes the result" guarantee.
+    This accumulator instead keeps the (vectorized) per-item column sum of
+    every ingested batch and finalizes with :func:`math.fsum`, which
+    returns the correctly rounded value of the *exact* sum of its inputs
+    regardless of their order.  Report batches are the atomic unit of
+    sharding, so any assignment of batches to servers, merged in any
+    order, finalizes bit-identically -- and a single-batch aggregation
+    reproduces the plain ``aggregate`` path exactly.  State grows by
+    ``O(D)`` per ingested *batch* (not per user), so clients should
+    upload batched rather than per-user reports when using SHE.
+    """
+
+    state_kind = "oracle-exact"
+
+    def __init__(
+        self,
+        oracle_kind: str,
+        config: Mapping[str, Any],
+        size: int,
+        partials: Optional[List[np.ndarray]] = None,
+        n_reports: int = 0,
+    ) -> None:
+        super().__init__(oracle_kind, config, {}, n_reports=n_reports)
+        self.size = int(size)
+        self.partials: List[np.ndarray] = [
+            np.asarray(partial, dtype=np.float64) for partial in (partials or [])
+        ]
+
+    def add_batch_sums(self, batch_sums: np.ndarray) -> None:
+        """Record one batch's per-item column sums."""
+        batch_sums = np.asarray(batch_sums, dtype=np.float64)
+        if batch_sums.shape != (self.size,):
+            raise ValueError(
+                f"batch sums must have shape ({self.size},), got {batch_sums.shape}"
+            )
+        self.partials.append(batch_sums)
+
+    def exact_means(self, n: int) -> np.ndarray:
+        """Correctly rounded per-item total over all batches, divided by ``n``."""
+        if not self.partials:
+            return np.zeros(self.size)
+        stacked = np.stack(self.partials)
+        totals = np.array(
+            [math.fsum(stacked[:, item].tolist()) for item in range(self.size)]
+        )
+        return totals / n
+
+    def merge(self, other: AccumulatorState) -> "ExactSumAccumulator":
+        self._check_compatible(other)
+        if self.size != other.size:
+            raise ValueError("cannot merge exact accumulators of different sizes")
+        self.partials.extend(other.partials)
+        self._n_reports += other._n_reports
+        return self
+
+    def to_bytes(self) -> bytes:
+        header = {
+            "state_kind": self.state_kind,
+            "oracle_kind": self.oracle_kind,
+            "config": self.config,
+            "n_reports": self._n_reports,
+            "size": self.size,
+        }
+        stacked = (
+            np.stack(self.partials) if self.partials else np.zeros((0, self.size))
+        )
+        return pack_blob(header, {"partials": stacked})
+
+    @classmethod
+    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "ExactSumAccumulator":
+        return cls(
+            oracle_kind=header["oracle_kind"],
+            config=header["config"],
+            size=int(header["size"]),
+            partials=list(arrays["partials"]),
+            n_reports=int(header["n_reports"]),
+        )
+
+
+register_state_decoder(OracleAccumulator.state_kind, OracleAccumulator._decode)
+register_state_decoder(ExactSumAccumulator.state_kind, ExactSumAccumulator._decode)
 
 
 class FrequencyOracle(abc.ABC):
@@ -100,6 +263,62 @@ class FrequencyOracle(abc.ABC):
         """
 
     # ------------------------------------------------------------------ #
+    # streaming aggregation (sufficient statistics)
+    # ------------------------------------------------------------------ #
+    def _accumulator_config(self) -> Dict[str, Any]:
+        """Configuration fingerprint guarding accumulator merges."""
+        return {"domain_size": self.domain_size, "epsilon": self.epsilon}
+
+    @abc.abstractmethod
+    def make_accumulator(self) -> OracleAccumulator:
+        """A fresh zero-report accumulator for this oracle configuration.
+
+        Together with :meth:`accumulate` and :meth:`finalize` this is the
+        out-of-core aggregation path: reports are reduced to fixed-size
+        sufficient statistics as they arrive instead of being held in
+        memory, and accumulators of shards merge exactly.
+        """
+
+    @abc.abstractmethod
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: Any,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        """Fold a batch of reports into ``accumulator`` and return it."""
+
+    @abc.abstractmethod
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        """Unbiased frequency estimates from accumulated statistics."""
+
+    def _check_accumulator(self, accumulator: OracleAccumulator) -> None:
+        if not isinstance(accumulator, OracleAccumulator):
+            raise ValueError(
+                f"expected an OracleAccumulator, got {type(accumulator).__name__}"
+            )
+        if (
+            accumulator.oracle_kind != self.name
+            or accumulator.config != self._accumulator_config()
+        ):
+            raise ValueError(
+                f"accumulator belongs to {accumulator.oracle_kind}/{accumulator.config}, "
+                f"not {self.name}/{self._accumulator_config()}"
+            )
+
+    def _batch_size(self, reports: Any, n_users: Optional[int]) -> int:
+        n = int(n_users) if n_users is not None else len(reports)
+        if n < 0:
+            raise ValueError(f"n_users must be non-negative, got {n}")
+        return n
+
+    def _require_finalizable(self, accumulator: OracleAccumulator) -> int:
+        self._check_accumulator(accumulator)
+        if accumulator.n_reports <= 0:
+            raise ValueError("cannot aggregate zero reports")
+        return accumulator.n_reports
+
+    # ------------------------------------------------------------------ #
     # error characteristics
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
@@ -128,6 +347,21 @@ class FrequencyOracle(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}(D={self.domain_size}, eps={self.epsilon:g})"
+
+
+def unary_bit_sums(reports: np.ndarray, domain_size: int) -> np.ndarray:
+    """Validated per-item column sums of an ``(N, D)`` unary report matrix.
+
+    The returned ``int64`` vector is the sufficient statistic shared by all
+    unary-encoding oracles (OUE, SUE, THE): only bit totals matter, never
+    the individual report rows.
+    """
+    reports = np.asarray(reports)
+    if reports.ndim != 2 or reports.shape[1] != domain_size:
+        raise ValueError(
+            f"reports must have shape (N, {domain_size}), got {reports.shape}"
+        )
+    return reports.sum(axis=0).astype(np.int64)
 
 
 def standard_oracle_variance(epsilon: float) -> float:

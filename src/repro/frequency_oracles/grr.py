@@ -15,7 +15,20 @@ from typing import Optional
 import numpy as np
 
 from repro.core.rng import RngLike, ensure_rng
-from repro.frequency_oracles.base import FrequencyOracle
+from repro.frequency_oracles.base import FrequencyOracle, OracleAccumulator
+
+
+def _categorical_report_counts(reports: np.ndarray, domain_size: int) -> np.ndarray:
+    """Integer histogram of categorical reports, validated against ``D``."""
+    reports = np.asarray(reports, dtype=np.int64)
+    if reports.ndim != 1:
+        raise ValueError(f"reports must be a 1-D array, got shape {reports.shape}")
+    counts = np.bincount(reports, minlength=domain_size)
+    if len(counts) > domain_size:
+        raise ValueError(
+            f"reports contain values outside the domain of size {domain_size}"
+        )
+    return counts
 
 
 class GeneralizedRandomizedResponse(FrequencyOracle):
@@ -65,11 +78,31 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
     ) -> np.ndarray:
-        reports = np.asarray(reports, dtype=np.int64)
-        n = int(n_users) if n_users is not None else len(reports)
-        if n <= 0:
-            raise ValueError("cannot aggregate zero reports")
-        counts = np.bincount(reports, minlength=self.domain_size).astype(np.float64)
+        accumulator = self.accumulate(self.make_accumulator(), reports, n_users=n_users)
+        return self.finalize(accumulator)
+
+    def make_accumulator(self) -> OracleAccumulator:
+        return OracleAccumulator(
+            self.name,
+            self._accumulator_config(),
+            {"report_counts": np.zeros(self.domain_size, dtype=np.int64)},
+        )
+
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: np.ndarray,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        self._check_accumulator(accumulator)
+        counts = _categorical_report_counts(reports, self.domain_size)
+        accumulator.vectors["report_counts"] += counts
+        accumulator.add_reports(self._batch_size(reports, n_users))
+        return accumulator
+
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        n = self._require_finalizable(accumulator)
+        counts = accumulator.vectors["report_counts"].astype(np.float64)
         return (counts / n - self._q) / (self._p - self._q)
 
     def estimate_from_counts(
@@ -144,11 +177,31 @@ class BinaryRandomizedResponse(FrequencyOracle):
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
     ) -> np.ndarray:
-        reports = np.asarray(reports, dtype=np.int64)
-        n = int(n_users) if n_users is not None else len(reports)
-        if n <= 0:
-            raise ValueError("cannot aggregate zero reports")
-        ones = float(np.sum(reports == 1))
+        accumulator = self.accumulate(self.make_accumulator(), reports, n_users=n_users)
+        return self.finalize(accumulator)
+
+    def make_accumulator(self) -> OracleAccumulator:
+        return OracleAccumulator(
+            self.name,
+            self._accumulator_config(),
+            {"report_counts": np.zeros(2, dtype=np.int64)},
+        )
+
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: np.ndarray,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        self._check_accumulator(accumulator)
+        counts = _categorical_report_counts(reports, 2)
+        accumulator.vectors["report_counts"] += counts
+        accumulator.add_reports(self._batch_size(reports, n_users))
+        return accumulator
+
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        n = self._require_finalizable(accumulator)
+        ones = float(accumulator.vectors["report_counts"][1])
         q = 1.0 - self._p
         est_one = (ones / n - q) / (self._p - q)
         return np.array([1.0 - est_one, est_one])

@@ -26,7 +26,12 @@ from typing import Optional
 import numpy as np
 
 from repro.core.rng import RngLike, ensure_rng
-from repro.frequency_oracles.base import FrequencyOracle
+from repro.frequency_oracles.base import (
+    ExactSumAccumulator,
+    FrequencyOracle,
+    OracleAccumulator,
+    unary_bit_sums,
+)
 
 
 def _laplace_sf(x: np.ndarray, scale: float) -> np.ndarray:
@@ -60,15 +65,38 @@ class SummationHistogramEncoding(FrequencyOracle):
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
     ) -> np.ndarray:
+        accumulator = self.accumulate(self.make_accumulator(), reports, n_users=n_users)
+        return self.finalize(accumulator)
+
+    def make_accumulator(self) -> ExactSumAccumulator:
+        # Laplace reports are real-valued, and float sums are not exactly
+        # associative; the exact accumulator keeps one column sum per
+        # ingested batch and finalizes with math.fsum, which keeps sharded
+        # aggregation order-independent (see its docstring).
+        return ExactSumAccumulator(
+            self.name, self._accumulator_config(), size=self.domain_size
+        )
+
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: np.ndarray,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        self._check_accumulator(accumulator)
         reports = np.asarray(reports, dtype=np.float64)
         if reports.ndim != 2 or reports.shape[1] != self.domain_size:
             raise ValueError(
                 f"reports must have shape (N, {self.domain_size}), got {reports.shape}"
             )
-        n = int(n_users) if n_users is not None else reports.shape[0]
-        if n <= 0:
-            raise ValueError("cannot aggregate zero reports")
-        return reports.sum(axis=0) / n
+        if len(reports):
+            accumulator.add_batch_sums(reports.sum(axis=0))
+        accumulator.add_reports(self._batch_size(reports, n_users))
+        return accumulator
+
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        n = self._require_finalizable(accumulator)
+        return accumulator.exact_means(n)
 
     def estimate_from_counts(
         self, true_counts: np.ndarray, rng: RngLike = None
@@ -121,6 +149,11 @@ class ThresholdHistogramEncoding(FrequencyOracle):
         """``(p, q)``: threshold-exceedance probabilities for 1- and 0-entries."""
         return (self._p, self._q)
 
+    def _accumulator_config(self) -> dict:
+        config = super()._accumulator_config()
+        config["threshold"] = self._theta
+        return config
+
     def privatize(self, items: np.ndarray, rng: RngLike = None) -> np.ndarray:
         rng = ensure_rng(rng)
         items = self.domain.validate_items(np.asarray(items))
@@ -132,15 +165,30 @@ class ThresholdHistogramEncoding(FrequencyOracle):
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
     ) -> np.ndarray:
-        reports = np.asarray(reports)
-        if reports.ndim != 2 or reports.shape[1] != self.domain_size:
-            raise ValueError(
-                f"reports must have shape (N, {self.domain_size}), got {reports.shape}"
-            )
-        n = int(n_users) if n_users is not None else reports.shape[0]
-        if n <= 0:
-            raise ValueError("cannot aggregate zero reports")
-        hits = reports.sum(axis=0).astype(np.float64)
+        accumulator = self.accumulate(self.make_accumulator(), reports, n_users=n_users)
+        return self.finalize(accumulator)
+
+    def make_accumulator(self) -> OracleAccumulator:
+        return OracleAccumulator(
+            self.name,
+            self._accumulator_config(),
+            {"hit_sums": np.zeros(self.domain_size, dtype=np.int64)},
+        )
+
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: np.ndarray,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        self._check_accumulator(accumulator)
+        accumulator.vectors["hit_sums"] += unary_bit_sums(reports, self.domain_size)
+        accumulator.add_reports(self._batch_size(reports, n_users))
+        return accumulator
+
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        n = self._require_finalizable(accumulator)
+        hits = accumulator.vectors["hit_sums"].astype(np.float64)
         return (hits / n - self._q) / (self._p - self._q)
 
     def estimate_from_counts(

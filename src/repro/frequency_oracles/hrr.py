@@ -27,7 +27,11 @@ from typing import Optional
 import numpy as np
 
 from repro.core.rng import RngLike, ensure_rng
-from repro.frequency_oracles.base import FrequencyOracle, standard_oracle_variance
+from repro.frequency_oracles.base import (
+    FrequencyOracle,
+    OracleAccumulator,
+    standard_oracle_variance,
+)
 from repro.frequency_oracles.hadamard import (
     fwht,
     hadamard_entry,
@@ -141,6 +145,54 @@ class HadamardRandomizedResponse(FrequencyOracle):
         # Each user sampled one of Dpad coefficients uniformly, so the sum
         # for coefficient j estimates (1/Dpad) * sum_i H[v_i, j]; rescale.
         return sums * (self._padded / n)
+
+    # ------------------------------------------------------------------ #
+    # streaming aggregation
+    # ------------------------------------------------------------------ #
+    def _accumulator_config(self) -> dict:
+        config = super()._accumulator_config()
+        config["padded_size"] = self._padded
+        return config
+
+    def make_accumulator(self) -> OracleAccumulator:
+        return OracleAccumulator(
+            self.name,
+            self._accumulator_config(),
+            {"value_sums": np.zeros(self._padded, dtype=np.int64)},
+        )
+
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: HadamardReports,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        """Fold reports into per-coefficient sums of the raw +/-1 values.
+
+        The raw values are summed *before* debiasing so the sufficient
+        statistic stays integral; :meth:`finalize` divides by ``2p - 1``
+        once, which keeps sharded aggregation exactly order-independent.
+        """
+        self._check_accumulator(accumulator)
+        if reports.padded_size != self._padded:
+            raise ValueError(
+                "reports were produced for a different transform length "
+                f"({reports.padded_size} != {self._padded})"
+            )
+        sums = np.bincount(
+            np.asarray(reports.indices, dtype=np.int64),
+            weights=np.asarray(reports.values, dtype=np.float64),
+            minlength=self._padded,
+        )
+        accumulator.vectors["value_sums"] += np.rint(sums).astype(np.int64)
+        accumulator.add_reports(self._batch_size(reports, n_users))
+        return accumulator
+
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        n = self._require_finalizable(accumulator)
+        debiased = accumulator.vectors["value_sums"] / (2.0 * self._p - 1.0)
+        coefficients = debiased * (self._padded / n)
+        return fwht(coefficients)[: self.domain_size] / self._padded
 
     # ------------------------------------------------------------------ #
     # aggregate simulation

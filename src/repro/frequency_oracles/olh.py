@@ -24,7 +24,11 @@ from typing import Optional
 import numpy as np
 
 from repro.core.rng import RngLike, ensure_rng
-from repro.frequency_oracles.base import FrequencyOracle, standard_oracle_variance
+from repro.frequency_oracles.base import (
+    FrequencyOracle,
+    OracleAccumulator,
+    standard_oracle_variance,
+)
 
 #: A Mersenne prime comfortably larger than any domain we hash from, small
 #: enough that ``a * x`` never overflows an int64 (a < 2^31, x < 2^31).
@@ -131,22 +135,51 @@ class OptimalLocalHashing(FrequencyOracle):
     def aggregate(
         self, reports: LocalHashReports, n_users: Optional[int] = None
     ) -> np.ndarray:
+        accumulator = self.accumulate(self.make_accumulator(), reports, n_users=n_users)
+        return self.finalize(accumulator)
+
+    def _accumulator_config(self) -> dict:
+        config = super()._accumulator_config()
+        config["num_buckets"] = self._g
+        return config
+
+    def make_accumulator(self) -> OracleAccumulator:
+        return OracleAccumulator(
+            self.name,
+            self._accumulator_config(),
+            {"support": np.zeros(self.domain_size, dtype=np.int64)},
+        )
+
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: LocalHashReports,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        self._check_accumulator(accumulator)
         if reports.num_buckets != self._g:
             raise ValueError(
                 f"reports use g={reports.num_buckets}, oracle expects g={self._g}"
             )
-        n = int(n_users) if n_users is not None else len(reports)
-        if n <= 0:
-            raise ValueError("cannot aggregate zero reports")
         domain_items = np.arange(self.domain_size, dtype=np.int64)
-        support = np.zeros(self.domain_size, dtype=np.float64)
-        # O(N * D) decoding, chunked over users to bound memory.
+        support = np.zeros(self.domain_size, dtype=np.int64)
+        # O(N * D) decoding, chunked over users to bound memory.  The
+        # decoded support counts are the (integer) sufficient statistic, so
+        # only O(D) state survives the batch.
         for start in range(0, len(reports), self._chunk):
             stop = min(start + self._chunk, len(reports))
-            mult = reports.multipliers[start:stop, None]
-            off = reports.offsets[start:stop, None]
+            mult = np.asarray(reports.multipliers)[start:stop, None]
+            off = np.asarray(reports.offsets)[start:stop, None]
+            buckets = np.asarray(reports.buckets)[start:stop, None]
             hashes = self._hash(mult, off, domain_items[None, :])
-            support += np.sum(hashes == reports.buckets[start:stop, None], axis=0)
+            support += np.sum(hashes == buckets, axis=0)
+        accumulator.vectors["support"] += support
+        accumulator.add_reports(self._batch_size(reports, n_users))
+        return accumulator
+
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        n = self._require_finalizable(accumulator)
+        support = accumulator.vectors["support"].astype(np.float64)
         return (support / n - self._q) / (self._p - self._q)
 
     # ------------------------------------------------------------------ #

@@ -25,7 +25,12 @@ from typing import Optional
 import numpy as np
 
 from repro.core.rng import RngLike, ensure_rng
-from repro.frequency_oracles.base import FrequencyOracle, standard_oracle_variance
+from repro.frequency_oracles.base import (
+    FrequencyOracle,
+    OracleAccumulator,
+    standard_oracle_variance,
+    unary_bit_sums,
+)
 
 
 class OptimizedUnaryEncoding(FrequencyOracle):
@@ -68,16 +73,30 @@ class OptimizedUnaryEncoding(FrequencyOracle):
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
     ) -> np.ndarray:
-        reports = np.asarray(reports)
-        if reports.ndim != 2 or reports.shape[1] != self.domain_size:
-            raise ValueError(
-                f"reports must have shape (N, {self.domain_size}), got {reports.shape}"
-            )
-        n = int(n_users) if n_users is not None else reports.shape[0]
-        if n <= 0:
-            raise ValueError("cannot aggregate zero reports")
-        ones = reports.sum(axis=0).astype(np.float64)
-        return self._debias(ones, n)
+        accumulator = self.accumulate(self.make_accumulator(), reports, n_users=n_users)
+        return self.finalize(accumulator)
+
+    def make_accumulator(self) -> OracleAccumulator:
+        return OracleAccumulator(
+            self.name,
+            self._accumulator_config(),
+            {"bit_sums": np.zeros(self.domain_size, dtype=np.int64)},
+        )
+
+    def accumulate(
+        self,
+        accumulator: OracleAccumulator,
+        reports: np.ndarray,
+        n_users: Optional[int] = None,
+    ) -> OracleAccumulator:
+        self._check_accumulator(accumulator)
+        accumulator.vectors["bit_sums"] += unary_bit_sums(reports, self.domain_size)
+        accumulator.add_reports(self._batch_size(reports, n_users))
+        return accumulator
+
+    def finalize(self, accumulator: OracleAccumulator) -> np.ndarray:
+        n = self._require_finalizable(accumulator)
+        return self._debias(accumulator.vectors["bit_sums"].astype(np.float64), n)
 
     # ------------------------------------------------------------------ #
     # aggregate simulation (paper, Section 5)

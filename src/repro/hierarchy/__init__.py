@@ -23,8 +23,10 @@ from repro.hierarchy.consistency import (
 )
 from repro.hierarchy.hh import (
     LEVEL_STRATEGIES,
+    HierarchicalClient,
     HierarchicalEstimator,
     HierarchicalHistogram,
+    HierarchicalServer,
 )
 from repro.hierarchy.least_squares import (
     design_matrix,
@@ -46,8 +48,10 @@ __all__ = [
     "variance_reduction_factor",
     "weighted_averaging",
     "LEVEL_STRATEGIES",
+    "HierarchicalClient",
     "HierarchicalEstimator",
     "HierarchicalHistogram",
+    "HierarchicalServer",
     "design_matrix",
     "least_squares_leaves",
     "least_squares_levels",

@@ -27,6 +27,14 @@ import numpy as np
 from repro.core.exceptions import ProtocolUsageError
 from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol, RangeLike, _as_range
 from repro.core.rng import RngLike, ensure_rng
+from repro.core.session import (
+    AccumulatorState,
+    CompositeAccumulator,
+    HierarchicalReport,
+    ProtocolClient,
+    ProtocolServer,
+    Report,
+)
 from repro.core.types import Domain
 from repro.frequency_oracles import make_oracle
 from repro.frequency_oracles.base import standard_oracle_variance
@@ -150,6 +158,117 @@ class HierarchicalEstimator(RangeQueryEstimator):
         return np.array([self.range_query(query) for query in queries])
 
 
+class HierarchicalClient(ProtocolClient):
+    """User-side encoder of HH_B: sample a level, report the ancestor node.
+
+    Under the paper's ``"sample"`` strategy each user reports through the
+    oracle of a single tree level; under the ``"split"`` ablation every
+    user reports at every level with budget ``epsilon / h``.
+    """
+
+    def __init__(self, protocol: "HierarchicalHistogram") -> None:
+        super().__init__(protocol)
+        self._oracles = {
+            level: protocol._make_level_oracle(level)
+            for level in range(1, protocol.tree.height + 1)
+        }
+
+    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> HierarchicalReport:
+        protocol = self._protocol
+        rng = ensure_rng(rng)
+        items = protocol.domain.validate_items(np.asarray(items))
+        tree = protocol.tree
+        height = tree.height
+        level_user_counts = np.zeros(tree.num_levels, dtype=np.int64)
+        level_user_counts[0] = len(items)
+        payloads = {}
+        if len(items) == 0:
+            return HierarchicalReport(payloads, level_user_counts, n_users=0)
+
+        if protocol.level_strategy == "sample":
+            assignments = rng.choice(
+                np.arange(1, height + 1),
+                size=len(items),
+                p=protocol.level_probabilities,
+            )
+            for level in range(1, height + 1):
+                mask = assignments == level
+                count = int(mask.sum())
+                level_user_counts[level] = count
+                if count == 0:
+                    continue
+                node_items = tree.ancestor_index(items[mask], level)
+                payloads[level] = self._oracles[level].privatize(node_items, rng=rng)
+        else:  # split: every user reports at every level with epsilon / h
+            for level in range(1, height + 1):
+                node_items = tree.ancestor_index(items, level)
+                payloads[level] = self._oracles[level].privatize(node_items, rng=rng)
+                level_user_counts[level] = len(items)
+
+        return HierarchicalReport(payloads, level_user_counts, n_users=len(items))
+
+
+class HierarchicalServer(ProtocolServer):
+    """Aggregator of HH_B: one oracle accumulator per tree level.
+
+    The per-level user counts are part of the sufficient statistics (each
+    level's oracle debiases against the users that actually reported
+    there), so sharded servers can merge exactly even though the level
+    sampling is random.
+    """
+
+    def __init__(
+        self,
+        protocol: "HierarchicalHistogram",
+        state: Optional[AccumulatorState] = None,
+    ) -> None:
+        self._oracles = {
+            level: protocol._make_level_oracle(level)
+            for level in range(1, protocol.tree.height + 1)
+        }
+        super().__init__(protocol, state)
+
+    def _empty_state(self) -> CompositeAccumulator:
+        return CompositeAccumulator(
+            "hierarchical",
+            {"protocol": self._protocol.spec()},
+            [
+                self._oracles[level].make_accumulator()
+                for level in range(1, self._protocol.tree.height + 1)
+            ],
+        )
+
+    def _ingest_one(self, report: Report) -> None:
+        if not isinstance(report, HierarchicalReport):
+            raise ProtocolUsageError(
+                f"hierarchical server cannot ingest a {type(report).__name__}"
+            )
+        if report.n_users <= 0:
+            return
+        for level, payload in sorted(report.level_payloads.items()):
+            self._oracles[level].accumulate(
+                self._state.children[level - 1],
+                payload,
+                n_users=int(report.level_user_counts[level]),
+            )
+        self._state.n_users += report.n_users
+
+    def finalize(self) -> "HierarchicalEstimator":
+        self._require_reports()
+        protocol = self._protocol
+        tree = protocol.tree
+        level_values = tree.empty_levels()
+        level_values[0][:] = 1.0
+        level_user_counts = np.zeros(tree.num_levels, dtype=np.int64)
+        level_user_counts[0] = self._state.n_users
+        for level in range(1, tree.height + 1):
+            accumulator = self._state.children[level - 1]
+            level_user_counts[level] = accumulator.n_reports
+            if accumulator.n_reports > 0:
+                level_values[level] = self._oracles[level].finalize(accumulator)
+        return protocol._finalize(level_values, level_user_counts)
+
+
 class HierarchicalHistogram(RangeQueryProtocol):
     """The HH_B range-query protocol (TreeOUE / TreeHRR / TreeOLH [+CI]).
 
@@ -194,6 +313,13 @@ class HierarchicalHistogram(RangeQueryProtocol):
         self._oracle_name = oracle.strip().lower()
         self._consistency = bool(consistency)
         self._level_strategy = level_strategy
+        # Keep the caller's raw argument so spec() can rebuild an identical
+        # protocol (re-normalizing resolved values would drift by ulps).
+        self._level_probabilities_arg = (
+            None
+            if level_probabilities is None
+            else [float(value) for value in level_probabilities]
+        )
         self._level_probabilities = self._resolve_level_probabilities(level_probabilities)
         # e.g. TreeOUECI, TreeHRR -- matches the paper's naming.
         suffix = "CI" if self._consistency else ""
@@ -263,40 +389,25 @@ class HierarchicalHistogram(RangeQueryProtocol):
         )
 
     # ------------------------------------------------------------------ #
-    # end-to-end execution on raw items
+    # client / server roles
     # ------------------------------------------------------------------ #
-    def run(self, items: np.ndarray, rng: RngLike = None) -> HierarchicalEstimator:
-        rng = ensure_rng(rng)
-        items = self.domain.validate_items(np.asarray(items))
-        if len(items) == 0:
-            raise ProtocolUsageError("cannot run the protocol with zero users")
-        height = self._tree.height
-        level_values = self._tree.empty_levels()
-        level_values[0][:] = 1.0
-        level_user_counts = np.zeros(self._tree.num_levels, dtype=np.int64)
-        level_user_counts[0] = len(items)
+    def client(self) -> HierarchicalClient:
+        return HierarchicalClient(self)
 
-        if self._level_strategy == "sample":
-            assignments = rng.choice(
-                np.arange(1, height + 1), size=len(items), p=self._level_probabilities
-            )
-            for level in range(1, height + 1):
-                mask = assignments == level
-                count = int(mask.sum())
-                level_user_counts[level] = count
-                if count == 0:
-                    continue
-                oracle = self._make_level_oracle(level)
-                node_items = self._tree.ancestor_index(items[mask], level)
-                level_values[level] = oracle.estimate(node_items, rng=rng)
-        else:  # split: every user reports at every level with epsilon / h
-            for level in range(1, height + 1):
-                oracle = self._make_level_oracle(level)
-                node_items = self._tree.ancestor_index(items, level)
-                level_values[level] = oracle.estimate(node_items, rng=rng)
-                level_user_counts[level] = len(items)
+    def server(self, state: Optional[AccumulatorState] = None) -> HierarchicalServer:
+        return HierarchicalServer(self, state)
 
-        return self._finalize(level_values, level_user_counts)
+    def spec(self) -> dict:
+        return {
+            "name": "hh",
+            "domain_size": self.domain_size,
+            "epsilon": self.epsilon,
+            "branching": self.branching,
+            "oracle": self._oracle_name,
+            "consistency": self._consistency,
+            "level_strategy": self._level_strategy,
+            "level_probabilities": self._level_probabilities_arg,
+        }
 
     # ------------------------------------------------------------------ #
     # statistically equivalent aggregate simulation

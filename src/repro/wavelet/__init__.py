@@ -13,7 +13,7 @@ from repro.wavelet.haar import (
     leaf_membership,
     range_coefficient_weights,
 )
-from repro.wavelet.haar_hrr import HaarEstimator, HaarHRR
+from repro.wavelet.haar_hrr import HaarClient, HaarEstimator, HaarHRR, HaarServer
 
 __all__ = [
     "HaarCoefficients",
@@ -23,6 +23,8 @@ __all__ = [
     "leaf_membership",
     "range_coefficient_weights",
     "evaluate_range_from_coefficients",
+    "HaarClient",
     "HaarEstimator",
     "HaarHRR",
+    "HaarServer",
 ]

@@ -33,6 +33,14 @@ import numpy as np
 from repro.core.exceptions import ProtocolUsageError
 from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol, RangeLike, _as_range
 from repro.core.rng import RngLike, ensure_rng
+from repro.core.session import (
+    AccumulatorState,
+    CompositeAccumulator,
+    HaarReport,
+    ProtocolClient,
+    ProtocolServer,
+    Report,
+)
 from repro.core.types import Domain, next_power_of
 from repro.frequency_oracles.base import standard_oracle_variance
 from repro.frequency_oracles.hrr import HadamardRandomizedResponse
@@ -96,6 +104,100 @@ class HaarEstimator(RangeQueryEstimator):
         )
 
 
+class HaarClient(ProtocolClient):
+    """User-side encoder of HaarHRR: sample a height, HRR-perturb the sign."""
+
+    def __init__(self, protocol: "HaarHRR") -> None:
+        super().__init__(protocol)
+        self._oracles = {
+            height_j: protocol._height_oracle(height_j)
+            for height_j in range(1, protocol.height + 1)
+        }
+
+    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> HaarReport:
+        protocol = self._protocol
+        rng = ensure_rng(rng)
+        items = protocol.domain.validate_items(np.asarray(items))
+        height = protocol.height
+        level_user_counts = np.zeros(height + 1, dtype=np.int64)
+        payloads = {}
+        if len(items) == 0:
+            return HaarReport(payloads, level_user_counts, n_users=0)
+        assignments = rng.choice(
+            np.arange(1, height + 1), size=len(items), p=protocol.level_probabilities
+        )
+        for height_j in range(1, height + 1):
+            mask = assignments == height_j
+            count = int(mask.sum())
+            level_user_counts[height_j] = count
+            if count == 0:
+                continue
+            nodes, signs = leaf_membership(items[mask], height_j)
+            payloads[height_j] = self._oracles[height_j].privatize_signed(
+                nodes, signs, rng=rng
+            )
+        return HaarReport(payloads, level_user_counts, n_users=len(items))
+
+
+class HaarServer(ProtocolServer):
+    """Aggregator of HaarHRR: one HRR accumulator per detail height."""
+
+    def __init__(
+        self, protocol: "HaarHRR", state: Optional[AccumulatorState] = None
+    ) -> None:
+        self._oracles = {
+            height_j: protocol._height_oracle(height_j)
+            for height_j in range(1, protocol.height + 1)
+        }
+        super().__init__(protocol, state)
+
+    def _empty_state(self) -> CompositeAccumulator:
+        return CompositeAccumulator(
+            "haar",
+            {"protocol": self._protocol.spec()},
+            [
+                self._oracles[height_j].make_accumulator()
+                for height_j in range(1, self._protocol.height + 1)
+            ],
+        )
+
+    def _ingest_one(self, report: Report) -> None:
+        if not isinstance(report, HaarReport):
+            raise ProtocolUsageError(
+                f"haar server cannot ingest a {type(report).__name__}"
+            )
+        if report.n_users <= 0:
+            return
+        for height_j, payload in sorted(report.height_payloads.items()):
+            self._oracles[height_j].accumulate(
+                self._state.children[height_j - 1],
+                payload,
+                n_users=int(report.level_user_counts[height_j]),
+            )
+        self._state.n_users += report.n_users
+
+    def finalize(self) -> "HaarEstimator":
+        self._require_reports()
+        protocol = self._protocol
+        details: List[np.ndarray] = []
+        level_user_counts = np.zeros(protocol.height + 1, dtype=np.int64)
+        for height_j in range(1, protocol.height + 1):
+            accumulator = self._state.children[height_j - 1]
+            level_user_counts[height_j] = accumulator.n_reports
+            num_nodes = protocol.padded_size // (2**height_j)
+            if accumulator.n_reports == 0:
+                details.append(np.zeros(num_nodes))
+                continue
+            signed_fractions = self._oracles[height_j].finalize(accumulator)
+            details.append(signed_fractions / (2.0 ** (height_j / 2.0)))
+        coefficients = HaarCoefficients(
+            smooth=protocol._smooth_coefficient(), details=details
+        )
+        return HaarEstimator(
+            protocol.domain_size, protocol.padded_size, coefficients, level_user_counts
+        )
+
+
 class HaarHRR(RangeQueryProtocol):
     """The HaarHRR range-query protocol.
 
@@ -123,6 +225,13 @@ class HaarHRR(RangeQueryProtocol):
         self._height = int(math.log2(self._padded)) if self._padded > 1 else 0
         if self._height == 0:
             raise ValueError("domain of size 1 does not need a range-query protocol")
+        # Keep the caller's raw argument so spec() can rebuild an identical
+        # protocol (re-normalizing resolved values would drift by ulps).
+        self._level_probabilities_arg = (
+            None
+            if level_probabilities is None
+            else [float(value) for value in level_probabilities]
+        )
         if level_probabilities is None:
             self._level_probabilities = np.full(self._height, 1.0 / self._height)
         else:
@@ -157,35 +266,21 @@ class HaarHRR(RangeQueryProtocol):
         return HadamardRandomizedResponse(num_nodes, self.epsilon)
 
     # ------------------------------------------------------------------ #
-    # end-to-end execution on raw items
+    # client / server roles
     # ------------------------------------------------------------------ #
-    def run(self, items: np.ndarray, rng: RngLike = None) -> HaarEstimator:
-        rng = ensure_rng(rng)
-        items = self.domain.validate_items(np.asarray(items))
-        if len(items) == 0:
-            raise ProtocolUsageError("cannot run the protocol with zero users")
-        assignments = rng.choice(
-            np.arange(1, self._height + 1), size=len(items), p=self._level_probabilities
-        )
-        details: List[np.ndarray] = []
-        level_user_counts = np.zeros(self._height + 1, dtype=np.int64)
-        for height_j in range(1, self._height + 1):
-            mask = assignments == height_j
-            count = int(mask.sum())
-            level_user_counts[height_j] = count
-            num_nodes = self._padded // (2**height_j)
-            if count == 0:
-                details.append(np.zeros(num_nodes))
-                continue
-            nodes, signs = leaf_membership(items[mask], height_j)
-            oracle = self._height_oracle(height_j)
-            reports = oracle.privatize_signed(nodes, signs, rng=rng)
-            signed_fractions = oracle.aggregate(reports, n_users=count)
-            details.append(signed_fractions / (2.0 ** (height_j / 2.0)))
-        coefficients = HaarCoefficients(smooth=self._smooth_coefficient(), details=details)
-        return HaarEstimator(
-            self.domain_size, self._padded, coefficients, level_user_counts
-        )
+    def client(self) -> HaarClient:
+        return HaarClient(self)
+
+    def server(self, state: Optional[AccumulatorState] = None) -> HaarServer:
+        return HaarServer(self, state)
+
+    def spec(self) -> dict:
+        return {
+            "name": "haar",
+            "domain_size": self.domain_size,
+            "epsilon": self.epsilon,
+            "level_probabilities": self._level_probabilities_arg,
+        }
 
     # ------------------------------------------------------------------ #
     # statistically equivalent aggregate simulation

@@ -1,0 +1,190 @@
+"""Tests for the per-oracle sufficient-statistics accumulators.
+
+Every frequency oracle must support out-of-core aggregation through
+``make_accumulator`` / ``accumulate`` / ``finalize`` with three guarantees:
+
+* sharding invariance -- accumulating any partition of a report stream and
+  merging in any order is *exactly* (bit-for-bit) equal to accumulating
+  the whole stream in one server;
+* ``finalize`` agrees with the batch ``aggregate`` path (exactly for the
+  integer-statistic oracles, to float rounding for HRR/SHE whose batch
+  path debiases before summing);
+* ``to_bytes`` / ``from_bytes`` round-trips preserve the statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import AccumulatorState
+from repro.frequency_oracles import (
+    BinaryRandomizedResponse,
+    GeneralizedRandomizedResponse,
+    HadamardRandomizedResponse,
+    OptimalLocalHashing,
+    OptimizedUnaryEncoding,
+    SummationHistogramEncoding,
+    SymmetricUnaryEncoding,
+    ThresholdHistogramEncoding,
+)
+
+#: Oracles whose batch ``aggregate`` routes through the accumulator and is
+#: therefore bit-identical to ``finalize``; HRR differs by float rounding
+#: (its batch path debiases before summing, the accumulator after).
+EXACT_AGGREGATE = {"grr", "rr", "oue", "sue", "she", "the", "olh"}
+
+ORACLE_CASES = [
+    pytest.param(lambda: GeneralizedRandomizedResponse(32, 1.0), id="grr"),
+    pytest.param(lambda: BinaryRandomizedResponse(1.0), id="rr"),
+    pytest.param(lambda: OptimizedUnaryEncoding(32, 1.0), id="oue"),
+    pytest.param(lambda: SymmetricUnaryEncoding(32, 1.0), id="sue"),
+    pytest.param(lambda: SummationHistogramEncoding(16, 1.0), id="she"),
+    pytest.param(lambda: ThresholdHistogramEncoding(32, 1.0), id="the"),
+    pytest.param(lambda: OptimalLocalHashing(16, 1.0), id="olh"),
+    pytest.param(lambda: HadamardRandomizedResponse(32, 1.0), id="hrr"),
+]
+
+
+def _report_batches(oracle, n_batches=6, batch_size=80, seed=3):
+    """Privatize ``n_batches`` independent user batches for ``oracle``."""
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(n_batches):
+        items = rng.integers(0, oracle.domain_size, size=batch_size)
+        batches.append((oracle.privatize(items, rng=rng), batch_size))
+    return batches
+
+
+def _accumulate_all(oracle, batches):
+    accumulator = oracle.make_accumulator()
+    for payload, n in batches:
+        oracle.accumulate(accumulator, payload, n_users=n)
+    return accumulator
+
+
+class TestShardingInvariance:
+    @pytest.mark.parametrize("make", ORACLE_CASES)
+    def test_sharded_merge_equals_single_pass(self, make):
+        oracle = make()
+        batches = _report_batches(oracle)
+        single = _accumulate_all(oracle, batches)
+
+        shards = [oracle.make_accumulator() for _ in range(3)]
+        for index, (payload, n) in enumerate(batches):
+            oracle.accumulate(shards[index % 3], payload, n_users=n)
+
+        # Merge in a deliberately scrambled order.
+        merged = shards[2].copy().merge(shards[0]).merge(shards[1])
+        assert merged.n_reports == single.n_reports
+        assert np.array_equal(oracle.finalize(merged), oracle.finalize(single))
+
+    @pytest.mark.parametrize("make", ORACLE_CASES)
+    def test_merge_commutative_and_associative(self, make):
+        oracle = make()
+        batches = _report_batches(oracle, n_batches=3)
+        parts = []
+        for payload, n in batches:
+            accumulator = oracle.make_accumulator()
+            oracle.accumulate(accumulator, payload, n_users=n)
+            parts.append(accumulator)
+        a, b, c = parts
+
+        left = a.copy().merge(b.copy()).merge(c.copy())
+        right = a.copy().merge(b.copy().merge(c.copy()))
+        swapped = c.copy().merge(b.copy()).merge(a.copy())
+        reference = oracle.finalize(left)
+        assert np.array_equal(oracle.finalize(right), reference)
+        assert np.array_equal(oracle.finalize(swapped), reference)
+
+
+class TestFinalizeSemantics:
+    @pytest.mark.parametrize("make", ORACLE_CASES)
+    def test_finalize_matches_aggregate(self, make):
+        oracle = make()
+        rng = np.random.default_rng(11)
+        items = rng.integers(0, oracle.domain_size, size=200)
+        payload = oracle.privatize(items, rng=rng)
+
+        accumulator = oracle.accumulate(oracle.make_accumulator(), payload)
+        streamed = oracle.finalize(accumulator)
+        batch = oracle.aggregate(payload, n_users=len(items))
+        if oracle.name in EXACT_AGGREGATE:
+            assert np.array_equal(streamed, batch)
+        else:
+            assert np.allclose(streamed, batch, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("make", ORACLE_CASES)
+    def test_finalize_zero_reports_raises(self, make):
+        oracle = make()
+        with pytest.raises(ValueError):
+            oracle.finalize(oracle.make_accumulator())
+
+    @pytest.mark.parametrize("make", ORACLE_CASES)
+    def test_accumulator_rejects_other_configuration(self, make):
+        oracle = make()
+        other = type(oracle)(oracle.domain_size, 2.5) if oracle.name != "rr" else BinaryRandomizedResponse(2.5)
+        with pytest.raises(ValueError):
+            oracle.accumulate(other.make_accumulator(), None)
+        mine = oracle.make_accumulator()
+        with pytest.raises(ValueError):
+            mine.merge(other.make_accumulator())
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("make", ORACLE_CASES)
+    def test_bytes_roundtrip(self, make):
+        oracle = make()
+        batches = _report_batches(oracle, n_batches=2)
+        accumulator = _accumulate_all(oracle, batches)
+
+        restored = AccumulatorState.from_bytes(accumulator.to_bytes())
+        assert type(restored) is type(accumulator)
+        assert restored.n_reports == accumulator.n_reports
+        assert np.array_equal(oracle.finalize(restored), oracle.finalize(accumulator))
+
+    @pytest.mark.parametrize("make", ORACLE_CASES)
+    def test_restored_accumulator_keeps_accumulating(self, make):
+        oracle = make()
+        batches = _report_batches(oracle, n_batches=4)
+        reference = _accumulate_all(oracle, batches)
+
+        resumed = oracle.make_accumulator()
+        for payload, n in batches[:2]:
+            oracle.accumulate(resumed, payload, n_users=n)
+        resumed = AccumulatorState.from_bytes(resumed.to_bytes())
+        for payload, n in batches[2:]:
+            oracle.accumulate(resumed, payload, n_users=n)
+        assert np.array_equal(oracle.finalize(resumed), oracle.finalize(reference))
+
+
+class TestExactSummation:
+    def test_she_batch_sums_are_order_independent(self):
+        """Float sums are not associative; the SHE accumulator must be.
+
+        The same report batches accumulated in opposite orders carry the
+        same multiset of per-batch partial sums, and ``math.fsum`` makes
+        the finalized means independent of that order.
+        """
+        oracle = SummationHistogramEncoding(8, 0.8)
+        rng = np.random.default_rng(0)
+        items = rng.integers(0, 8, size=240)
+        payload = oracle.privatize(items, rng=rng)
+
+        forward = oracle.make_accumulator()
+        for row in range(0, 240, 40):
+            oracle.accumulate(forward, payload[row : row + 40])
+        backward = oracle.make_accumulator()
+        for row in range(200, -1, -40):
+            oracle.accumulate(backward, payload[row : row + 40])
+        assert sorted(map(tuple, forward.partials)) == sorted(map(tuple, backward.partials))
+        assert np.array_equal(oracle.finalize(forward), oracle.finalize(backward))
+
+    def test_she_single_batch_matches_plain_aggregate_bitwise(self):
+        """One batch through the accumulator equals the batch path exactly."""
+        oracle = SummationHistogramEncoding(16, 1.1)
+        rng = np.random.default_rng(4)
+        items = rng.integers(0, 16, size=500)
+        payload = oracle.privatize(items, rng=rng)
+        accumulator = oracle.accumulate(oracle.make_accumulator(), payload)
+        assert np.array_equal(
+            oracle.finalize(accumulator), payload.sum(axis=0) / len(items)
+        )
