@@ -19,6 +19,7 @@ import numpy as np
 
 from repro import FlatRangeQuery, HaarHRR, HierarchicalHistogram
 from repro.data import cauchy_population
+from repro.queries.workload import random_range_workload, true_answers
 
 DOMAIN_SIZE = 1024
 N_USERS = 200_000
@@ -63,6 +64,21 @@ def main() -> None:
     true_median = int(np.searchsorted(np.cumsum(exact), 0.5))
     print("Estimated median item:", hierarchical.quantile_query(0.5),
           "(exact:", true_median, ")")
+
+    # 4. Batch workloads: answer many queries at once with the array-native
+    # engine -- a RangeWorkload is just two int64 arrays of endpoints,
+    # validated once, and every estimator answers it as pure NumPy kernels
+    # (see BENCH_queries.json for measured per-query vs batch throughput).
+    workload = random_range_workload(DOMAIN_SIZE, 100_000, np.random.default_rng(3))
+    truths = true_answers(workload, exact)
+    print()
+    print(f"Batch workload: {len(workload):,} random ranges")
+    for estimator in estimators:
+        answers = estimator.range_queries(workload)
+        mse = float(np.mean((answers - truths) ** 2))
+        print(f"  {type(estimator).__name__:>22}: workload MSE {mse:.3e}")
+    deciles = hierarchical.quantile_queries_batch(np.linspace(0.1, 0.9, 9))
+    print("  Estimated deciles:", deciles.tolist())
 
 
 if __name__ == "__main__":

@@ -47,12 +47,101 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 
 RangeLike = Union[RangeSpec, Tuple[int, int]]
 
+#: Workload forms accepted by the batch query methods: an array-native
+#: workload object (anything exposing ``lefts``/``rights`` arrays, e.g.
+#: :class:`repro.queries.workload.RangeWorkload`), an ``(N, 2)`` integer
+#: array, a ``(lefts, rights)`` pair of arrays, or an iterable of
+#: :class:`RangeSpec` / ``(left, right)`` tuples.
+WorkloadLike = Union["RangeWorkload", np.ndarray, Tuple, Iterable[RangeLike]]
+
 
 def _as_range(query: RangeLike) -> RangeSpec:
     if isinstance(query, RangeSpec):
         return query
     left, right = query
     return RangeSpec(int(left), int(right))
+
+
+def as_query_arrays(queries: WorkloadLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Coerce any accepted workload form into ``(lefts, rights)`` arrays.
+
+    Duck-types on ``lefts``/``rights`` attributes so :mod:`repro.core`
+    never imports :mod:`repro.queries` (which imports this module).  The
+    returned arrays are *not* validated here; batch kernels validate the
+    whole workload in one vectorised pass.
+    """
+    if hasattr(queries, "lefts") and hasattr(queries, "rights"):
+        return (
+            np.asarray(queries.lefts, dtype=np.int64),
+            np.asarray(queries.rights, dtype=np.int64),
+        )
+    if isinstance(queries, np.ndarray):
+        if queries.ndim != 2 or queries.shape[1] != 2:
+            raise InvalidRangeError(
+                f"a workload array must have shape (N, 2), got {queries.shape}"
+            )
+        arr = queries.astype(np.int64, copy=False)
+        return arr[:, 0], arr[:, 1]
+    if (
+        isinstance(queries, tuple)
+        and len(queries) == 2
+        and isinstance(queries[0], np.ndarray)
+        and isinstance(queries[1], np.ndarray)
+    ):
+        return (
+            np.asarray(queries[0], dtype=np.int64),
+            np.asarray(queries[1], dtype=np.int64),
+        )
+    pairs = []
+    for query in queries:
+        if isinstance(query, RangeSpec):
+            pairs.append(query.as_tuple())
+        else:
+            # Strict two-element unpacking: a malformed query (e.g. an
+            # endpoint array that should have been half of a
+            # (lefts, rights) tuple) fails loudly instead of being
+            # silently truncated to its first two values.
+            left, right = query
+            pairs.append((left, right))
+    if not pairs:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    return arr[:, 0], arr[:, 1]
+
+
+def validate_query_arrays(
+    lefts: np.ndarray, rights: np.ndarray, domain_size: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-shot vectorised validation of a workload of closed ranges.
+
+    Checks ``0 <= left <= right`` element-wise (and ``right <
+    domain_size`` when a domain bound is given) and returns the endpoints
+    as flat ``int64`` arrays.  Shared by the estimator batch kernels and
+    :class:`repro.queries.workload.RangeWorkload` so the rules cannot
+    diverge.
+    """
+    lefts = np.asarray(lefts, dtype=np.int64).reshape(-1)
+    rights = np.asarray(rights, dtype=np.int64).reshape(-1)
+    if lefts.shape != rights.shape:
+        raise InvalidRangeError(
+            f"lefts and rights must have equal length, got {len(lefts)} vs {len(rights)}"
+        )
+    if lefts.size:
+        if int(lefts.min()) < 0:
+            raise InvalidRangeError("range left endpoints must be >= 0")
+        if np.any(lefts > rights):
+            index = int(np.argmax(lefts > rights))
+            raise InvalidRangeError(
+                f"range left endpoint {int(lefts[index])} exceeds right "
+                f"endpoint {int(rights[index])}"
+            )
+        if domain_size is not None and int(rights.max()) >= domain_size:
+            index = int(np.argmax(rights >= domain_size))
+            raise InvalidRangeError(
+                f"range [{int(lefts[index])}, {int(rights[index])}] exceeds "
+                f"domain of size {domain_size}"
+            )
+    return lefts, rights
 
 
 class RangeQueryEstimator(abc.ABC):
@@ -117,25 +206,52 @@ class RangeQueryEstimator(abc.ABC):
             )
         return float(self.estimated_frequencies()[item])
 
+    def _validate_query_arrays(
+        self, lefts: np.ndarray, rights: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One-shot vectorised validation of a workload against the domain."""
+        return validate_query_arrays(lefts, rights, self.domain_size)
+
     def range_query(self, query: RangeLike) -> float:
         """Estimated fraction of users whose item lies in ``[a, b]``."""
         spec = _as_range(query).validate_for_domain(self.domain_size)
         prefix = self._prefix_sums()
         return float(prefix[spec.right + 1] - prefix[spec.left])
 
-    def range_queries(self, queries: Iterable[RangeLike]) -> np.ndarray:
-        """Vectorised evaluation of many range queries."""
-        specs = [_as_range(q).validate_for_domain(self.domain_size) for q in queries]
-        if not specs:
+    def range_queries_batch(self, lefts: np.ndarray, rights: np.ndarray) -> np.ndarray:
+        """Answer a whole workload of ranges with one prefix-sum gather.
+
+        This is the batch kernel every estimator exposes: ``lefts`` and
+        ``rights`` are equal-length integer arrays of inclusive endpoints,
+        validated in one vectorised pass, and the answers come back as one
+        float array with zero per-query Python work.  Subclasses holding
+        richer structure (e.g. an inconsistent hierarchical tree) override
+        this with their native vectorised decomposition.
+        """
+        lefts, rights = self._validate_query_arrays(lefts, rights)
+        if not lefts.size:
             return np.zeros(0)
         prefix = self._prefix_sums()
-        lefts = np.fromiter((s.left for s in specs), dtype=np.int64, count=len(specs))
-        rights = np.fromiter((s.right for s in specs), dtype=np.int64, count=len(specs))
         return prefix[rights + 1] - prefix[lefts]
+
+    def range_queries(self, queries: WorkloadLike) -> np.ndarray:
+        """Vectorised evaluation of many range queries.
+
+        Accepts an array-native workload (``RangeWorkload``, an ``(N, 2)``
+        array, or a ``(lefts, rights)`` array pair) as well as any iterable
+        of :class:`RangeSpec` / ``(left, right)`` tuples; all forms are
+        answered by :meth:`range_queries_batch`.
+        """
+        return self.range_queries_batch(*as_query_arrays(queries))
 
     def prefix_query(self, item: int) -> float:
         """Estimated fraction of users with item ``<= item``."""
         return self.range_query((0, item))
+
+    def prefix_queries(self, endpoints: Sequence[int]) -> np.ndarray:
+        """Vectorised prefix masses ``P[z <= b]`` for an array of endpoints."""
+        rights = np.asarray(endpoints, dtype=np.int64).reshape(-1)
+        return self.range_queries_batch(np.zeros(rights.size, np.int64), rights)
 
     def cdf(self) -> np.ndarray:
         """Estimated cumulative distribution function over the whole domain."""
@@ -145,19 +261,32 @@ class RangeQueryEstimator(abc.ABC):
         """Smallest item ``j`` whose estimated prefix mass reaches ``phi``.
 
         Implements the binary search over prefix queries described in
-        Section 4.7 of the paper.  ``phi`` must lie in ``[0, 1]``.
+        Section 4.7 of the paper.  ``phi`` must lie in ``[0, 1]``.  Thin
+        wrapper over :meth:`quantile_queries_batch`.
         """
-        if not 0.0 <= phi <= 1.0:
-            raise ValueError(f"phi must be in [0, 1], got {phi}")
-        # np.searchsorted over the noisy cdf is not safe without enforcing
-        # monotonicity first; the monotone cdf is cached across calls.
+        return int(self.quantile_queries_batch([phi])[0])
+
+    def quantile_queries_batch(self, phis: Sequence[float]) -> np.ndarray:
+        """Evaluate an array of quantile queries with one ``searchsorted``.
+
+        ``np.searchsorted`` over the noisy cdf is not safe without
+        enforcing monotonicity first; the monotone cdf is cached across
+        calls, so a workload of ``Q`` quantiles costs ``O(Q log D)`` total
+        with no per-phi Python work.  Returns an ``int64`` array.
+        """
+        phis = np.asarray(phis, dtype=np.float64).reshape(-1)
+        # The negated comparison also catches NaN (for which both `< 0`
+        # and `> 1` are False), matching the seed's per-phi check.
+        invalid = ~((phis >= 0.0) & (phis <= 1.0))
+        if np.any(invalid):
+            raise ValueError(f"phi must be in [0, 1], got {phis[invalid][0]}")
         monotone = self._monotone_cdf()
-        index = int(np.searchsorted(monotone, phi, side="left"))
-        return min(index, self.domain_size - 1)
+        indices = np.searchsorted(monotone, phis, side="left")
+        return np.minimum(indices, self.domain_size - 1).astype(np.int64)
 
     def quantile_queries(self, phis: Sequence[float]) -> List[int]:
-        """Evaluate several quantile queries."""
-        return [self.quantile_query(phi) for phi in phis]
+        """Evaluate several quantile queries (list form of the batch kernel)."""
+        return self.quantile_queries_batch(phis).tolist()
 
 
 class RangeQueryProtocol(abc.ABC):

@@ -420,6 +420,22 @@ register_report_decoder(HierarchicalReport.kind, HierarchicalReport._decode)
 register_report_decoder(HaarReport.kind, HaarReport._decode)
 
 
+def iter_level_payloads(payloads: Dict[int, Any]):
+    """Level/payload pairs in ascending level order.
+
+    Clients build payload dicts level by level, so insertion order is
+    almost always already ascending; this reuses the dict's own iteration
+    in that case and only falls back to sorting for externally built
+    (e.g. deserialized) reports.
+    """
+    previous: Optional[int] = None
+    for level in payloads:
+        if previous is not None and level < previous:
+            return sorted(payloads.items())
+        previous = level
+    return payloads.items()
+
+
 # --------------------------------------------------------------------- #
 # client / server roles
 # --------------------------------------------------------------------- #
@@ -506,14 +522,18 @@ class ProtocolServer(abc.ABC):
 
     def ingest(self, reports: Union[Report, Iterable[Report]]) -> "ProtocolServer":
         """Fold one report or an iterable of reports into the accumulator."""
+        # Fast path: a single report skips the iteration machinery -- this
+        # is the per-report hot path of streaming ingestion.
         if isinstance(reports, Report):
-            reports = [reports]
+            self._ingest_one(reports)
+            return self
+        ingest_one = self._ingest_one
         for report in reports:
             if not isinstance(report, Report):
                 raise ProtocolUsageError(
                     f"ingest expects Report instances, got {type(report).__name__}"
                 )
-            self._ingest_one(report)
+            ingest_one(report)
         return self
 
     def merge(

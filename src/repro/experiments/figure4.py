@@ -30,7 +30,7 @@ from repro.experiments.runner import (
 )
 from repro.flat import FlatRangeQuery
 from repro.hierarchy import HierarchicalHistogram
-from repro.queries.workload import all_queries_of_length, sampled_range_queries
+from repro.queries.workload import RangeWorkload, length_workload, sampled_range_workload
 from repro.wavelet import HaarHRR
 
 
@@ -56,13 +56,21 @@ def _range_lengths(domain_size: int) -> List[int]:
     return sorted(set(lengths))
 
 
-def _queries_of_length(domain_size: int, length: int, config: ExperimentConfig):
+def _queries_of_length(
+    domain_size: int, length: int, config: ExperimentConfig
+) -> RangeWorkload:
     if domain_size <= config.exhaustive_domain_limit:
-        return all_queries_of_length(domain_size, length)
-    queries = sampled_range_queries(
+        return length_workload(domain_size, length)
+    workload = sampled_range_workload(
         domain_size, config.num_start_points, lengths=[length]
     )
-    return queries or all_queries_of_length(domain_size, length)[:1]
+    if len(workload):
+        return workload
+    # No sampled start point fits this length: fall back to the single
+    # range anchored at the origin (matches the seed behaviour).
+    return RangeWorkload(
+        np.asarray([0], np.int64), np.asarray([length - 1], np.int64), domain_size
+    )
 
 
 def _methods_for_domain(

@@ -15,12 +15,12 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import WorkloadEvaluation, format_table
-from repro.queries.workload import prefix_queries
+from repro.queries.workload import prefix_workload
 
 
 def build_prefix_evaluation(domain_size: int, frequencies: np.ndarray) -> WorkloadEvaluation:
-    """All prefix queries with their exact answers."""
-    return WorkloadEvaluation.from_frequencies(prefix_queries(domain_size), frequencies)
+    """All prefix queries with their exact answers (array-native)."""
+    return WorkloadEvaluation.from_frequencies(prefix_workload(domain_size), frequencies)
 
 
 def run_figure6(config: ExperimentConfig, rng=None):

@@ -12,22 +12,25 @@ protocol objects.
 from __future__ import annotations
 
 import re
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.metrics import mean_squared_error, summarize_repetitions
 from repro.core.protocol import RangeQueryProtocol
 from repro.core.rng import RngLike, ensure_rng, spawn_rngs
+from repro.core.session import protocol_from_spec
 from repro.core.types import RangeSpec
 from repro.data.synthetic import cauchy_population
 from repro.flat import FlatRangeQuery
 from repro.hierarchy import HierarchicalHistogram
 from repro.queries.workload import (
-    all_range_queries,
-    prefix_queries,
-    sampled_range_queries,
+    RangeWorkload,
+    all_range_workload,
+    prefix_workload,
+    sampled_range_workload,
     true_answers,
 )
 from repro.wavelet import HaarHRR
@@ -92,32 +95,67 @@ class MethodResult:
 
 @dataclass
 class WorkloadEvaluation:
-    """A reusable bundle of queries and their exact answers."""
+    """A reusable bundle of queries and their exact answers.
 
-    queries: List[RangeSpec]
+    ``queries`` is an array-native :class:`RangeWorkload`;
+    :meth:`from_frequencies` also accepts a sequence of
+    :class:`~repro.core.types.RangeSpec` for compatibility and converts it
+    once.
+    """
+
+    queries: RangeWorkload
     truths: np.ndarray
 
     @classmethod
     def from_frequencies(
-        cls, queries: Sequence[RangeSpec], frequencies: np.ndarray
+        cls,
+        queries: Union[RangeWorkload, Sequence[RangeSpec]],
+        frequencies: np.ndarray,
     ) -> "WorkloadEvaluation":
-        return cls(queries=list(queries), truths=true_answers(list(queries), frequencies))
+        workload = RangeWorkload.from_queries(queries)
+        return cls(queries=workload, truths=true_answers(workload, frequencies))
 
 
 def build_range_workload(
     domain_size: int,
     exhaustive_limit: int,
     num_start_points: int,
-) -> List[RangeSpec]:
+) -> RangeWorkload:
     """All ranges for small domains, the paper's sampled workload otherwise."""
     if domain_size <= exhaustive_limit:
-        return all_range_queries(domain_size)
-    return sampled_range_queries(domain_size, num_start_points)
+        return all_range_workload(domain_size)
+    return sampled_range_workload(domain_size, num_start_points)
 
 
-def build_prefix_workload(domain_size: int) -> List[RangeSpec]:
+def build_prefix_workload(domain_size: int) -> RangeWorkload:
     """Every prefix query (there are only ``D`` of them)."""
-    return prefix_queries(domain_size)
+    return prefix_workload(domain_size)
+
+
+def _run_one_repetition(
+    spec: Optional[dict],
+    protocol: Optional[RangeQueryProtocol],
+    true_counts: np.ndarray,
+    lefts: np.ndarray,
+    rights: np.ndarray,
+    truths: np.ndarray,
+    repetition_rng: np.random.Generator,
+    simulated: bool,
+    items: Optional[np.ndarray],
+) -> float:
+    """One repetition's MSE; module-level so worker processes can pickle it.
+
+    Worker processes receive the protocol ``spec`` and rebuild it; the
+    serial path passes the live ``protocol`` object straight through.
+    """
+    if protocol is None:
+        protocol = protocol_from_spec(spec)
+    if simulated:
+        estimator = protocol.run_simulated(true_counts, rng=repetition_rng)
+    else:
+        estimator = protocol.run(items, rng=repetition_rng)
+    estimates = estimator.range_queries_batch(lefts, rights)
+    return mean_squared_error(estimates, truths)
 
 
 def evaluate_method(
@@ -128,6 +166,7 @@ def evaluate_method(
     rng: RngLike = None,
     simulated: bool = True,
     items: Optional[np.ndarray] = None,
+    workers: int = 1,
 ) -> MethodResult:
     """Run a protocol ``repetitions`` times and summarise the range-query MSE.
 
@@ -135,20 +174,54 @@ def evaluate_method(
     is statistically equivalent and orders of magnitude faster; pass
     ``simulated=False`` together with ``items`` to exercise the full
     per-user pipeline.
+
+    ``workers > 1`` distributes the repetitions over a process pool.  Every
+    repetition owns a spawned child RNG stream regardless of where it runs,
+    and results are collected in submission order, so the summary is
+    identical to the serial path at any worker count.  Workers rebuild the
+    protocol from :meth:`~repro.core.protocol.RangeQueryProtocol.spec`, so
+    parallel evaluation requires a registry-constructible protocol.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if not simulated and items is None:
+        raise ValueError("items are required when simulated=False")
     rngs = spawn_rngs(rng, repetitions)
-    errors = []
-    for repetition_rng in rngs:
-        if simulated:
-            estimator = protocol.run_simulated(true_counts, rng=repetition_rng)
-        else:
-            if items is None:
-                raise ValueError("items are required when simulated=False")
-            estimator = protocol.run(items, rng=repetition_rng)
-        estimates = estimator.range_queries(workload.queries)
-        errors.append(mean_squared_error(estimates, workload.truths))
+    queries = RangeWorkload.from_queries(workload.queries)
+    if workers == 1 or repetitions == 1:
+        errors = [
+            _run_one_repetition(
+                None,
+                protocol,
+                true_counts,
+                queries.lefts,
+                queries.rights,
+                workload.truths,
+                repetition_rng,
+                simulated,
+                items,
+            )
+            for repetition_rng in rngs
+        ]
+    else:
+        spec = protocol.spec()
+        with ProcessPoolExecutor(max_workers=min(workers, repetitions)) as pool:
+            errors = list(
+                pool.map(
+                    _run_one_repetition,
+                    [spec] * repetitions,
+                    [None] * repetitions,
+                    [true_counts] * repetitions,
+                    [queries.lefts] * repetitions,
+                    [queries.rights] * repetitions,
+                    [workload.truths] * repetitions,
+                    rngs,
+                    [simulated] * repetitions,
+                    [items] * repetitions,
+                )
+            )
     summary = summarize_repetitions(errors)
     return MethodResult(
         method=protocol.name,

@@ -106,11 +106,26 @@ class FlatRangeQuery(RangeQueryProtocol):
     oracle:
         Frequency-oracle handle (``"oue"`` by default, matching the paper's
         choice of flat baseline).
+    aggregation_chunk:
+        Optional chunk size for the OLH decoding loop (an execution knob
+        only; it never changes results and is not part of the protocol
+        spec).  Only valid with ``oracle="olh"``.
     """
 
-    def __init__(self, domain_size: int, epsilon: float, oracle: str = "oue") -> None:
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        oracle: str = "oue",
+        aggregation_chunk: Optional[int] = None,
+    ) -> None:
         super().__init__(domain_size, epsilon)
         self._oracle_name = oracle.strip().lower()
+        if aggregation_chunk is not None and self._oracle_name != "olh":
+            raise ValueError(
+                "aggregation_chunk is only supported by the 'olh' oracle"
+            )
+        self._aggregation_chunk = aggregation_chunk
         self.name = f"Flat{self._oracle_name.upper()}"
 
     @property
@@ -119,7 +134,10 @@ class FlatRangeQuery(RangeQueryProtocol):
         return self._oracle_name
 
     def _make_oracle(self):
-        return make_oracle(self._oracle_name, self.domain_size, self.epsilon)
+        kwargs = {}
+        if self._aggregation_chunk is not None:
+            kwargs["aggregation_chunk"] = self._aggregation_chunk
+        return make_oracle(self._oracle_name, self.domain_size, self.epsilon, **kwargs)
 
     def client(self) -> FlatClient:
         return FlatClient(self)

@@ -79,12 +79,26 @@ class OptimalLocalHashing(FrequencyOracle):
         self._g = int(num_buckets)
         self._p = self.privacy.e_eps / (self.privacy.e_eps + self._g - 1)
         self._q = 1.0 / self._g
+        if int(aggregation_chunk) < 1:
+            raise ValueError(
+                f"aggregation_chunk must be >= 1, got {aggregation_chunk}"
+            )
         self._chunk = int(aggregation_chunk)
 
     @property
     def num_buckets(self) -> int:
         """The hash range ``g``."""
         return self._g
+
+    @property
+    def aggregation_chunk(self) -> int:
+        """Users decoded per chunk in the ``O(N D)`` aggregation loop.
+
+        A pure execution knob (memory/speed trade-off): it never changes
+        the decoded support counts, so it is excluded from the accumulator
+        compatibility config and from protocol specs.
+        """
+        return self._chunk
 
     @property
     def keep_probability(self) -> float:
@@ -161,18 +175,30 @@ class OptimalLocalHashing(FrequencyOracle):
             raise ValueError(
                 f"reports use g={reports.num_buckets}, oracle expects g={self._g}"
             )
+        num_reports = len(reports)
+        # Cast the report arrays to int64 once, outside the chunk loop (the
+        # per-chunk np.asarray slices of the original code re-checked and
+        # potentially re-copied them on every iteration).
+        multipliers = np.ascontiguousarray(reports.multipliers, dtype=np.int64)
+        offsets = np.ascontiguousarray(reports.offsets, dtype=np.int64)
+        buckets = np.ascontiguousarray(reports.buckets, dtype=np.int64)
         domain_items = np.arange(self.domain_size, dtype=np.int64)
         support = np.zeros(self.domain_size, dtype=np.int64)
         # O(N * D) decoding, chunked over users to bound memory.  The
         # decoded support counts are the (integer) sufficient statistic, so
-        # only O(D) state survives the batch.
-        for start in range(0, len(reports), self._chunk):
-            stop = min(start + self._chunk, len(reports))
-            mult = np.asarray(reports.multipliers)[start:stop, None]
-            off = np.asarray(reports.offsets)[start:stop, None]
-            buckets = np.asarray(reports.buckets)[start:stop, None]
-            hashes = self._hash(mult, off, domain_items[None, :])
-            support += np.sum(hashes == buckets, axis=0)
+        # only O(D) state survives the batch.  One (chunk, D) work buffer is
+        # reused across iterations with in-place arithmetic -- same hash
+        # ((a * x + b) mod P) mod g, a fraction of the allocation churn.
+        chunk = min(self._chunk, max(num_reports, 1))
+        work = np.empty((chunk, self.domain_size), dtype=np.int64)
+        for start in range(0, num_reports, chunk):
+            stop = min(start + chunk, num_reports)
+            rows = work[: stop - start]
+            np.multiply(multipliers[start:stop, None], domain_items[None, :], out=rows)
+            rows += offsets[start:stop, None]
+            rows %= _HASH_PRIME
+            rows %= self._g
+            support += np.count_nonzero(rows == buckets[start:stop, None], axis=0)
         accumulator.vectors["support"] += support
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator

@@ -68,9 +68,13 @@ def weighted_averaging(
         numerator_self = b**i - b ** (i - 1)
         numerator_children = b ** (i - 1) - 1.0
         denominator = b**i - 1.0
-        levels[depth] = (
-            numerator_self * levels[depth] + numerator_children * child_sums
-        ) / denominator
+        # In-place update (the levels are private copies): one temporary
+        # instead of three per level.
+        values = levels[depth]
+        values *= numerator_self
+        child_sums *= numerator_children
+        values += child_sums
+        values /= denominator
     return levels
 
 
@@ -92,7 +96,8 @@ def mean_consistency(
     for depth in range(1, height + 1):
         child_sums = levels[depth].reshape(-1, branching).sum(axis=1)
         residual = (levels[depth - 1] - child_sums) / branching
-        levels[depth] = levels[depth] + np.repeat(residual, branching)
+        # Broadcast the per-parent residual onto the children in place.
+        levels[depth].reshape(-1, branching)[...] += residual[:, None]
     return levels
 
 

@@ -34,6 +34,7 @@ from repro.core.session import (
     ProtocolClient,
     ProtocolServer,
     Report,
+    iter_level_payloads,
 )
 from repro.core.types import Domain
 from repro.frequency_oracles import make_oracle
@@ -80,6 +81,7 @@ class HierarchicalEstimator(RangeQueryEstimator):
         self._level_user_counts = (
             None if level_user_counts is None else np.asarray(level_user_counts)
         )
+        self._level_prefix_cache: Optional[List[np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -135,27 +137,64 @@ class HierarchicalEstimator(RangeQueryEstimator):
         """Leaf-level estimates truncated to the true domain size."""
         return self._levels[-1][: self.domain_size].copy()
 
+    def _level_prefix_sums(self) -> List[np.ndarray]:
+        """Cached per-level prefix sums of the node estimates (root first).
+
+        Computed once per estimator; together with the vectorised canonical
+        decomposition they let a whole workload be answered with ``O(h)``
+        gathers (two contiguous node runs per level per query).
+        """
+        if self._level_prefix_cache is None:
+            self._level_prefix_cache = [
+                np.concatenate(([0.0], np.cumsum(values))) for values in self._levels
+            ]
+        return self._level_prefix_cache
+
+    def invalidate_cache(self) -> None:
+        super().invalidate_cache()
+        self._level_prefix_cache = None
+
     def range_query(self, query: RangeLike) -> float:
         """Answer ``[a, b]`` by summing its canonical B-adic decomposition.
 
         After constrained inference any way of combining nodes gives the
         same answer; before it, the canonical decomposition is the
-        minimum-node (and minimum-variance) evaluation.
+        minimum-node (and minimum-variance) evaluation.  Thin wrapper over
+        :meth:`range_queries_batch` on a one-element workload.
         """
         spec = _as_range(query).validate_for_domain(self.domain_size)
-        nodes = self._tree.decompose_range(spec.left, spec.right)
-        return float(sum(self._levels[node.level][node.index] for node in nodes))
+        return float(
+            self.range_queries_batch(
+                np.asarray([spec.left], np.int64), np.asarray([spec.right], np.int64)
+            )[0]
+        )
 
-    def range_queries(self, queries) -> np.ndarray:
-        """Evaluate many range queries.
+    def range_queries_batch(self, lefts: np.ndarray, rights: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation of many range queries.
 
-        Consistent estimators can use the prefix-sum fast path (identical
-        answers by the consistency property); inconsistent ones fall back to
-        per-query decomposition.
+        Consistent estimators use the prefix-sum fast path (identical
+        answers by the consistency property); inconsistent ones answer the
+        whole workload through the closed-form vectorised canonical
+        decomposition: at most two contiguous node runs per level per
+        query, each summed with one gather into the cached per-level
+        prefix sums -- the same node set as
+        :meth:`~repro.hierarchy.tree.DomainTree.decompose_range`, summed in
+        level order (answers agree up to float-sum reordering, ~1e-15).
         """
         if self._consistent:
-            return super().range_queries(queries)
-        return np.array([self.range_query(query) for query in queries])
+            return super().range_queries_batch(lefts, rights)
+        lefts, rights = self._validate_query_arrays(lefts, rights)
+        if not lefts.size:
+            return np.zeros(0)
+        answers = np.zeros(lefts.size)
+        prefix_by_level = self._level_prefix_sums()
+        runs = self._tree.decompose_ranges_batch(lefts, rights)
+        for prefix, (left_lo, left_hi, right_lo, right_hi) in zip(prefix_by_level, runs):
+            # Empty runs are encoded (0, -1), so each gather contributes
+            # exactly 0.0 for queries that select nothing at this level.
+            answers += prefix[left_hi + 1] - prefix[left_lo]
+            answers += prefix[right_hi + 1] - prefix[right_lo]
+        return answers
 
 
 class HierarchicalClient(ProtocolClient):
@@ -245,11 +284,14 @@ class HierarchicalServer(ProtocolServer):
             )
         if report.n_users <= 0:
             return
-        for level, payload in sorted(report.level_payloads.items()):
-            self._oracles[level].accumulate(
-                self._state.children[level - 1],
+        oracles = self._oracles
+        children = self._state.children
+        level_user_counts = report.level_user_counts
+        for level, payload in iter_level_payloads(report.level_payloads):
+            oracles[level].accumulate(
+                children[level - 1],
                 payload,
-                n_users=int(report.level_user_counts[level]),
+                n_users=int(level_user_counts[level]),
             )
         self._state.n_users += report.n_users
 
@@ -292,6 +334,10 @@ class HierarchicalHistogram(RangeQueryProtocol):
     level_probabilities:
         Optional non-uniform level sampling distribution over the ``h``
         non-root levels.  Defaults to uniform, the optimum from Lemma 4.4.
+    aggregation_chunk:
+        Optional chunk size for the OLH decoding loop (an execution knob
+        only; it never changes results and is not part of the protocol
+        spec).  Only valid with ``oracle="olh"``.
     """
 
     def __init__(
@@ -303,6 +349,7 @@ class HierarchicalHistogram(RangeQueryProtocol):
         consistency: bool = True,
         level_strategy: str = "sample",
         level_probabilities: Optional[Sequence[float]] = None,
+        aggregation_chunk: Optional[int] = None,
     ) -> None:
         super().__init__(domain_size, epsilon)
         if level_strategy not in LEVEL_STRATEGIES:
@@ -311,6 +358,11 @@ class HierarchicalHistogram(RangeQueryProtocol):
             )
         self._tree = DomainTree(self.domain_size, branching)
         self._oracle_name = oracle.strip().lower()
+        if aggregation_chunk is not None and self._oracle_name != "olh":
+            raise ValueError(
+                "aggregation_chunk is only supported by the 'olh' oracle"
+            )
+        self._aggregation_chunk = aggregation_chunk
         self._consistency = bool(consistency)
         self._level_strategy = level_strategy
         # Keep the caller's raw argument so spec() can rebuild an identical
@@ -384,8 +436,11 @@ class HierarchicalHistogram(RangeQueryProtocol):
         return self.epsilon
 
     def _make_level_oracle(self, level: int):
+        kwargs = {}
+        if self._aggregation_chunk is not None:
+            kwargs["aggregation_chunk"] = self._aggregation_chunk
         return make_oracle(
-            self._oracle_name, self._tree.level_size(level), self._level_epsilon()
+            self._oracle_name, self._tree.level_size(level), self._level_epsilon(), **kwargs
         )
 
     # ------------------------------------------------------------------ #

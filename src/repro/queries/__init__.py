@@ -16,16 +16,28 @@ from repro.queries.quantile import (
     true_quantile,
 )
 from repro.queries.workload import (
+    RangeWorkload,
     all_queries_of_length,
     all_range_queries,
+    all_range_workload,
     geometric_lengths,
     group_by_length,
+    length_workload,
     prefix_queries,
+    prefix_workload,
+    random_range_workload,
     sampled_range_queries,
+    sampled_range_workload,
     true_answers,
 )
 
 __all__ = [
+    "RangeWorkload",
+    "all_range_workload",
+    "length_workload",
+    "prefix_workload",
+    "random_range_workload",
+    "sampled_range_workload",
     "estimated_cdf",
     "monotone_cdf",
     "prefix_answers",

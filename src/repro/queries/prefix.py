@@ -17,8 +17,12 @@ from repro.core.protocol import RangeQueryEstimator
 
 
 def prefix_answers(estimator: RangeQueryEstimator, endpoints: Sequence[int]) -> np.ndarray:
-    """Estimated prefix masses ``P[z <= b]`` for each requested endpoint."""
-    return np.array([estimator.prefix_query(int(b)) for b in endpoints])
+    """Estimated prefix masses ``P[z <= b]`` for each requested endpoint.
+
+    Delegates to the estimator's batch kernel, so the whole endpoint array
+    is answered with one vectorised pass.
+    """
+    return estimator.prefix_queries(np.asarray(endpoints, dtype=np.int64))
 
 
 def estimated_cdf(estimator: RangeQueryEstimator) -> np.ndarray:

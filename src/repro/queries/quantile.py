@@ -93,22 +93,36 @@ def evaluate_quantiles(
     true_frequencies: np.ndarray,
     phis: Sequence[float],
 ) -> List[QuantileEvaluation]:
-    """Evaluate several quantile queries, returning both error measures."""
-    results: List[QuantileEvaluation] = []
-    for phi in phis:
-        estimated = estimate_quantile(estimator, phi)
-        truth = true_quantile(true_frequencies, phi)
-        achieved_rank = quantile_rank(true_frequencies, estimated)
-        results.append(
-            QuantileEvaluation(
-                phi=float(phi),
-                estimated_item=int(estimated),
-                true_item=int(truth),
-                value_error=float(abs(estimated - truth)),
-                quantile_error=float(abs(achieved_rank - phi)),
-            )
+    """Evaluate several quantile queries, returning both error measures.
+
+    The estimated and true quantile items and the achieved ranks are all
+    computed with vectorised searches; only the result records are built
+    per phi.
+    """
+    phi_arr = np.asarray(phis, dtype=np.float64).reshape(-1)
+    freqs = np.asarray(true_frequencies, dtype=np.float64)
+    total = freqs.sum()
+    if total <= 0:
+        raise ValueError("frequency vector has zero mass")
+    invalid = ~((phi_arr >= 0.0) & (phi_arr <= 1.0))  # also catches NaN
+    if np.any(invalid):
+        raise ValueError(f"phi must be in [0, 1], got {phi_arr[invalid][0]}")
+    estimated = estimator.quantile_queries_batch(phi_arr)
+    cdf = np.cumsum(freqs) / total
+    truths = np.minimum(
+        np.searchsorted(cdf, phi_arr, side="left"), len(freqs) - 1
+    ).astype(np.int64)
+    achieved_ranks = cdf[estimated]
+    return [
+        QuantileEvaluation(
+            phi=float(phi),
+            estimated_item=int(item),
+            true_item=int(truth),
+            value_error=float(abs(int(item) - int(truth))),
+            quantile_error=float(abs(rank - phi)),
         )
-    return results
+        for phi, item, truth, rank in zip(phi_arr, estimated, truths, achieved_ranks)
+    ]
 
 
 def deciles() -> List[float]:

@@ -9,48 +9,151 @@ Two workload generators are needed:
   strategy for large domains: pick evenly spaced starting points and
   evaluate every range that begins at each of them.
 
-Both return lists of :class:`~repro.core.types.RangeSpec`, plus helpers to
-group queries by length (Figure 4 plots error per query length) and to
-compute exact answers in bulk.
+Workloads are *array-native*: the canonical representation is
+:class:`RangeWorkload`, a pair of ``int64`` arrays ``(lefts, rights)``
+validated once at construction.  Estimators answer a whole workload with
+pure NumPy kernels (see :meth:`repro.core.protocol.RangeQueryEstimator.
+range_queries_batch`), so figure reproductions never materialise millions
+of per-query Python objects.  The original list-of-:class:`RangeSpec`
+generators are kept as thin wrappers for callers that want individual
+query objects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.exceptions import InvalidRangeError
+from repro.core.protocol import as_query_arrays, validate_query_arrays
 from repro.core.types import RangeSpec
 
 
-def all_range_queries(domain_size: int, min_length: int = 1) -> List[RangeSpec]:
-    """Every closed range ``[a, b]`` with ``b - a + 1 >= min_length``."""
+class RangeWorkload:
+    """A batch of closed range queries held as parallel ``int64`` arrays.
+
+    Parameters
+    ----------
+    lefts, rights:
+        Equal-length 1-D integer arrays of inclusive endpoints.
+    domain_size:
+        Optional domain bound; when given, every query is validated
+        against it once, here, so downstream kernels skip per-query
+        checks.
+
+    The constructor performs the one-shot validation (``0 <= left <=
+    right`` element-wise, plus the domain bound when known); estimators
+    re-check only the domain bound, vectorised, at query time.
+    """
+
+    __slots__ = ("lefts", "rights")
+
+    def __init__(
+        self,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+        domain_size: Optional[int] = None,
+    ) -> None:
+        self.lefts, self.rights = validate_query_arrays(
+            lefts, rights, None if domain_size is None else int(domain_size)
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.lefts.size)
+
+    def __iter__(self) -> Iterator[RangeSpec]:
+        """Yield per-query :class:`RangeSpec` objects (compatibility path)."""
+        for left, right in zip(self.lefts.tolist(), self.rights.tolist()):
+            yield RangeSpec(left, right)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RangeWorkload(num_queries={len(self)})"
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Length ``r`` of every query (``rights - lefts + 1``)."""
+        return self.rights - self.lefts + 1
+
+    def validate_for_domain(self, domain_size: int) -> "RangeWorkload":
+        """Raise :class:`InvalidRangeError` if any query exceeds the domain."""
+        validate_query_arrays(self.lefts, self.rights, int(domain_size))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_queries(
+        cls,
+        queries: Union["RangeWorkload", Iterable],
+        domain_size: Optional[int] = None,
+    ) -> "RangeWorkload":
+        """Coerce specs, ``(left, right)`` pairs or a workload into a workload."""
+        if isinstance(queries, RangeWorkload):
+            if domain_size is not None:
+                queries.validate_for_domain(int(domain_size))
+            return queries
+        return cls(*as_query_arrays(queries), domain_size=domain_size)
+
+    def as_specs(self) -> List[RangeSpec]:
+        """Materialise the per-query :class:`RangeSpec` objects."""
+        return list(self)
+
+    # ------------------------------------------------------------------ #
+    # grouping
+    # ------------------------------------------------------------------ #
+    def group_indices_by_length(self) -> Dict[int, np.ndarray]:
+        """Query indices grouped by range length (for per-length metrics)."""
+        grouped: Dict[int, np.ndarray] = {}
+        if not len(self):
+            return grouped
+        lengths = self.lengths
+        for length in np.unique(lengths):
+            grouped[int(length)] = np.flatnonzero(lengths == length)
+        return grouped
+
+
+# --------------------------------------------------------------------- #
+# array-native workload generators
+# --------------------------------------------------------------------- #
+def all_range_workload(domain_size: int, min_length: int = 1) -> RangeWorkload:
+    """Every closed range ``[a, b]`` with ``b - a + 1 >= min_length``.
+
+    Built with a single pair of vectorised index expansions -- no Python
+    loop over the ``O(D^2)`` queries.
+    """
     if domain_size < 1:
         raise ValueError(f"domain_size must be positive, got {domain_size}")
     if min_length < 1:
         raise ValueError(f"min_length must be >= 1, got {min_length}")
-    queries: List[RangeSpec] = []
-    for left in range(domain_size):
-        for right in range(left + min_length - 1, domain_size):
-            queries.append(RangeSpec(left, right))
-    return queries
+    starts = np.arange(domain_size, dtype=np.int64)
+    counts = np.maximum(domain_size - (starts + min_length - 1), 0)
+    lefts = np.repeat(starts, counts)
+    # For each left endpoint the rights run [left + min_length - 1, D - 1].
+    offsets = np.arange(lefts.size, dtype=np.int64) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts[:-1]))), counts
+    )
+    rights = lefts + min_length - 1 + offsets
+    return RangeWorkload(lefts, rights, domain_size)
 
 
-def all_queries_of_length(domain_size: int, length: int) -> List[RangeSpec]:
+def length_workload(domain_size: int, length: int) -> RangeWorkload:
     """All ``D - r + 1`` ranges of an exact length ``r``."""
     if length < 1 or length > domain_size:
-        raise InvalidRangeError(
-            f"length must be in [1, {domain_size}], got {length}"
-        )
-    return [RangeSpec(left, left + length - 1) for left in range(domain_size - length + 1)]
+        raise InvalidRangeError(f"length must be in [1, {domain_size}], got {length}")
+    lefts = np.arange(domain_size - length + 1, dtype=np.int64)
+    return RangeWorkload(lefts, lefts + length - 1, domain_size)
 
 
-def sampled_range_queries(
+def sampled_range_workload(
     domain_size: int,
     num_start_points: int,
     lengths: Optional[Sequence[int]] = None,
-) -> List[RangeSpec]:
+) -> RangeWorkload:
     """The paper's large-domain workload: evenly spaced starting points.
 
     For each of ``num_start_points`` evenly spaced values of ``a`` we emit
@@ -67,13 +170,55 @@ def sampled_range_queries(
     )
     if lengths is None:
         lengths = geometric_lengths(domain_size)
-    queries: List[RangeSpec] = []
-    for start in starts:
-        for length in lengths:
-            right = int(start) + int(length) - 1
-            if right < domain_size:
-                queries.append(RangeSpec(int(start), right))
-    return queries
+    length_arr = np.asarray(list(lengths), dtype=np.int64)
+    lefts = np.repeat(starts, len(length_arr))
+    rights = lefts + np.tile(length_arr, len(starts)) - 1
+    keep = rights < domain_size
+    return RangeWorkload(lefts[keep], rights[keep], domain_size)
+
+
+def prefix_workload(domain_size: int) -> RangeWorkload:
+    """All prefix queries ``[0, b]`` (Section 4.7)."""
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    rights = np.arange(domain_size, dtype=np.int64)
+    return RangeWorkload(np.zeros(domain_size, np.int64), rights, domain_size)
+
+
+def random_range_workload(
+    domain_size: int, num_queries: int, rng: np.random.Generator
+) -> RangeWorkload:
+    """``num_queries`` uniformly random closed ranges (benchmarks, tests)."""
+    if domain_size < 1:
+        raise ValueError(f"domain_size must be positive, got {domain_size}")
+    if num_queries < 0:
+        raise ValueError(f"num_queries must be >= 0, got {num_queries}")
+    endpoints = rng.integers(0, domain_size, size=(num_queries, 2))
+    lefts = np.minimum(endpoints[:, 0], endpoints[:, 1])
+    rights = np.maximum(endpoints[:, 0], endpoints[:, 1])
+    return RangeWorkload(lefts, rights, domain_size)
+
+
+# --------------------------------------------------------------------- #
+# RangeSpec-list wrappers (original API, kept for per-query callers)
+# --------------------------------------------------------------------- #
+def all_range_queries(domain_size: int, min_length: int = 1) -> List[RangeSpec]:
+    """Every closed range ``[a, b]`` with ``b - a + 1 >= min_length``."""
+    return all_range_workload(domain_size, min_length).as_specs()
+
+
+def all_queries_of_length(domain_size: int, length: int) -> List[RangeSpec]:
+    """All ``D - r + 1`` ranges of an exact length ``r``."""
+    return length_workload(domain_size, length).as_specs()
+
+
+def sampled_range_queries(
+    domain_size: int,
+    num_start_points: int,
+    lengths: Optional[Sequence[int]] = None,
+) -> List[RangeSpec]:
+    """List-of-specs form of :func:`sampled_range_workload`."""
+    return sampled_range_workload(domain_size, num_start_points, lengths).as_specs()
 
 
 def geometric_lengths(domain_size: int, base: int = 2) -> List[int]:
@@ -90,10 +235,8 @@ def geometric_lengths(domain_size: int, base: int = 2) -> List[int]:
 
 
 def prefix_queries(domain_size: int) -> List[RangeSpec]:
-    """All prefix queries ``[0, b]`` (Section 4.7)."""
-    if domain_size < 1:
-        raise ValueError(f"domain_size must be positive, got {domain_size}")
-    return [RangeSpec(0, right) for right in range(domain_size)]
+    """All prefix queries ``[0, b]`` as :class:`RangeSpec` objects."""
+    return prefix_workload(domain_size).as_specs()
 
 
 def group_by_length(queries: Iterable[RangeSpec]) -> Dict[int, List[RangeSpec]]:
@@ -104,14 +247,19 @@ def group_by_length(queries: Iterable[RangeSpec]) -> Dict[int, List[RangeSpec]]:
     return grouped
 
 
-def true_answers(queries: Sequence[RangeSpec], frequencies: np.ndarray) -> np.ndarray:
-    """Exact answers of every query against a frequency vector."""
+def true_answers(
+    queries: Union[RangeWorkload, Sequence[RangeSpec]], frequencies: np.ndarray
+) -> np.ndarray:
+    """Exact answers of every query against a frequency vector.
+
+    Accepts either an array-native :class:`RangeWorkload` or a sequence of
+    :class:`RangeSpec`; both are answered with one prefix-sum gather.
+    """
     freqs = np.asarray(frequencies, dtype=np.float64)
-    prefix = np.concatenate(([0.0], np.cumsum(freqs)))
-    if not queries:
+    workload = RangeWorkload.from_queries(queries)
+    if not len(workload):
         return np.zeros(0)
-    lefts = np.fromiter((q.left for q in queries), dtype=np.int64, count=len(queries))
-    rights = np.fromiter((q.right for q in queries), dtype=np.int64, count=len(queries))
-    if rights.max() >= len(freqs):
+    if int(workload.rights.max()) >= len(freqs):
         raise InvalidRangeError("a query exceeds the frequency vector length")
-    return prefix[rights + 1] - prefix[lefts]
+    prefix = np.concatenate(([0.0], np.cumsum(freqs)))
+    return prefix[workload.rights + 1] - prefix[workload.lefts]

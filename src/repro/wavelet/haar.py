@@ -209,3 +209,48 @@ def evaluate_range_from_coefficients(
     for weight_level, coeff_level in zip(weights.details, coefficients.details):
         answer += float(np.dot(weight_level, coeff_level))
     return answer
+
+
+def evaluate_ranges_from_coefficients(
+    coefficients: HaarCoefficients, lefts: np.ndarray, rights: np.ndarray
+) -> np.ndarray:
+    """Answer an array of range queries directly from Haar coefficients.
+
+    A range cuts at most two detail nodes per height (its left and right
+    boundary nodes; interior nodes see both halves equally and carry zero
+    weight), so an entire workload is answered with ``O(h)`` vectorised
+    gathers into the coefficient arrays -- the batch form of
+    :func:`evaluate_range_from_coefficients`, accumulating the identical
+    per-height terms in the identical order.
+
+    ``lefts``/``rights`` are inclusive endpoints in ``[0, domain_size)``;
+    callers validate them (estimators do so in one vectorised pass).
+    """
+    domain_size = coefficients.domain_size
+    height = coefficients.height
+    lefts = np.asarray(lefts, dtype=np.int64).reshape(-1)
+    rights = np.asarray(rights, dtype=np.int64).reshape(-1)
+    answers = (rights - lefts + 1) / math.sqrt(domain_size) * coefficients.smooth
+    for j in range(1, height + 1):
+        detail = np.asarray(coefficients.details[j - 1], dtype=np.float64)
+        span = 2**j
+        half = span // 2
+        scale = 1.0 / (2.0 ** (j / 2.0))
+        first = lefts // span
+        last = rights // span
+
+        def boundary_weight(nodes: np.ndarray) -> np.ndarray:
+            start = nodes * span
+            overlap_left = np.maximum(
+                0, np.minimum(rights, start + half - 1) - np.maximum(lefts, start) + 1
+            )
+            overlap_right = np.maximum(
+                0,
+                np.minimum(rights, start + span - 1) - np.maximum(lefts, start + half) + 1,
+            )
+            return (overlap_left - overlap_right) * scale
+
+        answers += boundary_weight(first) * detail[first]
+        distinct = last != first
+        answers += np.where(distinct, boundary_weight(last) * detail[last], 0.0)
+    return answers

@@ -40,6 +40,7 @@ from repro.core.session import (
     ProtocolClient,
     ProtocolServer,
     Report,
+    iter_level_payloads,
 )
 from repro.core.types import Domain, next_power_of
 from repro.frequency_oracles.base import standard_oracle_variance
@@ -47,6 +48,7 @@ from repro.frequency_oracles.hrr import HadamardRandomizedResponse
 from repro.wavelet.haar import (
     HaarCoefficients,
     evaluate_range_from_coefficients,
+    evaluate_ranges_from_coefficients,
     inverse_haar_transform,
     leaf_membership,
 )
@@ -102,6 +104,23 @@ class HaarEstimator(RangeQueryEstimator):
         return evaluate_range_from_coefficients(
             self._coefficients, spec.left, spec.right
         )
+
+    def range_queries_from_coefficients(
+        self, lefts: np.ndarray, rights: np.ndarray
+    ) -> np.ndarray:
+        """Batch form of :meth:`range_query_from_coefficients`.
+
+        Answers an entire ``(lefts, rights)`` workload with ``O(h)``
+        vectorised gathers into the coefficient arrays (a range cuts at
+        most two detail nodes per height), never inverting the transform.
+        Prefer this over :meth:`range_queries` when only a few queries are
+        asked of a huge domain; for large workloads the inherited
+        prefix-sum path amortises the one-time ``O(D)`` inversion instead.
+        """
+        lefts, rights = self._validate_query_arrays(lefts, rights)
+        if not lefts.size:
+            return np.zeros(0)
+        return evaluate_ranges_from_coefficients(self._coefficients, lefts, rights)
 
 
 class HaarClient(ProtocolClient):
@@ -168,11 +187,14 @@ class HaarServer(ProtocolServer):
             )
         if report.n_users <= 0:
             return
-        for height_j, payload in sorted(report.height_payloads.items()):
-            self._oracles[height_j].accumulate(
-                self._state.children[height_j - 1],
+        oracles = self._oracles
+        children = self._state.children
+        level_user_counts = report.level_user_counts
+        for height_j, payload in iter_level_payloads(report.height_payloads):
+            oracles[height_j].accumulate(
+                children[height_j - 1],
                 payload,
-                n_users=int(report.level_user_counts[height_j]),
+                n_users=int(level_user_counts[height_j]),
             )
         self._state.n_users += report.n_users
 
