@@ -17,6 +17,7 @@ from repro.core.session import AccumulatorState
 from repro.data import cauchy_population
 from repro.flat import FlatRangeQuery
 from repro.hierarchy import HierarchicalHistogram
+from repro.multidim import HierarchicalGrid2D
 from repro.wavelet import HaarHRR
 
 DOMAIN = 1024
@@ -72,6 +73,15 @@ def test_bench_ingest_hh_oue(benchmark, population):
 def test_bench_ingest_haar(benchmark, population):
     """HaarHRR ingestion: per-height signed Hadamard sums."""
     _bench_ingest(benchmark, HaarHRR(DOMAIN, EPSILON), population.items)
+
+
+def test_bench_ingest_grid2d(benchmark, population):
+    """Grid2D ingestion: per-level-pair accumulators on the generic engine."""
+    items_y = np.random.default_rng(2).integers(0, 64, size=N_USERS)
+    pairs = np.stack([population.items % 64, items_y], axis=1)
+    _bench_ingest(
+        benchmark, HierarchicalGrid2D(64, 64, EPSILON, oracle="hrr"), pairs
+    )
 
 
 @pytest.mark.parametrize("n_shards", [2, 4, 8])

@@ -10,6 +10,11 @@ synthetic population:
 3. ask the resulting estimator for range, prefix and quantile answers and
    compare them with the exact (non-private) answers.
 
+All protocols run on the same decomposition -> oracle -> accumulator ->
+estimator -> batch-query pipeline; ``ARCHITECTURE.md`` at the repository
+root walks through the layers and shows how to add a new protocol as a
+small ``Decomposition`` subclass.
+
 Run with:  python examples/quickstart.py
 """
 

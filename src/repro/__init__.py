@@ -3,14 +3,19 @@
 A complete reproduction of Cormode, Kulkarni and Srivastava (VLDB 2019),
 built around the deployment topology the paper assumes: many untrusted-free
 *clients* randomize locally, a fleet of *servers* aggregates their reports.
-Three range-query protocols share the same interfaces
-(:class:`~repro.core.protocol.RangeQueryProtocol` and the streaming roles
-in :mod:`repro.core.session`):
+Every protocol family is an instance of one unified pipeline -- a
+:class:`~repro.core.decomposition.Decomposition` describes the level
+structure, and one generic client/server engine handles user-to-level
+sampling, privatization transport, mergeable accumulation and wire
+serialization for all of them (see ``ARCHITECTURE.md`` for the layered
+design and how to add a new protocol as a ~50-line subclass):
 
 * :class:`~repro.flat.FlatRangeQuery` -- the per-item baseline;
 * :class:`~repro.hierarchy.HierarchicalHistogram` -- the HH_B framework
   (TreeOUE / TreeHRR / TreeOLH, with or without constrained inference);
-* :class:`~repro.wavelet.HaarHRR` -- the Discrete Haar Transform protocol.
+* :class:`~repro.wavelet.HaarHRR` -- the Discrete Haar Transform protocol;
+* :class:`~repro.multidim.HierarchicalGrid2D` -- the 2-D grid extension
+  (Section 6), answering axis-aligned rectangle queries.
 
 Quick start (client/server streaming model)::
 
@@ -114,37 +119,59 @@ from repro.core import (
 from repro.flat import FlatRangeQuery
 from repro.frequency_oracles import make_oracle
 from repro.hierarchy import HierarchicalHistogram
+from repro.multidim import HierarchicalGrid2D
 from repro.wavelet import HaarHRR
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-#: Protocol registry used by the experiment harness and the CLI.
-PROTOCOL_REGISTRY: Dict[str, Type[RangeQueryProtocol]] = {
+#: Protocol registry used by the experiment harness and the CLI.  Classes
+#: may expose a ``from_registry(domain_size, epsilon, **kwargs)`` adapter
+#: when their natural constructor takes a different shape (the 2-D grid).
+PROTOCOL_REGISTRY: Dict[str, Type] = {
     "flat": FlatRangeQuery,
     "hh": HierarchicalHistogram,
     "haar": HaarHRR,
+    "grid2d": HierarchicalGrid2D,
 }
 
 #: Alternative handles accepted by :func:`make_protocol`.
 PROTOCOL_ALIASES: Dict[str, str] = {
     "wavelet": "haar",
+    "grid": "grid2d",
 }
 
 
-def _accepted_protocol_kwargs(cls: Type[RangeQueryProtocol]) -> list:
-    """Keyword parameters a protocol constructor accepts beyond the basics."""
-    parameters = inspect.signature(cls.__init__).parameters
-    return [name for name in parameters if name not in ("self", "domain_size", "epsilon")]
+def _registry_builder(cls: Type):
+    """The callable that constructs ``cls`` from registry arguments."""
+    return getattr(cls, "from_registry", cls)
 
 
-def make_protocol(name: str, domain_size: int, epsilon: float, **kwargs) -> RangeQueryProtocol:
+def accepted_protocol_kwargs(cls: Type) -> list:
+    """Keyword parameters a protocol constructor accepts beyond the basics.
+
+    Public so tooling (the CLI, the experiment harness) can introspect
+    registry entries the same way :func:`make_protocol` does.
+    """
+    builder = _registry_builder(cls)
+    target = builder.__init__ if builder is cls else builder
+    parameters = inspect.signature(target).parameters
+    return [
+        name
+        for name in parameters
+        if name not in ("self", "cls", "domain_size", "epsilon")
+    ]
+
+
+def make_protocol(name: str, domain_size: int, epsilon: float, **kwargs):
     """Construct a range-query protocol by registry handle.
 
-    ``name`` is one of ``"flat"``, ``"hh"`` or ``"haar"`` (alias
-    ``"wavelet"``); keyword arguments are forwarded to the protocol
-    constructor (e.g. ``branching=8, oracle="hrr", consistency=True`` for
-    the hierarchical method).  Unknown keyword arguments raise a
-    ``TypeError`` naming the handle and the parameters it accepts.
+    ``name`` is one of ``"flat"``, ``"hh"``, ``"haar"`` (alias
+    ``"wavelet"``) or ``"grid2d"`` (alias ``"grid"``); keyword arguments
+    are forwarded to the protocol constructor (e.g. ``branching=8,
+    oracle="hrr", consistency=True`` for the hierarchical method, or
+    ``domain_size_y=512`` for a non-square grid).  Unknown keyword
+    arguments raise a ``TypeError`` naming the handle and the parameters it
+    accepts.
     """
     key = name.strip().lower()
     key = PROTOCOL_ALIASES.get(key, key)
@@ -152,7 +179,8 @@ def make_protocol(name: str, domain_size: int, epsilon: float, **kwargs) -> Rang
         known = sorted(set(PROTOCOL_REGISTRY) | set(PROTOCOL_ALIASES))
         raise KeyError(f"unknown protocol {name!r}; expected one of {known}")
     cls = PROTOCOL_REGISTRY[key]
-    accepted = _accepted_protocol_kwargs(cls)
+    builder = _registry_builder(cls)
+    accepted = accepted_protocol_kwargs(cls)
     unknown = sorted(set(kwargs) - set(accepted))
     if unknown:
         raise TypeError(
@@ -160,7 +188,7 @@ def make_protocol(name: str, domain_size: int, epsilon: float, **kwargs) -> Rang
             f"argument(s) {unknown}; accepted parameters: {accepted}"
         )
     try:
-        return cls(domain_size, epsilon, **kwargs)
+        return builder(domain_size, epsilon, **kwargs)
     except TypeError as exc:
         # Constructor-level TypeErrors (e.g. wrong value types) still get
         # the registry context instead of a bare traceback.
@@ -189,8 +217,10 @@ __all__ = [
     "FlatRangeQuery",
     "HierarchicalHistogram",
     "HaarHRR",
+    "HierarchicalGrid2D",
     "make_oracle",
     "make_protocol",
+    "accepted_protocol_kwargs",
     "protocol_from_spec",
     "load_server",
     "PROTOCOL_REGISTRY",

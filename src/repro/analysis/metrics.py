@@ -9,7 +9,7 @@ benchmarks and tests agree on definitions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

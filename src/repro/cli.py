@@ -22,6 +22,12 @@ a sharded multi-server round trip:
 * ``repro-cli merge``     -- combine shard states (exactly, in any order),
   finalize, and answer range/quantile queries.
 
+Every registry handle (``flat``, ``hh``, ``haar`` / ``wavelet``,
+``grid2d`` / ``grid``) round-trips through the sharded workflow.  The 2-D
+grid encodes two CSV columns (``--column`` / ``--column-y``, sized by
+``--domain-size`` / ``--domain-size-y``) and answers axis-aligned
+``--rectangles`` at merge time instead of scalar ranges.
+
 Example::
 
     repro-cli generate --distribution cauchy --domain-size 1024 \
@@ -48,7 +54,13 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import make_protocol
+from repro import (
+    PROTOCOL_ALIASES,
+    PROTOCOL_REGISTRY,
+    RangeQueryProtocol,
+    accepted_protocol_kwargs,
+    make_protocol,
+)
 from repro.analysis.metrics import mean_squared_error
 from repro.core.exceptions import ProtocolUsageError
 from repro.core.rng import ensure_rng
@@ -87,6 +99,27 @@ def parse_ranges(text: str) -> List[Tuple[int, int]]:
     return ranges
 
 
+def parse_rectangles(text: str) -> List[Tuple[int, int, int, int]]:
+    """Parse ``"0:7:0:7,2:5:9:13"`` into (xl, xr, yl, yr) tuples."""
+    rectangles: List[Tuple[int, int, int, int]] = []
+    if not text:
+        return rectangles
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        try:
+            xl, xr, yl, yr = (int(part) for part in piece.split(":"))
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed rectangle {piece!r}; expected xleft:xright:yleft:yright"
+            ) from exc
+        if xl > xr or yl > yr:
+            raise ValueError(f"rectangle {piece!r} has left > right")
+        rectangles.append((xl, xr, yl, yr))
+    return rectangles
+
+
 def parse_quantiles(text: str) -> List[float]:
     """Parse ``"0.5,0.9,0.99"`` into a list of floats in [0, 1]."""
     quantiles: List[float] = []
@@ -103,9 +136,14 @@ def parse_quantiles(text: str) -> List[float]:
     return quantiles
 
 
-def read_items(path: str, column: int = 0, has_header: bool = False) -> np.ndarray:
-    """Read one integer column from a CSV file (one row per user)."""
-    values: List[int] = []
+def read_item_columns(
+    path: str, columns: Sequence[int], has_header: bool = False
+) -> np.ndarray:
+    """Read integer columns from a CSV file (one row per user) in one pass.
+
+    Returns an ``(N, len(columns))`` ``int64`` array.
+    """
+    rows: List[List[int]] = []
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         for row_number, row in enumerate(reader):
@@ -114,22 +152,34 @@ def read_items(path: str, column: int = 0, has_header: bool = False) -> np.ndarr
             if not row:
                 continue
             try:
-                values.append(int(float(row[column])))
+                rows.append([int(float(row[column])) for column in columns])
             except (ValueError, IndexError) as exc:
                 raise ValueError(
-                    f"could not read an integer from column {column} of line {row_number + 1}"
+                    f"could not read integers from columns {list(columns)} "
+                    f"of line {row_number + 1}"
                 ) from exc
-    if not values:
+    if not rows:
         raise ValueError(f"no usable rows found in {path}")
-    return np.asarray(values, dtype=np.int64)
+    return np.asarray(rows, dtype=np.int64)
+
+
+def read_items(path: str, column: int = 0, has_header: bool = False) -> np.ndarray:
+    """Read one integer column from a CSV file (one row per user)."""
+    return read_item_columns(path, [column], has_header=has_header)[:, 0]
 
 
 def write_items(path: str, items: np.ndarray) -> None:
-    """Write one item per line to a CSV file."""
+    """Write one user per line to a CSV file.
+
+    ``items`` may be a 1-D array (one value per user) or an ``(N, 2)``
+    array of coordinate pairs (one ``x,y`` row per user, as the grid2d
+    method consumes).
+    """
+    items = np.asarray(items)
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         for value in items:
-            writer.writerow([int(value)])
+            writer.writerow([int(entry) for entry in np.atleast_1d(value)])
 
 
 def _check_domain_bounds(items: np.ndarray, domain_size: int) -> None:
@@ -140,17 +190,54 @@ def _check_domain_bounds(items: np.ndarray, domain_size: int) -> None:
         )
 
 
+#: Every handle :func:`repro.make_protocol` accepts, aliases included, so
+#: the CLI listing can never drift out of sync with the registry.
+PROTOCOL_CHOICES = sorted(set(PROTOCOL_REGISTRY) | set(PROTOCOL_ALIASES))
+#: Handles usable by the 1-D ``run`` / ``compare`` commands: exactly the
+#: registry entries implementing the scalar-range protocol interface
+#: (the grid answers rectangles, not ranges), plus their aliases.
+RANGE_PROTOCOL_CHOICES = sorted(
+    name
+    for name in PROTOCOL_CHOICES
+    if issubclass(
+        PROTOCOL_REGISTRY[PROTOCOL_ALIASES.get(name, name)], RangeQueryProtocol
+    )
+)
+
+
 def _build_protocol(args: argparse.Namespace):
-    kwargs = {}
-    if args.method == "hh":
-        kwargs.update(
-            branching=args.branching,
-            oracle=args.oracle,
-            consistency=not args.no_consistency,
-        )
-    elif args.method == "flat":
-        kwargs.update(oracle=args.oracle)
-    return make_protocol(args.method, args.domain_size, args.epsilon, **kwargs)
+    """Build the selected protocol, forwarding only the kwargs it accepts.
+
+    Driven by :func:`repro.accepted_protocol_kwargs` rather than a
+    per-family dispatch, so a newly registered family picks up the
+    matching CLI flags (``--branching``, ``--oracle``, ...) automatically.
+    """
+    method = PROTOCOL_ALIASES.get(args.method, args.method)
+    candidates = {
+        "branching": getattr(args, "branching", None),
+        "oracle": getattr(args, "oracle", None),
+        "consistency": (
+            not args.no_consistency if hasattr(args, "no_consistency") else None
+        ),
+        "domain_size_y": _domain_size_y(args),
+    }
+    accepted = accepted_protocol_kwargs(PROTOCOL_REGISTRY[method])
+    kwargs = {
+        name: value
+        for name, value in candidates.items()
+        if name in accepted and value is not None
+    }
+    return make_protocol(method, args.domain_size, args.epsilon, **kwargs)
+
+
+def _domain_size_y(args: argparse.Namespace) -> int:
+    """The y-axis size of a grid protocol (square grids by default)."""
+    domain_size_y = getattr(args, "domain_size_y", None)
+    return args.domain_size if domain_size_y is None else domain_size_y
+
+
+def _is_grid_method(args: argparse.Namespace) -> bool:
+    return PROTOCOL_ALIASES.get(args.method, args.method) == "grid2d"
 
 
 # --------------------------------------------------------------------- #
@@ -187,7 +274,30 @@ def command_run(args: argparse.Namespace) -> int:
 
 
 def _answer_queries(estimator, args: argparse.Namespace) -> dict:
-    """Evaluate the --ranges / --quantiles / --dump-frequencies requests."""
+    """Evaluate the --ranges / --quantiles / --dump-frequencies requests.
+
+    Grid estimators answer axis-aligned rectangles (--rectangles) instead
+    of scalar ranges and quantiles.
+    """
+    if hasattr(estimator, "rectangle_query"):
+        if (
+            getattr(args, "ranges", "")
+            or getattr(args, "quantiles", "")
+            or getattr(args, "dump_frequencies", False)
+        ):
+            raise SystemExit(
+                "a 2-D grid protocol answers --rectangles "
+                "(xleft:xright:yleft:yright), not "
+                "--ranges/--quantiles/--dump-frequencies"
+            )
+        answers = {"rectangles": {}}
+        for xl, xr, yl, yr in parse_rectangles(getattr(args, "rectangles", "")):
+            answers["rectangles"][f"{xl}:{xr}:{yl}:{yr}"] = estimator.rectangle_query(
+                (xl, xr), (yl, yr)
+            )
+        return answers
+    if getattr(args, "rectangles", ""):
+        raise SystemExit("--rectangles requires a 2-D grid protocol (method grid2d)")
     answers = {"ranges": {}, "quantiles": {}}
     for left, right in parse_ranges(args.ranges):
         answers["ranges"][f"{left}:{right}"] = estimator.range_query((left, right))
@@ -210,8 +320,15 @@ def _write_query_output(output: dict, args: argparse.Namespace) -> None:
 
 def command_encode(args: argparse.Namespace) -> int:
     """Client side of the streaming pipeline: items -> report file(s)."""
-    items = read_items(args.input, column=args.column, has_header=args.has_header)
-    _check_domain_bounds(items, args.domain_size)
+    if _is_grid_method(args):
+        items = read_item_columns(
+            args.input, [args.column, args.column_y], has_header=args.has_header
+        )
+        _check_domain_bounds(items[:, 0], args.domain_size)
+        _check_domain_bounds(items[:, 1], _domain_size_y(args))
+    else:
+        items = read_items(args.input, column=args.column, has_header=args.has_header)
+        _check_domain_bounds(items, args.domain_size)
     protocol = _build_protocol(args)
     client = protocol.client()
     rng = ensure_rng(args.seed)
@@ -281,10 +398,15 @@ def command_merge(args: argparse.Namespace) -> int:
         estimator = combined.finalize()
     except ProtocolUsageError as exc:
         raise SystemExit(str(exc))
+    protocol = combined.protocol
+    if hasattr(protocol, "domain_size"):
+        domain_size = protocol.domain_size
+    else:  # 2-D grid: one size per axis
+        domain_size = [protocol.domain_size_x, protocol.domain_size_y]
     output = {
-        "method": combined.protocol.name,
-        "epsilon": combined.protocol.epsilon,
-        "domain_size": combined.protocol.domain_size,
+        "method": protocol.name,
+        "epsilon": protocol.epsilon,
+        "domain_size": domain_size,
         "n_users": int(combined.n_reports),
         "n_shards": len(args.states),
     }
@@ -306,7 +428,12 @@ def command_compare(args: argparse.Namespace) -> int:
     results = {}
     rng = ensure_rng(args.seed)
     for method in args.methods.split(","):
-        method = method.strip()
+        method = PROTOCOL_ALIASES.get(method.strip(), method.strip())
+        if method not in RANGE_PROTOCOL_CHOICES:
+            raise SystemExit(
+                f"--methods entry {method!r} is not a 1-D range protocol; "
+                f"expected one of {RANGE_PROTOCOL_CHOICES}"
+            )
         kwargs = {}
         if method == "hh":
             kwargs.update(branching=args.branching, oracle=args.oracle)
@@ -354,7 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one protocol and answer queries")
     add_common_run_arguments(run)
-    run.add_argument("--method", choices=["flat", "hh", "haar"], default="hh")
+    run.add_argument("--method", choices=RANGE_PROTOCOL_CHOICES, default="hh")
     run.add_argument("--no-consistency", action="store_true")
     run.add_argument("--quantiles", default="", help="comma separated values in [0, 1]")
     run.add_argument("--dump-frequencies", action="store_true")
@@ -371,10 +498,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     encode.add_argument("--input", required=True, help="CSV file with one user per row")
     encode.add_argument("--column", type=int, default=0)
+    encode.add_argument(
+        "--column-y",
+        type=int,
+        default=1,
+        help="CSV column of the y coordinate (grid2d only)",
+    )
     encode.add_argument("--has-header", action="store_true")
     encode.add_argument("--domain-size", type=int, required=True)
+    encode.add_argument(
+        "--domain-size-y",
+        type=int,
+        default=None,
+        help="y-axis size for grid2d (defaults to --domain-size)",
+    )
     encode.add_argument("--epsilon", type=float, default=1.1)
-    encode.add_argument("--method", choices=["flat", "hh", "haar"], default="hh")
+    encode.add_argument("--method", choices=PROTOCOL_CHOICES, default="hh")
     encode.add_argument("--branching", type=int, default=4)
     encode.add_argument("--oracle", default="oue")
     encode.add_argument("--no-consistency", action="store_true")
@@ -406,6 +545,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     merge.add_argument("--ranges", default="", help="comma separated left:right pairs")
     merge.add_argument("--quantiles", default="", help="comma separated values in [0, 1]")
+    merge.add_argument(
+        "--rectangles",
+        default="",
+        help="comma separated xleft:xright:yleft:yright rectangles (grid2d only)",
+    )
     merge.add_argument("--dump-frequencies", action="store_true")
     merge.add_argument("--output", default=None, help="write JSON here instead of stdout")
     merge.add_argument(

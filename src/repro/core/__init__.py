@@ -12,8 +12,13 @@ from but that are not themselves specific to any one mechanism:
   and wavelet methods.
 * :mod:`repro.core.session`    -- the streaming execution roles: the
   stateless ``ProtocolClient`` encoder, the incremental ``ProtocolServer``
-  aggregator, typed ``Report`` payloads and the mergeable, serializable
-  ``AccumulatorState``.
+  aggregator, the unified ``LevelReport`` payload and the mergeable,
+  serializable ``AccumulatorState``, plus the generic
+  ``DecompositionClient`` / ``DecompositionServer`` engine.
+* :mod:`repro.core.decomposition` -- the unified decomposition core: the
+  ``Decomposition`` abstraction (flat / B-adic tree / Haar / 2-D grid
+  level structures) and the ``DecomposedRangeQueryProtocol`` base every
+  concrete protocol instantiates.  See ``ARCHITECTURE.md``.
 * :mod:`repro.core.serialization` -- the pickle-free wire format reports
   and accumulator states use to cross process boundaries.
 """
@@ -32,9 +37,12 @@ from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
 from repro.core.session import (
     AccumulatorState,
     CompositeAccumulator,
+    DecompositionClient,
+    DecompositionServer,
     FlatReport,
     HaarReport,
     HierarchicalReport,
+    LevelReport,
     ProtocolClient,
     ProtocolServer,
     Report,
@@ -44,6 +52,16 @@ from repro.core.session import (
     protocol_from_spec,
     save_report_file,
     save_server_file,
+)
+from repro.core.decomposition import (
+    BAdicTreeDecomposition,
+    DecomposedRangeQueryProtocol,
+    Decomposition,
+    DecompositionRoles,
+    Grid2DDecomposition,
+    HaarDecomposition,
+    IdentityDecomposition,
+    multinomial_level_split,
 )
 
 __all__ = [
@@ -67,9 +85,20 @@ __all__ = [
     "ProtocolClient",
     "ProtocolServer",
     "Report",
+    "LevelReport",
     "FlatReport",
     "HierarchicalReport",
     "HaarReport",
+    "DecompositionClient",
+    "DecompositionServer",
+    "Decomposition",
+    "DecompositionRoles",
+    "DecomposedRangeQueryProtocol",
+    "IdentityDecomposition",
+    "BAdicTreeDecomposition",
+    "HaarDecomposition",
+    "Grid2DDecomposition",
+    "multinomial_level_split",
     "protocol_from_spec",
     "load_server",
     "save_report_file",

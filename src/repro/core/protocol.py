@@ -44,6 +44,7 @@ from repro.core.types import Domain, PrivacyParams, RangeSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.session import AccumulatorState, ProtocolClient, ProtocolServer
+    from repro.queries.workload import RangeWorkload
 
 RangeLike = Union[RangeSpec, Tuple[int, int]]
 

@@ -9,7 +9,7 @@ same protocol always produces the same reports, aggregates and estimates.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -31,7 +31,6 @@ working unchanged on top of this streaming model.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
@@ -48,7 +47,7 @@ from typing import (
 import numpy as np
 
 from repro.core.exceptions import ProtocolUsageError
-from repro.core.rng import RngLike
+from repro.core.rng import RngLike, ensure_rng
 from repro.core.serialization import (
     SerializationError,
     pack_blob,
@@ -295,51 +294,74 @@ class Report(abc.ABC):
         kind = header.get("report_kind")
         decoder = _REPORT_DECODERS.get(kind)
         if decoder is None:
+            # Every decomposition family serializes through the unified
+            # LevelReport layout, so reports of families added after this
+            # module (new Decomposition subclasses) decode without having
+            # to register anything.  The layout is sniffed strictly (a
+            # string tag, a dict levels map, a user count) so corrupt or
+            # foreign blobs still fail fast here.
+            if (
+                isinstance(kind, str)
+                and kind
+                and isinstance(header.get("levels"), dict)
+                and "n_users" in header
+            ):
+                return LevelReport._decode(header, arrays)
             raise SerializationError(f"unknown report kind {kind!r}")
         return decoder(header, arrays)
 
 
-@dataclass
-class FlatReport(Report):
-    """Reports of users running a flat (whole-domain oracle) protocol."""
+class LevelReport(Report):
+    """The one report shape shared by every decomposition family.
 
-    kind: ClassVar[str] = "flat"
+    ``family`` is the decomposition tag ("flat", "hierarchical", "haar",
+    "grid2d"); ``level_payloads`` maps each level key to the oracle payload
+    of the users assigned there, and ``level_user_counts`` is the family's
+    bookkeeping array (see
+    :class:`~repro.core.decomposition.Decomposition.counts_slot`).
 
-    #: Oracle-specific randomized payload (``None`` for an empty batch).
-    payload: Any
-    n_users: int = 0
-
-    def to_bytes(self) -> bytes:
-        arrays: Dict[str, np.ndarray] = {}
-        meta: Optional[dict] = None
-        if self.n_users > 0:
-            meta, arrays = _pack_payload(self.payload, "payload")
-        header = {"report_kind": self.kind, "n_users": int(self.n_users), "payload": meta}
-        return pack_blob(header, arrays)
-
-    @classmethod
-    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "FlatReport":
-        n_users = int(header["n_users"])
-        payload = None
-        if n_users > 0:
-            payload = _unpack_payload(header["payload"], arrays, "payload")
-        return cls(payload=payload, n_users=n_users)
-
-
-@dataclass
-class HierarchicalReport(Report):
-    """Reports of users running the hierarchical-histogram protocol.
-
-    ``level_payloads`` maps each tree level (1 = children of the root) to
-    the oracle payload of the users assigned there; ``level_user_counts``
-    is indexed by level with entry 0 holding the total user count.
+    One codec serves all families: ``family`` (not the class-level
+    ``kind``) is the wire tag written as ``report_kind``, the layout is
+    the former hierarchical one (``levels`` metadata plus ``level_<key>``
+    arrays), and the decoder -- registered under every family tag, with a
+    fallback for families added later -- also reads the two legacy
+    layouts (``heights`` for Haar, a bare ``payload`` for flat) so
+    reports serialized before the unification still load.
     """
 
-    kind: ClassVar[str] = "hierarchical"
+    def __init__(
+        self,
+        family: str,
+        level_payloads: Optional[Dict[int, Any]] = None,
+        level_user_counts: Optional[np.ndarray] = None,
+        n_users: int = 0,
+    ) -> None:
+        self.family = str(family)
+        self.level_payloads: Dict[int, Any] = (
+            {} if level_payloads is None else level_payloads
+        )
+        self.level_user_counts = (
+            np.zeros(1, np.int64)
+            if level_user_counts is None
+            else np.asarray(level_user_counts, dtype=np.int64)
+        )
+        self.n_users = int(n_users)
 
-    level_payloads: Dict[int, Any] = field(default_factory=dict)
-    level_user_counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
-    n_users: int = 0
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LevelReport(family={self.family!r}, "
+            f"levels={sorted(self.level_payloads)}, n_users={self.n_users})"
+        )
+
+    @property
+    def payload(self) -> Any:
+        """The single-level oracle payload (flat back-compat accessor)."""
+        return self.level_payloads.get(0)
+
+    @property
+    def height_payloads(self) -> Dict[int, Any]:
+        """Per-detail-height payloads (Haar back-compat alias)."""
+        return self.level_payloads
 
     def to_bytes(self) -> bytes:
         arrays: Dict[str, np.ndarray] = {
@@ -351,73 +373,71 @@ class HierarchicalReport(Report):
             level_meta[str(level)] = meta
             arrays.update(payload_arrays)
         header = {
-            "report_kind": self.kind,
+            "report_kind": self.family,
             "n_users": int(self.n_users),
             "levels": level_meta,
         }
         return pack_blob(header, arrays)
 
     @classmethod
-    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "HierarchicalReport":
+    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "LevelReport":
+        family = header["report_kind"]
+        n_users = int(header["n_users"])
+        if "levels" in header:
+            meta_map, prefix = header["levels"] or {}, "level"
+        elif "heights" in header:  # legacy Haar layout
+            meta_map, prefix = header["heights"] or {}, "height"
+        else:  # legacy flat layout: a single bare payload
+            payloads: Dict[int, Any] = {}
+            if n_users > 0:
+                payloads[0] = _unpack_payload(header["payload"], arrays, "payload")
+            return cls(family, payloads, np.asarray([n_users], np.int64), n_users)
         payloads = {
-            int(level): _unpack_payload(meta, arrays, f"level_{int(level)}")
-            for level, meta in header.get("levels", {}).items()
+            int(level): _unpack_payload(meta, arrays, f"{prefix}_{int(level)}")
+            for level, meta in meta_map.items()
         }
-        return cls(
-            level_payloads=payloads,
-            level_user_counts=np.asarray(arrays["level_user_counts"], dtype=np.int64),
-            n_users=int(header["n_users"]),
+        counts = arrays.get("level_user_counts")
+        if counts is None:
+            counts = np.asarray([n_users], np.int64)
+        return cls(family, payloads, counts, n_users)
+
+
+class FlatReport(LevelReport):
+    """Back-compat constructor for flat (whole-domain oracle) reports."""
+
+    def __init__(self, payload: Any = None, n_users: int = 0) -> None:
+        payloads = {0: payload} if n_users > 0 else {}
+        super().__init__(
+            "flat", payloads, np.asarray([int(n_users)], np.int64), n_users
         )
 
 
-@dataclass
-class HaarReport(Report):
-    """Reports of users running the HaarHRR wavelet protocol.
+class HierarchicalReport(LevelReport):
+    """Back-compat constructor for hierarchical-histogram reports."""
 
-    ``height_payloads`` maps each Haar detail height ``j`` (1 = finest) to
-    the Hadamard reports of the users that sampled it;
-    ``level_user_counts[j]`` is the number of such users (index 0 unused,
-    matching the protocol's diagnostics convention).
-    """
-
-    kind: ClassVar[str] = "haar"
-
-    height_payloads: Dict[int, Any] = field(default_factory=dict)
-    level_user_counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
-    n_users: int = 0
-
-    def to_bytes(self) -> bytes:
-        arrays: Dict[str, np.ndarray] = {
-            "level_user_counts": np.asarray(self.level_user_counts, dtype=np.int64)
-        }
-        height_meta: Dict[str, dict] = {}
-        for height_j, payload in sorted(self.height_payloads.items()):
-            meta, payload_arrays = _pack_payload(payload, f"height_{height_j}")
-            height_meta[str(height_j)] = meta
-            arrays.update(payload_arrays)
-        header = {
-            "report_kind": self.kind,
-            "n_users": int(self.n_users),
-            "heights": height_meta,
-        }
-        return pack_blob(header, arrays)
-
-    @classmethod
-    def _decode(cls, header: dict, arrays: Dict[str, np.ndarray]) -> "HaarReport":
-        payloads = {
-            int(height): _unpack_payload(meta, arrays, f"height_{int(height)}")
-            for height, meta in header.get("heights", {}).items()
-        }
-        return cls(
-            height_payloads=payloads,
-            level_user_counts=np.asarray(arrays["level_user_counts"], dtype=np.int64),
-            n_users=int(header["n_users"]),
-        )
+    def __init__(
+        self,
+        level_payloads: Optional[Dict[int, Any]] = None,
+        level_user_counts: Optional[np.ndarray] = None,
+        n_users: int = 0,
+    ) -> None:
+        super().__init__("hierarchical", level_payloads, level_user_counts, n_users)
 
 
-register_report_decoder(FlatReport.kind, FlatReport._decode)
-register_report_decoder(HierarchicalReport.kind, HierarchicalReport._decode)
-register_report_decoder(HaarReport.kind, HaarReport._decode)
+class HaarReport(LevelReport):
+    """Back-compat constructor for HaarHRR wavelet reports."""
+
+    def __init__(
+        self,
+        height_payloads: Optional[Dict[int, Any]] = None,
+        level_user_counts: Optional[np.ndarray] = None,
+        n_users: int = 0,
+    ) -> None:
+        super().__init__("haar", height_payloads, level_user_counts, n_users)
+
+
+for _family in ("flat", "hierarchical", "haar", "grid2d"):
+    register_report_decoder(_family, LevelReport._decode)
 
 
 def iter_level_payloads(payloads: Dict[int, Any]):
@@ -563,10 +583,148 @@ class ProtocolServer(abc.ABC):
 
 
 # --------------------------------------------------------------------- #
+# the generic decomposition engine
+# --------------------------------------------------------------------- #
+class DecompositionClient(ProtocolClient):
+    """The one user-side encoder shared by every decomposition family.
+
+    Driven entirely by the protocol's
+    :class:`~repro.core.decomposition.Decomposition`: it validates the
+    batch, samples a level per user (or replicates users across all
+    levels), maps each level's items to coefficients, privatizes them
+    through the per-level oracles and packs everything into a
+    :class:`LevelReport`.  Flat, hierarchical, Haar and grid clients are
+    thin instantiations of this class.
+    """
+
+    def __init__(self, protocol) -> None:
+        super().__init__(protocol)
+        self._decomposition = protocol.decomposition()
+        self._oracles = {
+            level: self._decomposition.make_level_oracle(level)
+            for level in self._decomposition.levels
+        }
+
+    @property
+    def decomposition(self):
+        """The :class:`~repro.core.decomposition.Decomposition` in use."""
+        return self._decomposition
+
+    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> LevelReport:
+        decomposition = self._decomposition
+        rng = ensure_rng(rng)
+        items = decomposition.validate_items(np.asarray(items))
+        n_users = len(items)
+        level_user_counts = np.zeros(decomposition.counts_size, dtype=np.int64)
+        decomposition.record_total(level_user_counts, n_users)
+        payloads: Dict[int, Any] = {}
+        if n_users == 0:
+            return LevelReport(decomposition.label, payloads, level_user_counts, 0)
+        assignments = decomposition.assign_levels(items, rng)
+        for level in decomposition.levels:
+            level_items = items if assignments is None else items[assignments == level]
+            count = len(level_items)
+            level_user_counts[decomposition.counts_slot(level)] = count
+            if count == 0 and assignments is not None:
+                continue
+            payloads[level] = decomposition.encode_level(
+                level_items, level, self._oracles[level], rng
+            )
+        return LevelReport(decomposition.label, payloads, level_user_counts, n_users)
+
+
+class DecompositionServer(ProtocolServer):
+    """The one aggregator shared by every decomposition family.
+
+    Holds a :class:`CompositeAccumulator` with one child oracle accumulator
+    per decomposition level; ``ingest`` folds each report's per-level
+    payloads into the matching children, and ``finalize`` hands the
+    per-level debiased estimates to the decomposition's assembly (which
+    applies any consistency hook).  Merging and serialization are entirely
+    inherited -- a new protocol family gets sharded aggregation and the CLI
+    ``encode``/``aggregate``/``merge`` workflow for free.
+    """
+
+    def __init__(self, protocol, state: Optional[AccumulatorState] = None) -> None:
+        self._decomposition = protocol.decomposition()
+        self._oracles = {
+            level: self._decomposition.make_level_oracle(level)
+            for level in self._decomposition.levels
+        }
+        self._child_index = {
+            level: index for index, level in enumerate(self._decomposition.levels)
+        }
+        super().__init__(protocol, state)
+
+    @property
+    def decomposition(self):
+        """The :class:`~repro.core.decomposition.Decomposition` in use."""
+        return self._decomposition
+
+    def _empty_state(self) -> CompositeAccumulator:
+        decomposition = self._decomposition
+        return CompositeAccumulator(
+            decomposition.label,
+            {"protocol": self._protocol.spec()},
+            [self._oracles[level].make_accumulator() for level in decomposition.levels],
+        )
+
+    def _ingest_one(self, report: Report) -> None:
+        decomposition = self._decomposition
+        if (
+            not isinstance(report, LevelReport)
+            or report.family != decomposition.label
+        ):
+            raise ProtocolUsageError(
+                f"{decomposition.label} server cannot ingest a "
+                f"{getattr(report, 'family', type(report).__name__)} report"
+            )
+        if report.n_users <= 0:
+            return
+        oracles = self._oracles
+        children = self._state.children
+        child_index = self._child_index
+        level_user_counts = report.level_user_counts
+        for level, payload in iter_level_payloads(report.level_payloads):
+            if level not in child_index:
+                raise ProtocolUsageError(
+                    f"report contains unknown level {level!r} for a "
+                    f"{decomposition.label} decomposition"
+                )
+            oracles[level].accumulate(
+                children[child_index[level]],
+                payload,
+                n_users=int(level_user_counts[decomposition.counts_slot(level)]),
+            )
+        self._state.n_users += report.n_users
+
+    def finalize(self):
+        self._require_reports()
+        decomposition = self._decomposition
+        level_user_counts = np.zeros(decomposition.counts_size, dtype=np.int64)
+        decomposition.record_total(level_user_counts, self._state.n_users)
+        level_estimates: Dict[int, np.ndarray] = {}
+        for level in decomposition.levels:
+            accumulator = self._state.children[self._child_index[level]]
+            level_user_counts[decomposition.counts_slot(level)] = accumulator.n_reports
+            if accumulator.n_reports > 0:
+                level_estimates[level] = self._oracles[level].finalize(accumulator)
+        return decomposition.assemble(
+            level_estimates, level_user_counts, self._state.n_users
+        )
+
+
+# --------------------------------------------------------------------- #
 # rebuilding protocols and servers from serialized state
 # --------------------------------------------------------------------- #
-def protocol_from_spec(spec: dict) -> "RangeQueryProtocol":
-    """Reconstruct a protocol from the dict produced by ``protocol.spec()``."""
+def protocol_from_spec(spec: dict):
+    """Reconstruct a protocol from the dict produced by ``protocol.spec()``.
+
+    Returns whatever class the registry maps the spec's ``name`` to -- a
+    :class:`~repro.core.protocol.RangeQueryProtocol` for the 1-D families,
+    a bare :class:`~repro.core.decomposition.DecompositionRoles` protocol
+    (e.g. the 2-D grid) otherwise.
+    """
     from repro import make_protocol  # deferred: repro imports this module
 
     spec = dict(spec)

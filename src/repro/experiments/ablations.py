@@ -14,7 +14,7 @@ Three ablations, one per design decision called out in DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.core.rng import ensure_rng
 from repro.experiments.config import ExperimentConfig

@@ -14,8 +14,8 @@ lets the caller scale up.  Three presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
 
 
 @dataclass(frozen=True)

@@ -12,9 +12,7 @@ corresponding local ratio for the same domain sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
-
-import numpy as np
+from typing import List
 
 from repro.analysis.metrics import mean_squared_error, summarize_repetitions
 from repro.centralized import CentralizedHierarchical, CentralizedWavelet

@@ -13,11 +13,17 @@ from __future__ import annotations
 
 import re
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro import (
+    PROTOCOL_ALIASES,
+    PROTOCOL_REGISTRY,
+    accepted_protocol_kwargs,
+    make_protocol,
+)
 from repro.analysis.metrics import mean_squared_error, summarize_repetitions
 from repro.core.protocol import RangeQueryProtocol
 from repro.core.rng import RngLike, ensure_rng, spawn_rngs
@@ -54,11 +60,27 @@ def make_method(
     * ``TreeOUE``, ``TreeOUECI``, ``TreeHRR``, ``TreeHRRCI``, ``TreeOLH``,
       ``TreeOLHCI`` -- hierarchical histograms with an explicit oracle and
       the supplied ``branching``;
-    * ``HaarHRR`` -- the wavelet method.
+    * ``HaarHRR`` -- the wavelet method;
+    * any 1-D :func:`repro.make_protocol` registry handle or alias
+      (``flat``, ``hh``, ``haar``, ``wavelet``), built with the supplied
+      ``branching`` where the protocol accepts one; the 2-D ``grid2d``
+      handle is excluded because the evaluation loop answers scalar
+      ranges.
     """
     key = name.strip().lower()
     if key == "haarhrr":
         return HaarHRR(domain_size, epsilon)
+    registry_key = PROTOCOL_ALIASES.get(key, key)
+    cls = PROTOCOL_REGISTRY.get(registry_key)
+    # Only 1-D range protocols fit the evaluation loop (run_simulated over
+    # a scalar histogram); the 2-D grid handle is deliberately excluded.
+    if cls is not None and issubclass(cls, RangeQueryProtocol):
+        kwargs = (
+            {"branching": branching}
+            if "branching" in accepted_protocol_kwargs(cls)
+            else {}
+        )
+        return make_protocol(registry_key, domain_size, epsilon, **kwargs)
     if key.startswith("flat"):
         oracle = key[len("flat") :] or "oue"
         return FlatRangeQuery(domain_size, epsilon, oracle=oracle)

@@ -6,6 +6,10 @@ a range query ``[a, b]`` is answered by summing the ``b - a + 1`` estimated
 item frequencies.  Fact 1 shows the variance of such an answer is
 ``r * V_F`` -- linear in the range length -- which is exactly the weakness
 the hierarchical and wavelet methods fix.
+
+The runtime roles are the generic decomposition engine instantiated on an
+:class:`~repro.core.decomposition.IdentityDecomposition` (a single level
+holding the whole domain); only the estimator and the theory live here.
 """
 
 from __future__ import annotations
@@ -14,16 +18,16 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.decomposition import (
+    DecomposedRangeQueryProtocol,
+    IdentityDecomposition,
+)
 from repro.core.exceptions import ProtocolUsageError
-from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
-from repro.core.rng import RngLike, ensure_rng
+from repro.core.protocol import RangeQueryEstimator
 from repro.core.session import (
     AccumulatorState,
-    CompositeAccumulator,
-    FlatReport,
-    ProtocolClient,
-    ProtocolServer,
-    Report,
+    DecompositionClient,
+    DecompositionServer,
 )
 from repro.core.types import Domain
 from repro.frequency_oracles import make_oracle
@@ -46,57 +50,15 @@ class FlatEstimator(RangeQueryEstimator):
         return self._frequencies.copy()
 
 
-class FlatClient(ProtocolClient):
+class FlatClient(DecompositionClient):
     """User-side encoder of the flat protocol: one oracle report per user."""
 
-    def __init__(self, protocol: "FlatRangeQuery") -> None:
-        super().__init__(protocol)
-        self._oracle = protocol._make_oracle()
 
-    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> FlatReport:
-        rng = ensure_rng(rng)
-        items = self._protocol.domain.validate_items(np.asarray(items))
-        if len(items) == 0:
-            return FlatReport(payload=None, n_users=0)
-        payload = self._oracle.privatize(items, rng=rng)
-        return FlatReport(payload=payload, n_users=len(items))
-
-
-class FlatServer(ProtocolServer):
+class FlatServer(DecompositionServer):
     """Aggregator of the flat protocol: a single oracle accumulator."""
 
-    def __init__(
-        self, protocol: "FlatRangeQuery", state: Optional[AccumulatorState] = None
-    ) -> None:
-        self._oracle = protocol._make_oracle()
-        super().__init__(protocol, state)
 
-    def _empty_state(self) -> CompositeAccumulator:
-        return CompositeAccumulator(
-            "flat",
-            {"protocol": self._protocol.spec()},
-            [self._oracle.make_accumulator()],
-        )
-
-    def _ingest_one(self, report: Report) -> None:
-        if not isinstance(report, FlatReport):
-            raise ProtocolUsageError(
-                f"flat server cannot ingest a {type(report).__name__}"
-            )
-        if report.n_users <= 0:
-            return
-        self._oracle.accumulate(
-            self._state.children[0], report.payload, n_users=report.n_users
-        )
-        self._state.n_users += report.n_users
-
-    def finalize(self) -> FlatEstimator:
-        self._require_reports()
-        frequencies = self._oracle.finalize(self._state.children[0])
-        return FlatEstimator(self._protocol.domain, frequencies)
-
-
-class FlatRangeQuery(RangeQueryProtocol):
+class FlatRangeQuery(DecomposedRangeQueryProtocol):
     """Flat protocol instantiated by a choice of frequency oracle.
 
     Parameters
@@ -139,6 +101,9 @@ class FlatRangeQuery(RangeQueryProtocol):
             kwargs["aggregation_chunk"] = self._aggregation_chunk
         return make_oracle(self._oracle_name, self.domain_size, self.epsilon, **kwargs)
 
+    def _build_decomposition(self) -> IdentityDecomposition:
+        return IdentityDecomposition(self.domain, self._make_oracle)
+
     def client(self) -> FlatClient:
         return FlatClient(self)
 
@@ -152,21 +117,6 @@ class FlatRangeQuery(RangeQueryProtocol):
             "epsilon": self.epsilon,
             "oracle": self._oracle_name,
         }
-
-    def run_simulated(
-        self, true_counts: np.ndarray, rng: RngLike = None
-    ) -> FlatEstimator:
-        rng = ensure_rng(rng)
-        counts = np.asarray(true_counts, dtype=np.float64)
-        if counts.ndim != 1 or len(counts) != self.domain_size:
-            raise ValueError(
-                f"true_counts must have length {self.domain_size}, got {counts.shape}"
-            )
-        if counts.sum() <= 0:
-            raise ProtocolUsageError("cannot simulate the protocol with zero users")
-        oracle = self._make_oracle()
-        frequencies = oracle.estimate_from_counts(counts, rng=rng)
-        return FlatEstimator(self.domain, frequencies)
 
     def theoretical_range_variance(self, range_length: int, n_users: int) -> float:
         """Fact 1: ``Var = r * V_F``."""

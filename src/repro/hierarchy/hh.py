@@ -24,17 +24,16 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.decomposition import (
+    BAdicTreeDecomposition,
+    DecomposedRangeQueryProtocol,
+)
 from repro.core.exceptions import ProtocolUsageError
-from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol, RangeLike, _as_range
-from repro.core.rng import RngLike, ensure_rng
+from repro.core.protocol import RangeQueryEstimator, RangeLike, _as_range
 from repro.core.session import (
     AccumulatorState,
-    CompositeAccumulator,
-    HierarchicalReport,
-    ProtocolClient,
-    ProtocolServer,
-    Report,
-    iter_level_payloads,
+    DecompositionClient,
+    DecompositionServer,
 )
 from repro.core.types import Domain
 from repro.frequency_oracles import make_oracle
@@ -197,57 +196,18 @@ class HierarchicalEstimator(RangeQueryEstimator):
         return answers
 
 
-class HierarchicalClient(ProtocolClient):
+class HierarchicalClient(DecompositionClient):
     """User-side encoder of HH_B: sample a level, report the ancestor node.
 
     Under the paper's ``"sample"`` strategy each user reports through the
     oracle of a single tree level; under the ``"split"`` ablation every
-    user reports at every level with budget ``epsilon / h``.
+    user reports at every level with budget ``epsilon / h``.  Thin
+    instantiation of the generic engine on a
+    :class:`~repro.core.decomposition.BAdicTreeDecomposition`.
     """
 
-    def __init__(self, protocol: "HierarchicalHistogram") -> None:
-        super().__init__(protocol)
-        self._oracles = {
-            level: protocol._make_level_oracle(level)
-            for level in range(1, protocol.tree.height + 1)
-        }
 
-    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> HierarchicalReport:
-        protocol = self._protocol
-        rng = ensure_rng(rng)
-        items = protocol.domain.validate_items(np.asarray(items))
-        tree = protocol.tree
-        height = tree.height
-        level_user_counts = np.zeros(tree.num_levels, dtype=np.int64)
-        level_user_counts[0] = len(items)
-        payloads = {}
-        if len(items) == 0:
-            return HierarchicalReport(payloads, level_user_counts, n_users=0)
-
-        if protocol.level_strategy == "sample":
-            assignments = rng.choice(
-                np.arange(1, height + 1),
-                size=len(items),
-                p=protocol.level_probabilities,
-            )
-            for level in range(1, height + 1):
-                mask = assignments == level
-                count = int(mask.sum())
-                level_user_counts[level] = count
-                if count == 0:
-                    continue
-                node_items = tree.ancestor_index(items[mask], level)
-                payloads[level] = self._oracles[level].privatize(node_items, rng=rng)
-        else:  # split: every user reports at every level with epsilon / h
-            for level in range(1, height + 1):
-                node_items = tree.ancestor_index(items, level)
-                payloads[level] = self._oracles[level].privatize(node_items, rng=rng)
-                level_user_counts[level] = len(items)
-
-        return HierarchicalReport(payloads, level_user_counts, n_users=len(items))
-
-
-class HierarchicalServer(ProtocolServer):
+class HierarchicalServer(DecompositionServer):
     """Aggregator of HH_B: one oracle accumulator per tree level.
 
     The per-level user counts are part of the sufficient statistics (each
@@ -256,62 +216,8 @@ class HierarchicalServer(ProtocolServer):
     sampling is random.
     """
 
-    def __init__(
-        self,
-        protocol: "HierarchicalHistogram",
-        state: Optional[AccumulatorState] = None,
-    ) -> None:
-        self._oracles = {
-            level: protocol._make_level_oracle(level)
-            for level in range(1, protocol.tree.height + 1)
-        }
-        super().__init__(protocol, state)
 
-    def _empty_state(self) -> CompositeAccumulator:
-        return CompositeAccumulator(
-            "hierarchical",
-            {"protocol": self._protocol.spec()},
-            [
-                self._oracles[level].make_accumulator()
-                for level in range(1, self._protocol.tree.height + 1)
-            ],
-        )
-
-    def _ingest_one(self, report: Report) -> None:
-        if not isinstance(report, HierarchicalReport):
-            raise ProtocolUsageError(
-                f"hierarchical server cannot ingest a {type(report).__name__}"
-            )
-        if report.n_users <= 0:
-            return
-        oracles = self._oracles
-        children = self._state.children
-        level_user_counts = report.level_user_counts
-        for level, payload in iter_level_payloads(report.level_payloads):
-            oracles[level].accumulate(
-                children[level - 1],
-                payload,
-                n_users=int(level_user_counts[level]),
-            )
-        self._state.n_users += report.n_users
-
-    def finalize(self) -> "HierarchicalEstimator":
-        self._require_reports()
-        protocol = self._protocol
-        tree = protocol.tree
-        level_values = tree.empty_levels()
-        level_values[0][:] = 1.0
-        level_user_counts = np.zeros(tree.num_levels, dtype=np.int64)
-        level_user_counts[0] = self._state.n_users
-        for level in range(1, tree.height + 1):
-            accumulator = self._state.children[level - 1]
-            level_user_counts[level] = accumulator.n_reports
-            if accumulator.n_reports > 0:
-                level_values[level] = self._oracles[level].finalize(accumulator)
-        return protocol._finalize(level_values, level_user_counts)
-
-
-class HierarchicalHistogram(RangeQueryProtocol):
+class HierarchicalHistogram(DecomposedRangeQueryProtocol):
     """The HH_B range-query protocol (TreeOUE / TreeHRR / TreeOLH [+CI]).
 
     Parameters
@@ -446,6 +352,15 @@ class HierarchicalHistogram(RangeQueryProtocol):
     # ------------------------------------------------------------------ #
     # client / server roles
     # ------------------------------------------------------------------ #
+    def _build_decomposition(self) -> BAdicTreeDecomposition:
+        return BAdicTreeDecomposition(
+            self._tree,
+            self._make_level_oracle,
+            self._level_probabilities,
+            level_strategy=self._level_strategy,
+            consistency=self._consistency,
+        )
+
     def client(self) -> HierarchicalClient:
         return HierarchicalClient(self)
 
@@ -463,82 +378,6 @@ class HierarchicalHistogram(RangeQueryProtocol):
             "level_strategy": self._level_strategy,
             "level_probabilities": self._level_probabilities_arg,
         }
-
-    # ------------------------------------------------------------------ #
-    # statistically equivalent aggregate simulation
-    # ------------------------------------------------------------------ #
-    def run_simulated(
-        self, true_counts: np.ndarray, rng: RngLike = None
-    ) -> HierarchicalEstimator:
-        rng = ensure_rng(rng)
-        counts = np.asarray(true_counts, dtype=np.float64)
-        if counts.ndim != 1 or len(counts) != self.domain_size:
-            raise ValueError(
-                f"true_counts must have length {self.domain_size}, got {counts.shape}"
-            )
-        if counts.sum() <= 0:
-            raise ProtocolUsageError("cannot simulate the protocol with zero users")
-        counts = np.rint(counts).astype(np.int64)
-        height = self._tree.height
-        level_values = self._tree.empty_levels()
-        level_values[0][:] = 1.0
-        level_user_counts = np.zeros(self._tree.num_levels, dtype=np.int64)
-        level_user_counts[0] = int(counts.sum())
-
-        if self._level_strategy == "sample":
-            level_item_counts = self._split_counts_across_levels(counts, rng)
-        else:
-            level_item_counts = [counts.copy() for _ in range(height)]
-
-        for level in range(1, height + 1):
-            item_counts = level_item_counts[level - 1]
-            n_level = int(item_counts.sum())
-            level_user_counts[level] = n_level
-            if n_level == 0:
-                continue
-            node_counts = self._tree.level_histogram(item_counts, level)
-            oracle = self._make_level_oracle(level)
-            level_values[level] = oracle.estimate_from_counts(node_counts, rng=rng)
-
-        return self._finalize(level_values, level_user_counts)
-
-    def _split_counts_across_levels(
-        self, counts: np.ndarray, rng: np.random.Generator
-    ) -> List[np.ndarray]:
-        """Split each item's user count multinomially across the ``h`` levels.
-
-        Implemented as the standard sequence of Binomial draws so it
-        vectorises over the domain.
-        """
-        height = self._tree.height
-        remaining = counts.copy()
-        remaining_prob = 1.0
-        per_level: List[np.ndarray] = []
-        for level in range(height):
-            prob = self._level_probabilities[level]
-            if remaining_prob <= 0:
-                take = np.zeros_like(remaining)
-            elif level == height - 1:
-                take = remaining.copy()
-            else:
-                take = rng.binomial(remaining, min(1.0, prob / remaining_prob))
-            per_level.append(take.astype(np.int64))
-            remaining = remaining - take
-            remaining_prob -= prob
-        return per_level
-
-    def _finalize(
-        self, level_values: List[np.ndarray], level_user_counts: np.ndarray
-    ) -> HierarchicalEstimator:
-        estimator = HierarchicalEstimator(
-            self._tree,
-            level_values,
-            consistent=False,
-            level_user_counts=level_user_counts,
-        )
-        if self._consistency:
-            estimator = estimator.with_consistency()
-        return estimator
 
     # ------------------------------------------------------------------ #
     # theory

@@ -1,5 +1,16 @@
-"""Multi-dimensional range queries (Section 6 extension)."""
+"""Multi-dimensional range queries (Section 6 extension).
 
-from repro.multidim.grid import Grid2DEstimator, HierarchicalGrid2D
+:class:`HierarchicalGrid2D` decomposes each axis hierarchically and joins
+the per-axis levels into level pairs; like every other family it runs on
+the generic decomposition engine, so it has streaming clients/servers,
+exactly mergeable shards and wire serialization (see ``ARCHITECTURE.md``).
+"""
 
-__all__ = ["Grid2DEstimator", "HierarchicalGrid2D"]
+from repro.multidim.grid import (
+    Grid2DClient,
+    Grid2DEstimator,
+    Grid2DServer,
+    HierarchicalGrid2D,
+)
+
+__all__ = ["Grid2DClient", "Grid2DEstimator", "Grid2DServer", "HierarchicalGrid2D"]

@@ -20,10 +20,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.decomposition import DecompositionRoles, Grid2DDecomposition
 from repro.core.exceptions import InvalidRangeError, ProtocolUsageError
 from repro.core.rng import RngLike, ensure_rng
+from repro.core.session import (
+    AccumulatorState,
+    DecompositionClient,
+    DecompositionServer,
+)
 from repro.core.types import Domain, PrivacyParams
-from repro.frequency_oracles import make_oracle
 from repro.frequency_oracles.base import standard_oracle_variance
 from repro.hierarchy.tree import DomainTree
 
@@ -147,7 +152,28 @@ class Grid2DEstimator:
         )
 
 
-class HierarchicalGrid2D:
+class Grid2DClient(DecompositionClient):
+    """User-side encoder of the 2-D grid: sample a level pair, report the cell.
+
+    ``encode_batch`` takes an ``(N, 2)`` array of private ``(x, y)``
+    coordinate pairs; each user samples one pair of per-axis tree levels
+    and reports the one-hot vector of her node-pair cell through the
+    frequency oracle.  Thin instantiation of the generic engine on a
+    :class:`~repro.core.decomposition.Grid2DDecomposition`.
+    """
+
+
+class Grid2DServer(DecompositionServer):
+    """Aggregator of the 2-D grid: one oracle accumulator per level pair.
+
+    Fully mergeable and serializable like every decomposition server:
+    shards of a report stream combine exactly in any order, and
+    ``to_bytes()`` / :func:`~repro.core.session.load_server` round-trip the
+    state (protocol configuration included) across processes.
+    """
+
+
+class HierarchicalGrid2D(DecompositionRoles):
     """LDP protocol for 2-D rectangle queries via per-axis hierarchies.
 
     Parameters
@@ -178,54 +204,107 @@ class HierarchicalGrid2D:
         self._oracle_name = oracle.strip().lower()
         self.name = f"Grid2D{self._oracle_name.upper()}"
 
+    @classmethod
+    def from_registry(
+        cls,
+        domain_size: int,
+        epsilon: float,
+        domain_size_y: Optional[int] = None,
+        branching: int = 2,
+        oracle: str = "hrr",
+    ) -> "HierarchicalGrid2D":
+        """Registry adapter: ``make_protocol`` passes one leading domain size.
+
+        ``domain_size`` is the x-axis size; ``domain_size_y`` defaults to a
+        square grid.  This is also the signature :func:`repro.make_protocol`
+        and :func:`~repro.core.session.protocol_from_spec` rebuild from.
+        """
+        if domain_size_y is None:
+            domain_size_y = domain_size
+        return cls(domain_size, domain_size_y, epsilon, branching, oracle)
+
     @property
     def epsilon(self) -> float:
         """The privacy budget."""
         return self._privacy.epsilon
 
     @property
+    def domain_size_x(self) -> int:
+        """Size of the x axis."""
+        return self._domain_x.size
+
+    @property
+    def domain_size_y(self) -> int:
+        """Size of the y axis."""
+        return self._domain_y.size
+
+    @property
     def branching(self) -> int:
         """Per-axis tree fan-out."""
         return self._tree_x.branching
 
+    @property
+    def oracle_name(self) -> str:
+        """Handle of the node-pair frequency oracle."""
+        return self._oracle_name
+
     def _level_pairs(self) -> List[Tuple[int, int]]:
-        return [
-            (lx, ly)
-            for lx in range(1, self._tree_x.height + 1)
-            for ly in range(1, self._tree_y.height + 1)
-        ]
+        return self.decomposition().level_pairs
+
+    # ------------------------------------------------------------------ #
+    # client / server roles
+    # ------------------------------------------------------------------ #
+    def _build_decomposition(self) -> Grid2DDecomposition:
+        return Grid2DDecomposition(
+            self._tree_x, self._tree_y, self.epsilon, self._oracle_name
+        )
+
+    def client(self) -> Grid2DClient:
+        return Grid2DClient(self)
+
+    def server(self, state: Optional[AccumulatorState] = None) -> Grid2DServer:
+        return Grid2DServer(self, state)
+
+    def spec(self) -> dict:
+        return {
+            "name": "grid2d",
+            "domain_size": self.domain_size_x,
+            "epsilon": self.epsilon,
+            "domain_size_y": self.domain_size_y,
+            "branching": self.branching,
+            "oracle": self._oracle_name,
+        }
 
     def run(
         self, items_x: np.ndarray, items_y: np.ndarray, rng: RngLike = None
     ) -> Grid2DEstimator:
-        """Execute the protocol on paired private coordinates."""
+        """Execute the protocol on paired private coordinates.
+
+        Thin wrapper over the streaming roles -- one client encodes the
+        whole population as an ``(N, 2)`` pair batch, one server ingests
+        the report and finalizes -- kept for scripts that do not need
+        sharded or incremental aggregation.
+        """
         rng = ensure_rng(rng)
-        items_x = self._domain_x.validate_items(np.asarray(items_x))
-        items_y = self._domain_y.validate_items(np.asarray(items_y))
+        # Per-axis domain validation happens once, inside the client's
+        # encode_batch; only the pairing checks live here.
+        items_x = np.asarray(items_x)
+        items_y = np.asarray(items_y)
         if len(items_x) != len(items_y):
             raise ProtocolUsageError("items_x and items_y must have the same length")
         if len(items_x) == 0:
             raise ProtocolUsageError("cannot run the protocol with zero users")
-        pairs = self._level_pairs()
-        assignments = ensure_rng(rng).integers(0, len(pairs), size=len(items_x))
-        grids: Dict[Tuple[int, int], np.ndarray] = {}
-        for pair_index, (level_x, level_y) in enumerate(pairs):
-            nodes_x_count = self._tree_x.level_size(level_x)
-            nodes_y_count = self._tree_y.level_size(level_y)
-            mask = assignments == pair_index
-            count = int(mask.sum())
-            if count == 0:
-                grids[(level_x, level_y)] = np.zeros((nodes_x_count, nodes_y_count))
-                continue
-            node_x = self._tree_x.ancestor_index(items_x[mask], level_x)
-            node_y = self._tree_y.ancestor_index(items_y[mask], level_y)
-            flat = node_x * nodes_y_count + node_y
-            oracle = make_oracle(
-                self._oracle_name, nodes_x_count * nodes_y_count, self.epsilon
-            )
-            estimates = oracle.estimate(flat, rng=rng)
-            grids[(level_x, level_y)] = estimates.reshape(nodes_x_count, nodes_y_count)
-        return Grid2DEstimator(self._tree_x, self._tree_y, grids)
+        pairs = np.stack([items_x, items_y], axis=1)
+        server = self.server()
+        server.ingest(self.client().encode_batch(pairs, rng=rng))
+        return server.finalize()
+
+    def describe(self) -> str:
+        """Single-line description used in experiment reports."""
+        return (
+            f"{self.name}(Dx={self.domain_size_x}, Dy={self.domain_size_y}, "
+            f"eps={self.epsilon:g})"
+        )
 
     def theoretical_rectangle_variance(self, n_users: int) -> float:
         """Worst-case variance bound ``O(log^4 D)`` sketched in Section 6."""

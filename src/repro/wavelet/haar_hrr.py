@@ -26,21 +26,19 @@ wavelet approach.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.core.exceptions import ProtocolUsageError
-from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol, RangeLike, _as_range
-from repro.core.rng import RngLike, ensure_rng
+from repro.core.decomposition import (
+    DecomposedRangeQueryProtocol,
+    HaarDecomposition,
+)
+from repro.core.protocol import RangeQueryEstimator, RangeLike, _as_range
 from repro.core.session import (
     AccumulatorState,
-    CompositeAccumulator,
-    HaarReport,
-    ProtocolClient,
-    ProtocolServer,
-    Report,
-    iter_level_payloads,
+    DecompositionClient,
+    DecompositionServer,
 )
 from repro.core.types import Domain, next_power_of
 from repro.frequency_oracles.base import standard_oracle_variance
@@ -50,7 +48,6 @@ from repro.wavelet.haar import (
     evaluate_range_from_coefficients,
     evaluate_ranges_from_coefficients,
     inverse_haar_transform,
-    leaf_membership,
 )
 
 
@@ -123,104 +120,19 @@ class HaarEstimator(RangeQueryEstimator):
         return evaluate_ranges_from_coefficients(self._coefficients, lefts, rights)
 
 
-class HaarClient(ProtocolClient):
-    """User-side encoder of HaarHRR: sample a height, HRR-perturb the sign."""
+class HaarClient(DecompositionClient):
+    """User-side encoder of HaarHRR: sample a height, HRR-perturb the sign.
 
-    def __init__(self, protocol: "HaarHRR") -> None:
-        super().__init__(protocol)
-        self._oracles = {
-            height_j: protocol._height_oracle(height_j)
-            for height_j in range(1, protocol.height + 1)
-        }
-
-    def encode_batch(self, items: np.ndarray, rng: RngLike = None) -> HaarReport:
-        protocol = self._protocol
-        rng = ensure_rng(rng)
-        items = protocol.domain.validate_items(np.asarray(items))
-        height = protocol.height
-        level_user_counts = np.zeros(height + 1, dtype=np.int64)
-        payloads = {}
-        if len(items) == 0:
-            return HaarReport(payloads, level_user_counts, n_users=0)
-        assignments = rng.choice(
-            np.arange(1, height + 1), size=len(items), p=protocol.level_probabilities
-        )
-        for height_j in range(1, height + 1):
-            mask = assignments == height_j
-            count = int(mask.sum())
-            level_user_counts[height_j] = count
-            if count == 0:
-                continue
-            nodes, signs = leaf_membership(items[mask], height_j)
-            payloads[height_j] = self._oracles[height_j].privatize_signed(
-                nodes, signs, rng=rng
-            )
-        return HaarReport(payloads, level_user_counts, n_users=len(items))
+    Thin instantiation of the generic engine on a
+    :class:`~repro.core.decomposition.HaarDecomposition`.
+    """
 
 
-class HaarServer(ProtocolServer):
+class HaarServer(DecompositionServer):
     """Aggregator of HaarHRR: one HRR accumulator per detail height."""
 
-    def __init__(
-        self, protocol: "HaarHRR", state: Optional[AccumulatorState] = None
-    ) -> None:
-        self._oracles = {
-            height_j: protocol._height_oracle(height_j)
-            for height_j in range(1, protocol.height + 1)
-        }
-        super().__init__(protocol, state)
 
-    def _empty_state(self) -> CompositeAccumulator:
-        return CompositeAccumulator(
-            "haar",
-            {"protocol": self._protocol.spec()},
-            [
-                self._oracles[height_j].make_accumulator()
-                for height_j in range(1, self._protocol.height + 1)
-            ],
-        )
-
-    def _ingest_one(self, report: Report) -> None:
-        if not isinstance(report, HaarReport):
-            raise ProtocolUsageError(
-                f"haar server cannot ingest a {type(report).__name__}"
-            )
-        if report.n_users <= 0:
-            return
-        oracles = self._oracles
-        children = self._state.children
-        level_user_counts = report.level_user_counts
-        for height_j, payload in iter_level_payloads(report.height_payloads):
-            oracles[height_j].accumulate(
-                children[height_j - 1],
-                payload,
-                n_users=int(level_user_counts[height_j]),
-            )
-        self._state.n_users += report.n_users
-
-    def finalize(self) -> "HaarEstimator":
-        self._require_reports()
-        protocol = self._protocol
-        details: List[np.ndarray] = []
-        level_user_counts = np.zeros(protocol.height + 1, dtype=np.int64)
-        for height_j in range(1, protocol.height + 1):
-            accumulator = self._state.children[height_j - 1]
-            level_user_counts[height_j] = accumulator.n_reports
-            num_nodes = protocol.padded_size // (2**height_j)
-            if accumulator.n_reports == 0:
-                details.append(np.zeros(num_nodes))
-                continue
-            signed_fractions = self._oracles[height_j].finalize(accumulator)
-            details.append(signed_fractions / (2.0 ** (height_j / 2.0)))
-        coefficients = HaarCoefficients(
-            smooth=protocol._smooth_coefficient(), details=details
-        )
-        return HaarEstimator(
-            protocol.domain_size, protocol.padded_size, coefficients, level_user_counts
-        )
-
-
-class HaarHRR(RangeQueryProtocol):
+class HaarHRR(DecomposedRangeQueryProtocol):
     """The HaarHRR range-query protocol.
 
     Parameters
@@ -290,6 +202,16 @@ class HaarHRR(RangeQueryProtocol):
     # ------------------------------------------------------------------ #
     # client / server roles
     # ------------------------------------------------------------------ #
+    def _build_decomposition(self) -> HaarDecomposition:
+        return HaarDecomposition(
+            self.domain,
+            self._padded,
+            self._height,
+            self._height_oracle,
+            self._level_probabilities,
+            self._smooth_coefficient(),
+        )
+
     def client(self) -> HaarClient:
         return HaarClient(self)
 
@@ -303,70 +225,6 @@ class HaarHRR(RangeQueryProtocol):
             "epsilon": self.epsilon,
             "level_probabilities": self._level_probabilities_arg,
         }
-
-    # ------------------------------------------------------------------ #
-    # statistically equivalent aggregate simulation
-    # ------------------------------------------------------------------ #
-    def run_simulated(
-        self, true_counts: np.ndarray, rng: RngLike = None
-    ) -> HaarEstimator:
-        rng = ensure_rng(rng)
-        counts = np.asarray(true_counts, dtype=np.float64)
-        if counts.ndim != 1 or len(counts) != self.domain_size:
-            raise ValueError(
-                f"true_counts must have length {self.domain_size}, got {counts.shape}"
-            )
-        if counts.sum() <= 0:
-            raise ProtocolUsageError("cannot simulate the protocol with zero users")
-        counts = np.rint(counts).astype(np.int64)
-        padded_counts = np.zeros(self._padded, dtype=np.int64)
-        padded_counts[: self.domain_size] = counts
-
-        per_level = self._split_counts_across_levels(padded_counts, rng)
-        details: List[np.ndarray] = []
-        level_user_counts = np.zeros(self._height + 1, dtype=np.int64)
-        for height_j in range(1, self._height + 1):
-            level_counts = per_level[height_j - 1]
-            n_level = int(level_counts.sum())
-            level_user_counts[height_j] = n_level
-            num_nodes = self._padded // (2**height_j)
-            if n_level == 0:
-                details.append(np.zeros(num_nodes))
-                continue
-            span = 2**height_j
-            half = span // 2
-            reshaped = level_counts.reshape(num_nodes, span)
-            positive = reshaped[:, :half].sum(axis=1)
-            negative = reshaped[:, half:].sum(axis=1)
-            oracle = self._height_oracle(height_j)
-            signed_fractions = oracle.estimate_from_signed_counts(
-                positive, negative, rng=rng
-            )
-            details.append(signed_fractions / (2.0 ** (height_j / 2.0)))
-        coefficients = HaarCoefficients(smooth=self._smooth_coefficient(), details=details)
-        return HaarEstimator(
-            self.domain_size, self._padded, coefficients, level_user_counts
-        )
-
-    def _split_counts_across_levels(
-        self, counts: np.ndarray, rng: np.random.Generator
-    ) -> List[np.ndarray]:
-        """Multinomially split each item's user count across detail heights."""
-        remaining = counts.copy()
-        remaining_prob = 1.0
-        per_level: List[np.ndarray] = []
-        for level in range(self._height):
-            prob = self._level_probabilities[level]
-            if remaining_prob <= 0:
-                take = np.zeros_like(remaining)
-            elif level == self._height - 1:
-                take = remaining.copy()
-            else:
-                take = rng.binomial(remaining, min(1.0, prob / remaining_prob))
-            per_level.append(take.astype(np.int64))
-            remaining = remaining - take
-            remaining_prob -= prob
-        return per_level
 
     # ------------------------------------------------------------------ #
     # theory

@@ -6,7 +6,6 @@ coarse qualitative claims where those are robust even at small scale.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments.ablations import (
     format_ablation,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    ExperimentConfig,
     PRESETS,
     WorkloadEvaluation,
     build_prefix_workload,

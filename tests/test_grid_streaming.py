@@ -1,0 +1,261 @@
+"""Streaming-session tests for the 2-D hierarchical grid.
+
+``HierarchicalGrid2D`` runs on the same generic decomposition engine as
+the 1-D protocols, so it must honour the same contracts established by
+``tests/test_streaming_session.py``: ``run()`` is a thin wrapper over one
+client plus one server, any sharding of a report stream merged in any
+order is bit-identical to single-pass ingestion, reports and accumulator
+states survive ``to_bytes``/``from_bytes``, and the CLI
+``encode`` / ``aggregate`` / ``merge`` pipeline reproduces the sharded ==
+single-pass guarantee on files.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import HierarchicalGrid2D, ProtocolUsageError, load_server, make_protocol
+from repro.cli import main, write_items
+from repro.core.session import LevelReport, Report, load_server_file
+from repro.flat import FlatRangeQuery
+from repro.multidim import Grid2DClient, Grid2DEstimator, Grid2DServer
+
+GRID_CASES = [
+    pytest.param(lambda: HierarchicalGrid2D(16, 16, 1.5, oracle="hrr"), id="hrr-b2"),
+    pytest.param(
+        lambda: HierarchicalGrid2D(16, 32, 1.5, branching=4, oracle="oue"),
+        id="oue-b4-rect",
+    ),
+    pytest.param(lambda: HierarchicalGrid2D(16, 16, 1.0, oracle="grr"), id="grr-b2"),
+]
+
+RECTANGLES = [((0, 7), (0, 7)), ((2, 5), (1, 12)), ((0, 15), (0, 15))]
+
+
+def _pairs_for(protocol, n_users=800, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, protocol.domain_size_x, size=n_users)
+    y = rng.integers(0, protocol.domain_size_y, size=n_users)
+    return np.stack([x, y], axis=1)
+
+
+def _encode_stream(protocol, pairs, n_batches=6, seed=42):
+    client = protocol.client()
+    rng = np.random.default_rng(seed)
+    return [
+        client.encode_batch(batch, rng=rng)
+        for batch in np.array_split(pairs, n_batches)
+    ]
+
+
+def _answers(estimator):
+    return np.array(
+        [estimator.rectangle_query(xr, yr) for xr, yr in RECTANGLES]
+    )
+
+
+class TestRunIsAThinWrapper:
+    @pytest.mark.parametrize("make", GRID_CASES)
+    def test_run_equals_one_client_one_server(self, make):
+        protocol = make()
+        pairs = _pairs_for(protocol)
+        via_run = protocol.run(pairs[:, 0], pairs[:, 1], rng=np.random.default_rng(9))
+
+        server = protocol.server()
+        server.ingest(protocol.client().encode_batch(pairs, rng=np.random.default_rng(9)))
+        via_session = server.finalize()
+        assert np.array_equal(_answers(via_run), _answers(via_session))
+
+    def test_estimates_track_the_population(self):
+        protocol = HierarchicalGrid2D(16, 16, 3.0, oracle="hrr")
+        rng = np.random.default_rng(1)
+        x = np.clip(rng.normal(4, 2, size=30_000), 0, 15).astype(np.int64)
+        y = np.clip(rng.normal(11, 2, size=30_000), 0, 15).astype(np.int64)
+        server = protocol.server()
+        server.ingest(_encode_stream(protocol, np.stack([x, y], axis=1)))
+        estimator = server.finalize()
+        for (xl, xr), (yl, yr) in RECTANGLES[:2]:
+            truth = np.mean((x >= xl) & (x <= xr) & (y >= yl) & (y <= yr))
+            estimate = estimator.rectangle_query((xl, xr), (yl, yr))
+            assert estimate == pytest.approx(truth, abs=0.15)
+
+    def test_single_pair_encode(self):
+        protocol = HierarchicalGrid2D(16, 16, 1.0)
+        client = protocol.client()
+        assert isinstance(client, Grid2DClient)
+        server = protocol.server()
+        rng = np.random.default_rng(5)
+        for item in range(10):
+            server.ingest(client.encode((item, 15 - item), rng=rng))
+        assert server.n_reports == 10
+        assert isinstance(server.finalize(), Grid2DEstimator)
+
+    def test_empty_batch_is_a_noop(self):
+        protocol = HierarchicalGrid2D(16, 16, 1.0)
+        server = protocol.server()
+        server.ingest(protocol.client().encode_batch(np.zeros((0, 2), np.int64)))
+        assert server.n_reports == 0
+
+    def test_finalize_without_reports_raises(self):
+        with pytest.raises(ProtocolUsageError):
+            HierarchicalGrid2D(16, 16, 1.0).server().finalize()
+
+    def test_server_rejects_foreign_reports(self):
+        grid = HierarchicalGrid2D(16, 16, 1.1)
+        flat_report = FlatRangeQuery(16, 1.1).client().encode_batch(np.arange(8))
+        with pytest.raises(ProtocolUsageError):
+            grid.server().ingest(flat_report)
+
+    def test_client_rejects_non_pair_items(self):
+        protocol = HierarchicalGrid2D(16, 16, 1.0)
+        with pytest.raises(ProtocolUsageError):
+            protocol.client().encode_batch(np.arange(8))
+
+
+class TestShardingInvariance:
+    @pytest.mark.parametrize("make", GRID_CASES)
+    def test_any_sharding_any_merge_order_is_exact(self, make):
+        protocol = make()
+        reports = _encode_stream(protocol, _pairs_for(protocol))
+        reference = _answers(protocol.server().ingest(reports).finalize())
+
+        shards = [protocol.server() for _ in range(3)]
+        for index, report in enumerate(reports):
+            shards[index % 3].ingest(report)
+        for order in [(0, 1, 2), (2, 0, 1), (1, 2, 0)]:
+            states = [shards[i].state.copy() for i in order]
+            combined = protocol.server(state=states[0])
+            combined.merge(states[1]).merge(states[2])
+            assert combined.n_reports == len(_pairs_for(protocol))
+            assert np.array_equal(_answers(combined.finalize()), reference)
+
+    def test_merge_is_associative(self):
+        protocol = HierarchicalGrid2D(16, 16, 1.5)
+        reports = _encode_stream(protocol, _pairs_for(protocol), n_batches=3)
+        a, b, c = [protocol.server().ingest(report).state for report in reports]
+        left = protocol.server(state=a.copy().merge(b.copy()).merge(c.copy()))
+        right = protocol.server(state=a.copy().merge(b.copy().merge(c.copy())))
+        assert np.array_equal(_answers(left.finalize()), _answers(right.finalize()))
+
+    def test_merge_rejects_mismatched_protocols(self):
+        a = HierarchicalGrid2D(16, 16, 1.0).server()
+        b = HierarchicalGrid2D(16, 16, 2.0).server()
+        with pytest.raises(ProtocolUsageError):
+            a.merge(b)
+        flat = FlatRangeQuery(16, 1.0).server()
+        with pytest.raises(ProtocolUsageError):
+            a.merge(flat)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("make", GRID_CASES)
+    def test_report_bytes_roundtrip(self, make):
+        protocol = make()
+        reports = _encode_stream(protocol, _pairs_for(protocol), n_batches=2)
+        direct = protocol.server().ingest(reports)
+        revived = protocol.server().ingest(
+            [Report.from_bytes(report.to_bytes()) for report in reports]
+        )
+        assert np.array_equal(_answers(direct.finalize()), _answers(revived.finalize()))
+        assert all(
+            Report.from_bytes(report.to_bytes()).family == "grid2d"
+            for report in reports
+        )
+
+    @pytest.mark.parametrize("make", GRID_CASES)
+    def test_server_bytes_roundtrip_rebuilds_protocol(self, make):
+        protocol = make()
+        server = protocol.server().ingest(_encode_stream(protocol, _pairs_for(protocol)))
+        restored = load_server(server.to_bytes())
+        assert isinstance(restored, Grid2DServer)
+        assert restored.protocol.spec() == protocol.spec()
+        assert restored.n_reports == server.n_reports
+        assert np.array_equal(_answers(restored.finalize()), _answers(server.finalize()))
+
+    def test_spec_roundtrips_through_make_protocol(self):
+        protocol = HierarchicalGrid2D(16, 32, 1.5, branching=4, oracle="oue")
+        spec = dict(protocol.spec())
+        rebuilt = make_protocol(
+            spec.pop("name"), spec.pop("domain_size"), spec.pop("epsilon"), **spec
+        )
+        assert rebuilt.spec() == protocol.spec()
+        assert rebuilt.name == protocol.name
+
+    def test_report_is_a_level_report(self):
+        protocol = HierarchicalGrid2D(16, 16, 1.0)
+        report = protocol.client().encode_batch(_pairs_for(protocol, n_users=50))
+        assert isinstance(report, LevelReport)
+        assert report.family == "grid2d"
+        assert len(report.level_user_counts) == len(
+            protocol.decomposition().level_pairs
+        )
+
+
+class TestCliGridPipeline:
+    def test_encode_aggregate_merge_matches_single_pass(self, tmp_path):
+        data = tmp_path / "pairs.csv"
+        rng = np.random.default_rng(2)
+        pairs = np.stack(
+            [rng.integers(0, 16, size=2000), rng.integers(0, 32, size=2000)], axis=1
+        )
+        write_items(str(data), pairs)
+
+        encode_args = [
+            "encode",
+            "--input", str(data),
+            "--domain-size", "16",
+            "--domain-size-y", "32",
+            "--epsilon", "1.5",
+            "--method", "grid2d",
+            "--oracle", "hrr",
+            "--branching", "2",
+            "--seed", "7",
+            "--shards", "3",
+            "--output", str(tmp_path / "reports.bin"),
+        ]
+        assert main(encode_args) == 0
+        report_files = [str(tmp_path / f"reports.bin.{i}") for i in range(3)]
+
+        for index, path in enumerate(report_files):
+            assert main(["aggregate", "--reports", path,
+                         "--output", str(tmp_path / f"shard{index}.state")]) == 0
+        assert main(["aggregate", "--reports", *report_files,
+                     "--output", str(tmp_path / "single.state")]) == 0
+
+        out_path = tmp_path / "answers.json"
+        merge_args = [
+            "merge",
+            "--states",
+            str(tmp_path / "shard2.state"),
+            str(tmp_path / "shard0.state"),
+            str(tmp_path / "shard1.state"),
+            "--rectangles", "0:7:0:15,2:5:9:13",
+            "--output", str(out_path),
+            "--output-state", str(tmp_path / "merged.state"),
+        ]
+        assert main(merge_args) == 0
+
+        result = json.loads(out_path.read_text())
+        assert result["method"] == "Grid2DHRR"
+        assert result["domain_size"] == [16, 32]
+        assert result["n_users"] == 2000
+        assert result["n_shards"] == 3
+        assert set(result["rectangles"]) == {"0:7:0:15", "2:5:9:13"}
+
+        single = load_server_file(str(tmp_path / "single.state")).finalize()
+        merged = load_server_file(str(tmp_path / "merged.state")).finalize()
+        assert np.array_equal(_answers(single), _answers(merged))
+
+    def test_merge_refuses_scalar_ranges_for_grids(self, tmp_path):
+        data = tmp_path / "pairs.csv"
+        write_items(str(data), np.stack([np.arange(16), np.arange(16)], axis=1))
+        assert main([
+            "encode", "--input", str(data), "--domain-size", "16",
+            "--method", "grid2d", "--seed", "1",
+            "--output", str(tmp_path / "r.bin"),
+        ]) == 0
+        assert main(["aggregate", "--reports", str(tmp_path / "r.bin"),
+                     "--output", str(tmp_path / "s.state")]) == 0
+        with pytest.raises(SystemExit):
+            main(["merge", "--states", str(tmp_path / "s.state"), "--ranges", "0:7"])

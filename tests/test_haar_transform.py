@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.wavelet.haar import (
-    HaarCoefficients,
     evaluate_range_from_coefficients,
     haar_matrix,
     haar_transform,

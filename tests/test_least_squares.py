@@ -38,7 +38,6 @@ class TestDesignMatrix:
         assert np.allclose(matrix[1:], np.eye(4))
 
     def test_flatten_levels_order(self):
-        tree = DomainTree(4, 2)
         levels = [np.array([1.0]), np.array([2.0, 3.0]), np.array([4.0, 5.0, 6.0, 7.0])]
         assert list(flatten_levels(levels)) == [1, 2, 3, 4, 5, 6, 7]
 

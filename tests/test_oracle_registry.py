@@ -13,6 +13,7 @@ from repro.frequency_oracles import (
     make_oracle,
 )
 from repro.hierarchy import HierarchicalHistogram
+from repro.multidim import HierarchicalGrid2D
 from repro.wavelet import HaarHRR
 
 
@@ -56,12 +57,20 @@ class TestOracleRegistry:
 
 class TestProtocolRegistry:
     def test_registry_contents(self):
-        assert set(PROTOCOL_REGISTRY) == {"flat", "hh", "haar"}
+        assert set(PROTOCOL_REGISTRY) == {"flat", "hh", "haar", "grid2d"}
 
     def test_make_protocol(self):
         assert isinstance(make_protocol("flat", 64, 1.0), FlatRangeQuery)
         assert isinstance(make_protocol("hh", 64, 1.0, branching=8), HierarchicalHistogram)
         assert isinstance(make_protocol("haar", 64, 1.0), HaarHRR)
+        assert isinstance(make_protocol("grid2d", 16, 1.0), HierarchicalGrid2D)
+
+    def test_make_protocol_grid_defaults_to_square(self):
+        grid = make_protocol("grid2d", 16, 1.0)
+        assert (grid.domain_size_x, grid.domain_size_y) == (16, 16)
+        rect = make_protocol("grid", 16, 1.0, domain_size_y=32, branching=4)
+        assert (rect.domain_size_x, rect.domain_size_y) == (16, 32)
+        assert rect.branching == 4
 
     def test_make_protocol_unknown(self):
         with pytest.raises(KeyError):

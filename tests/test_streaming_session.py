@@ -26,7 +26,7 @@ from repro import (
     make_protocol,
     protocol_from_spec,
 )
-from repro.cli import main, read_items, write_items
+from repro.cli import main, write_items
 from repro.core.protocol import RangeQueryEstimator
 from repro.core.session import Report, load_server_file
 from repro.core.types import Domain
