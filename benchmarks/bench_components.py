@@ -85,20 +85,20 @@ def test_bench_hh_simulated(benchmark, population):
     """End-to-end hierarchical histogram (simulation path) on D=1024."""
     protocol = HierarchicalHistogram(DOMAIN, 1.1, branching=4)
     counts = population.counts()
-    benchmark(protocol.run_simulated, counts, rng=np.random.default_rng(6))
+    benchmark(protocol.simulate_aggregate, counts, rng=np.random.default_rng(6))
 
 
 def test_bench_haarhrr_simulated(benchmark, population):
     """End-to-end HaarHRR (simulation path) on D=1024."""
     protocol = HaarHRR(DOMAIN, 1.1)
     counts = population.counts()
-    benchmark(protocol.run_simulated, counts, rng=np.random.default_rng(7))
+    benchmark(protocol.simulate_aggregate, counts, rng=np.random.default_rng(7))
 
 
 def test_bench_range_query_evaluation(benchmark, population):
     """Answering 10k range queries from a fitted estimator."""
     protocol = HierarchicalHistogram(DOMAIN, 1.1, branching=4)
-    estimator = protocol.run_simulated(population.counts(), rng=8)
+    estimator = protocol.simulate_aggregate(population.counts(), rng=8)
     rng = np.random.default_rng(9)
     lefts = rng.integers(0, DOMAIN - 1, size=10_000)
     lengths = rng.integers(1, DOMAIN // 2, size=10_000)

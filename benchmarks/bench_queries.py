@@ -78,7 +78,7 @@ def _build_estimators(domain_size: int, rng: np.random.Generator) -> Dict[str, o
         "HaarHRR": HaarHRR(domain_size, EPSILON),
     }
     return {
-        name: protocol.run_simulated(counts, rng=rng)
+        name: protocol.simulate_aggregate(counts, rng=rng)
         for name, protocol in methods.items()
     }
 
@@ -164,7 +164,7 @@ def bench_quantiles(preset: dict, rng: np.random.Generator) -> List[dict]:
     counts = cauchy_counts(domain_size, N_USERS, 0.4, rng=rng)
     estimator = HierarchicalHistogram(
         domain_size, EPSILON, branching=4, oracle="oue", consistency=True
-    ).run_simulated(counts, rng=rng)
+    ).simulate_aggregate(counts, rng=rng)
     for num_queries in preset["workloads"]:
         phis = rng.random(num_queries)
         estimator.quantile_queries_batch(phis)  # warm the monotone-cdf cache

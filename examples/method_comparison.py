@@ -71,7 +71,7 @@ def main() -> None:
         for length in RANGE_LENGTHS:
             errors = []
             for seed in range(REPETITIONS):
-                estimator = method.run_simulated(counts, rng=1000 + seed)
+                estimator = method.simulate_aggregate(counts, rng=1000 + seed)
                 estimates = estimator.range_queries(workloads[length])
                 errors.append(mean_squared_error(estimates, truths[length]))
             row += f"  {np.mean(errors) * 1000:8.3f}"

@@ -13,7 +13,9 @@ synthetic population:
 All protocols run on the same decomposition -> oracle -> accumulator ->
 estimator -> batch-query pipeline; ``ARCHITECTURE.md`` at the repository
 root walks through the layers and shows how to add a new protocol as a
-small ``Decomposition`` subclass.
+small ``Decomposition`` subclass.  For a long-running service (continuous
+traffic in epochs, durable checkpoints, sliding-window queries) see the
+``repro.engine`` façade walkthrough in ``examples/engine_windows.py``.
 
 Run with:  python examples/quickstart.py
 """
@@ -84,6 +86,20 @@ def main() -> None:
         print(f"  {type(estimator).__name__:>22}: workload MSE {mse:.3e}")
     deciles = hierarchical.quantile_queries_batch(np.linspace(0.1, 0.9, 9))
     print("  Estimated deciles:", deciles.tolist())
+
+    # 5. The same protocol as a managed aggregation service: the engine
+    # façade partitions state into epochs and answers windowed queries
+    # (single epoch + window="all" is bit-identical to run() above; see
+    # examples/engine_windows.py for checkpoints and sliding windows).
+    from repro.engine import Engine
+
+    engine = Engine.open(protocols[1])
+    engine.session(epoch=0).absorb(population.items, rng=1)
+    service = engine.estimator(window="all")
+    print()
+    print("Engine façade (1 epoch, window='all') matches run():",
+          bool(np.array_equal(service.estimated_frequencies(),
+                              estimators[1].estimated_frequencies())))
 
 
 if __name__ == "__main__":

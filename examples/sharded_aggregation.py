@@ -16,6 +16,10 @@ client/server streaming API:
    and finalized into one estimator;
 4. the estimator answers range and quantile queries.
 
+For the managed version of this workflow -- epochs instead of hand-held
+shards, durable checkpoints, sliding-window queries -- see the
+``repro.engine`` façade in ``examples/engine_windows.py``.
+
 Run with:  python examples/sharded_aggregation.py
 """
 

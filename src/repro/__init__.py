@@ -50,8 +50,34 @@ Server state is serializable (``server.to_bytes()`` /
 :func:`~repro.core.session.load_server`), so aggregation can be sharded
 across processes or machines and resumed across restarts.  For one-shot
 scripts, ``protocol.run(items)`` wraps one client plus one server, and
-``protocol.run_simulated(counts)`` produces a statistically equivalent
-estimator directly from the true histogram.
+``protocol.simulate_aggregate(counts)`` produces a statistically
+equivalent estimator directly from the true histogram
+(``run_simulated`` remains as a deprecated alias).
+
+The aggregation-service façade
+------------------------------
+
+Long-running deployments speak in *epochs, windows, and durable state*
+rather than one-shot runs.  :class:`repro.engine.Engine` is that layer::
+
+    from repro.engine import Engine, last
+
+    engine = Engine.open("hh", domain_size=1024, epsilon=1.1, branching=4)
+    for day, batch in enumerate(daily_batches):        # epoch per day
+        engine.session(epoch=day).absorb(batch, rng=rng)
+    engine.checkpoint("service.ckpt")                  # durable v2 envelope
+
+    engine = Engine.restore("service.ckpt")
+    weekly = engine.estimator(window=last(7))          # lazy exact merge
+    print(weekly.range_query((100, 400)))
+
+Each epoch is an independent mergeable accumulator shard; windowed
+queries merge the selected epochs lazily (exactly -- integer sufficient
+statistics) and feed the estimators' batch query kernels unchanged.  A
+single-epoch ``window="all"`` engine is bit-identical to the plain
+client/server session path, and pre-engine v1 state files restore as
+single-epoch engines.  The CLI mirrors the façade with
+``engine checkpoint`` / ``engine query`` / ``engine info`` subcommands.
 
 Batch query engine
 ------------------
@@ -116,13 +142,14 @@ from repro.core import (
     load_server,
     protocol_from_spec,
 )
+from repro.engine import Engine, EpochSession, last
 from repro.flat import FlatRangeQuery
 from repro.frequency_oracles import make_oracle
 from repro.hierarchy import HierarchicalHistogram
 from repro.multidim import HierarchicalGrid2D
 from repro.wavelet import HaarHRR
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Protocol registry used by the experiment harness and the CLI.  Classes
 #: may expose a ``from_registry(domain_size, epsilon, **kwargs)`` adapter
@@ -214,6 +241,9 @@ __all__ = [
     "ProtocolServer",
     "Report",
     "AccumulatorState",
+    "Engine",
+    "EpochSession",
+    "last",
     "FlatRangeQuery",
     "HierarchicalHistogram",
     "HaarHRR",

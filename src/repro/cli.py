@@ -22,6 +22,20 @@ a sharded multi-server round trip:
 * ``repro-cli merge``     -- combine shard states (exactly, in any order),
   finalize, and answer range/quantile queries.
 
+The ``engine`` subcommands expose the epoch-aware aggregation-service
+façade (:class:`repro.engine.Engine`) on files, replacing the ad-hoc
+state-file juggling for long-running services (``aggregate`` and
+``merge`` remain as thin wrappers over the same façade):
+
+* ``repro-cli engine checkpoint`` -- fold report files into one epoch of a
+  durable checkpoint (created on first use, extended thereafter);
+* ``repro-cli engine info``       -- inspect a checkpoint (spec, epochs,
+  per-epoch report counts) and optionally export a merged window as a
+  classic state file;
+* ``repro-cli engine query``      -- restore a checkpoint and answer
+  range/quantile/rectangle queries over a window of epochs
+  (``--window all``, ``--window last:K``, or ``--window 0,2,5``).
+
 Every registry handle (``flat``, ``hh``, ``haar`` / ``wavelet``,
 ``grid2d`` / ``grid``) round-trips through the sharded workflow.  The 2-D
 grid encodes two CSV columns (``--column`` / ``--column-y``, sized by
@@ -49,6 +63,7 @@ from __future__ import annotations
 import argparse
 import csv
 import json
+import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -67,10 +82,10 @@ from repro.core.rng import ensure_rng
 from repro.core.serialization import SerializationError
 from repro.core.session import (
     load_report_file,
-    load_server_file,
     save_report_file,
     save_server_file,
 )
+from repro.engine import Engine, parse_window, resolve_window
 from repro.data.synthetic import DISTRIBUTIONS, make_population
 from repro.queries.workload import true_answers
 from repro.core.types import RangeSpec
@@ -348,57 +363,90 @@ def command_encode(args: argparse.Namespace) -> int:
     return 0
 
 
-def command_aggregate(args: argparse.Namespace) -> int:
-    """Server side of the streaming pipeline: report files -> shard state."""
-    server = None
-    spec = None
-    for path in args.reports:
+def _ingest_report_files(
+    paths: Sequence[str], session, spec: Optional[dict], epoch: Optional[int] = 0
+) -> Tuple[object, dict, int]:
+    """Fold report files into an engine session, validating their specs.
+
+    ``session`` may be ``None``; it is created from the first report's
+    protocol, on epoch ``epoch`` (``None`` = the engine's next fresh key).
+    Returns ``(session, spec, n_reports_folded)``.
+    """
+    folded = 0
+    for path in paths:
         try:
             protocol, report = load_report_file(path)
         except (OSError, SerializationError) as exc:
             raise SystemExit(f"could not load report file {path}: {exc}")
-        if server is None:
-            server = protocol.server()
+        if session is None:
+            session = Engine.open(protocol).session(epoch=epoch)
             spec = protocol.spec()
         elif protocol.spec() != spec:
             raise SystemExit(
                 f"{path} was encoded with a different protocol configuration "
                 f"({protocol.spec()} != {spec})"
             )
-        server.ingest(report)
-    if server is None:
+        session.ingest(report)
+        folded += report.n_users
+    return session, spec, folded
+
+
+def command_aggregate(args: argparse.Namespace) -> int:
+    """Server side of the streaming pipeline: report files -> shard state.
+
+    Thin wrapper over the engine façade: one single-epoch engine ingests
+    every report file and its shard state is written in the classic v1
+    layout, so downstream ``merge`` / ``engine checkpoint`` runs (and
+    pre-engine tooling) consume it unchanged.
+    """
+    session, _, _ = _ingest_report_files(args.reports, None, None)
+    if session is None:
         raise SystemExit("no report files given")
-    save_server_file(args.output, server)
+    # Classic layout: strip the engine's epoch annotation so the output
+    # stays byte-identical to a plain single-server aggregation.
+    session.server.state.meta.clear()
+    save_server_file(args.output, session.server)
     print(
-        f"aggregated {server.n_reports} reports from {len(args.reports)} "
+        f"aggregated {session.n_reports} reports from {len(args.reports)} "
         f"file(s) into {args.output}"
     )
     return 0
 
 
-def command_merge(args: argparse.Namespace) -> int:
-    """Combine shard states exactly, finalize, and answer queries."""
-    servers = []
-    for path in args.states:
+def _engine_from_state_files(paths: Sequence[str]) -> Engine:
+    """An engine holding one epoch per state file, in file order."""
+    engine = None
+    for path in paths:
         try:
-            servers.append(load_server_file(path))
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            if engine is None:
+                engine = Engine.from_bytes(blob)
+            else:
+                engine.adopt_state(blob)
         except (OSError, SerializationError) as exc:
             raise SystemExit(f"could not load state file {path}: {exc}")
-    combined = servers[0]
-    for other in servers[1:]:
-        try:
-            combined.merge(other)
         except ProtocolUsageError as exc:
             raise SystemExit(str(exc))
-    if args.output_state:
-        save_server_file(args.output_state, combined)
-        print(f"wrote merged state ({combined.n_reports} reports) to {args.output_state}")
+    if engine is None:
+        raise SystemExit("no state files given")
+    return engine
 
-    try:
-        estimator = combined.finalize()
-    except ProtocolUsageError as exc:
-        raise SystemExit(str(exc))
-    protocol = combined.protocol
+
+def _export_classic_state(path: str, state) -> None:
+    """Write a merged window as a classic (pre-engine, meta-free) state file.
+
+    Stripping the window annotation keeps the bytes identical to what a
+    plain single-server aggregation of the same reports would produce.
+    """
+    state.meta = {}
+    with open(path, "wb") as handle:
+        handle.write(state.to_bytes())
+
+
+def _window_output(engine: Engine, window, estimator, args: argparse.Namespace) -> dict:
+    """The common JSON skeleton of the windowed query commands."""
+    protocol = engine.protocol
     if hasattr(protocol, "domain_size"):
         domain_size = protocol.domain_size
     else:  # 2-D grid: one size per axis
@@ -407,10 +455,124 @@ def command_merge(args: argparse.Namespace) -> int:
         "method": protocol.name,
         "epsilon": protocol.epsilon,
         "domain_size": domain_size,
-        "n_users": int(combined.n_reports),
-        "n_shards": len(args.states),
+        "n_users": int(engine.n_reports(window)),
     }
     output.update(_answer_queries(estimator, args))
+    return output
+
+
+def command_merge(args: argparse.Namespace) -> int:
+    """Combine shard states exactly, finalize, and answer queries.
+
+    Thin wrapper over the engine façade: each state file becomes one
+    epoch and the answer is the ``window="all"`` estimator -- the lazily
+    merged window reproduces the old in-place merge bit-for-bit.
+    """
+    engine = _engine_from_state_files(args.states)
+    if args.output_state:
+        merged = engine.window_state()
+        _export_classic_state(args.output_state, merged)
+        print(f"wrote merged state ({merged.n_reports} reports) to {args.output_state}")
+
+    try:
+        estimator = engine.estimator()
+    except ProtocolUsageError as exc:
+        raise SystemExit(str(exc))
+    output = _window_output(engine, None, estimator, args)
+    output["n_shards"] = len(args.states)
+    _write_query_output(output, args)
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# engine subcommands: the epoch-aware aggregation-service façade on files
+# --------------------------------------------------------------------- #
+def _restore_engine(path: str) -> Engine:
+    try:
+        return Engine.restore(path)
+    except (OSError, SerializationError) as exc:
+        raise SystemExit(f"could not restore engine checkpoint {path}: {exc}")
+
+
+def _parse_window_arg(args: argparse.Namespace):
+    try:
+        return parse_window(getattr(args, "window", "all"))
+    except (ValueError, ProtocolUsageError) as exc:
+        raise SystemExit(str(exc))
+
+
+def command_engine_checkpoint(args: argparse.Namespace) -> int:
+    """Fold report files into one epoch of a durable engine checkpoint.
+
+    The checkpoint file is created on first use and extended on every
+    subsequent run; ``--epoch`` selects the epoch (default: the next
+    fresh one), and re-using an epoch key appends to that epoch's shard.
+    """
+    engine = None
+    spec = None
+    if os.path.exists(args.checkpoint):
+        engine = _restore_engine(args.checkpoint)
+        spec = engine.spec()
+    session = None
+    if engine is not None:
+        try:
+            session = engine.session(epoch=args.epoch)
+        except ProtocolUsageError as exc:
+            raise SystemExit(str(exc))
+    session, spec, folded = _ingest_report_files(
+        args.reports, session, spec, epoch=args.epoch
+    )
+    if session is None:
+        raise SystemExit("no report files given")
+    engine = session.engine
+    engine.checkpoint(args.checkpoint)
+    print(
+        f"epoch {session.epoch}: folded {folded} reports from "
+        f"{len(args.reports)} file(s); checkpoint {args.checkpoint} now holds "
+        f"epochs {list(engine.epochs)} ({engine.n_reports()} reports total)"
+    )
+    return 0
+
+
+def command_engine_info(args: argparse.Namespace) -> int:
+    """Inspect a checkpoint; optionally export a window as a state file."""
+    engine = _restore_engine(args.checkpoint)
+    window = _parse_window_arg(args)
+    output = {
+        "checkpoint": args.checkpoint,
+        "method": getattr(engine.protocol, "name", type(engine.protocol).__name__),
+        "spec": engine.spec(),
+        "epochs": list(engine.epochs),
+        "epoch_reports": {
+            str(epoch): engine.session(epoch=epoch).n_reports
+            for epoch in engine.epochs
+        },
+        "n_users": engine.n_reports(),
+    }
+    if args.output_state:
+        try:
+            merged = engine.window_state(window)
+        except ProtocolUsageError as exc:
+            raise SystemExit(str(exc))
+        _export_classic_state(args.output_state, merged)
+        output["output_state"] = args.output_state
+        output["window_reports"] = int(merged.n_reports)
+    print(json.dumps(output, indent=2, sort_keys=True))
+    return 0
+
+
+def command_engine_query(args: argparse.Namespace) -> int:
+    """Restore a checkpoint and answer queries over a window of epochs."""
+    engine = _restore_engine(args.checkpoint)
+    window = _parse_window_arg(args)
+    try:
+        selected = resolve_window(window, engine.epochs)
+        estimator = engine.estimator(window)
+    except ProtocolUsageError as exc:
+        raise SystemExit(str(exc))
+    output = _window_output(engine, window, estimator, args)
+    output["window"] = getattr(args, "window", "all")
+    output["epochs"] = selected
     _write_query_output(output, args)
     return 0
 
@@ -556,6 +718,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-state", default=None, help="also write the merged state here"
     )
     merge.set_defaults(func=command_merge)
+
+    engine = subparsers.add_parser(
+        "engine",
+        help="epoch-aware aggregation service: durable checkpoints + windowed queries",
+    )
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+
+    checkpoint = engine_sub.add_parser(
+        "checkpoint",
+        help="fold report files into one epoch of a durable checkpoint",
+    )
+    checkpoint.add_argument(
+        "--checkpoint", required=True, help="checkpoint file (created or extended)"
+    )
+    checkpoint.add_argument(
+        "--reports", nargs="+", required=True, help="report files from encode"
+    )
+    checkpoint.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help="epoch key to fold into (default: the next fresh epoch)",
+    )
+    checkpoint.set_defaults(func=command_engine_checkpoint)
+
+    info = engine_sub.add_parser(
+        "info", help="inspect a checkpoint (spec, epochs, report counts)"
+    )
+    info.add_argument("--checkpoint", required=True)
+    info.add_argument(
+        "--window",
+        default="all",
+        help="epoch window: all, last:K, or a comma separated key list",
+    )
+    info.add_argument(
+        "--output-state",
+        default=None,
+        help="export the merged window as a classic state file",
+    )
+    info.set_defaults(func=command_engine_info)
+
+    query = engine_sub.add_parser(
+        "query", help="answer queries over a window of checkpointed epochs"
+    )
+    query.add_argument("--checkpoint", required=True)
+    query.add_argument(
+        "--window",
+        default="all",
+        help="epoch window: all, last:K, or a comma separated key list",
+    )
+    query.add_argument("--ranges", default="", help="comma separated left:right pairs")
+    query.add_argument("--quantiles", default="", help="comma separated values in [0, 1]")
+    query.add_argument(
+        "--rectangles",
+        default="",
+        help="comma separated xleft:xright:yleft:yright rectangles (grid2d only)",
+    )
+    query.add_argument("--dump-frequencies", action="store_true")
+    query.add_argument("--output", default=None, help="write JSON here instead of stdout")
+    query.set_defaults(func=command_engine_query)
 
     return parser
 

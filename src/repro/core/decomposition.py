@@ -26,8 +26,9 @@ four copy-pasted implementations:
   turns a decomposition into the runtime roles: ``client()`` / ``server()``
   return the generic :class:`~repro.core.session.DecompositionClient` /
   :class:`~repro.core.session.DecompositionServer`, and
-  :meth:`DecomposedRangeQueryProtocol.run_simulated` is the one aggregate
-  simulation driver shared by every family.
+  :meth:`DecomposedRangeQueryProtocol.simulate_aggregate` is the one
+  aggregate simulation driver shared by every family (``run_simulated``
+  remains as a deprecated alias).
 
 Adding a new protocol is therefore a ~50-line :class:`Decomposition`
 subclass: streaming clients and servers, mergeable shards, wire
@@ -108,7 +109,7 @@ class Decomposition(abc.ABC):
       family's estimator, applying any consistency hook.
     * :meth:`prepare_counts` / :meth:`split_counts` / :meth:`simulate_level`
       are the aggregate-simulation counterparts used by
-      :meth:`DecomposedRangeQueryProtocol.run_simulated`.
+      :meth:`DecomposedRangeQueryProtocol.simulate_aggregate`.
     """
 
     #: Tag shared by the composite accumulator label and the report codec;
@@ -559,6 +560,24 @@ class DecompositionRoles(abc.ABC):
 
         return DecompositionServer(self, state)
 
+    def estimator_from_state(self, state):
+        """Finalize an estimator straight from an accumulator state.
+
+        ``state`` is any :class:`~repro.core.session.CompositeAccumulator`
+        of this configuration -- a single server's live state, a snapshot,
+        or a lazily merged window of epoch shards (see
+        :meth:`repro.engine.Engine.estimator`).  The state is adopted
+        without copying, so callers merging windows should pass a merged
+        *copy* rather than a live epoch shard.
+        """
+        return self.server(state=state).finalize()
+
+    def engine(self):
+        """A fresh single-protocol :class:`repro.engine.Engine` façade."""
+        from repro.engine import Engine
+
+        return Engine.open(self)
+
 
 class DecomposedRangeQueryProtocol(DecompositionRoles, RangeQueryProtocol):
     """A range-query protocol whose runtime roles are decomposition-generic.
@@ -568,7 +587,7 @@ class DecomposedRangeQueryProtocol(DecompositionRoles, RangeQueryProtocol):
     merging, wire serialization and the aggregate-simulation driver.
     """
 
-    def run_simulated(
+    def simulate_aggregate(
         self, true_counts: np.ndarray, rng: RngLike = None
     ) -> RangeQueryEstimator:
         """One aggregate-simulation driver for every decomposition.

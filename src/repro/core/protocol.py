@@ -20,7 +20,7 @@ deployment topology -- many clients, a fleet of aggregation servers:
   same estimator as single-server ingestion.
 * :meth:`RangeQueryProtocol.run` is a convenience wrapper -- one client,
   one server, one batch -- so scripts and experiments can stay one-liners.
-  :meth:`RangeQueryProtocol.run_simulated` produces a statistically
+  :meth:`RangeQueryProtocol.simulate_aggregate` produces a statistically
   equivalent estimator directly from the true histogram, the same
   simulation device the paper uses to scale its OUE experiments.
 * :class:`RangeQueryEstimator` answers point, range, prefix and quantile
@@ -34,6 +34,7 @@ and :mod:`repro.wavelet`; the role interfaces live in
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -376,7 +377,7 @@ class RangeQueryProtocol(abc.ABC):
         server.ingest(self.client().encode_batch(items, rng=rng))
         return server.finalize()
 
-    def run_simulated(
+    def simulate_aggregate(
         self, true_counts: np.ndarray, rng: RngLike = None
     ) -> RangeQueryEstimator:
         """Execute a statistically equivalent simulation of the protocol.
@@ -385,11 +386,29 @@ class RangeQueryProtocol(abc.ABC):
         default implementation materialises the items and calls :meth:`run`;
         subclasses override it with the faster aggregate-level simulations
         described in Section 5 of the paper (e.g. Binomial sampling of the
-        aggregator's noisy counts for OUE).
+        aggregator's noisy counts for OUE).  This is the internal driver
+        behind :meth:`repro.engine.Engine.simulate`.
         """
         counts = np.asarray(true_counts, dtype=np.int64)
         items = np.repeat(np.arange(len(counts)), counts)
         return self.run(items, rng=ensure_rng(rng))
+
+    def run_simulated(
+        self, true_counts: np.ndarray, rng: RngLike = None
+    ) -> RangeQueryEstimator:
+        """Deprecated alias of :meth:`simulate_aggregate`.
+
+        Superseded by the :mod:`repro.engine` façade
+        (:meth:`repro.engine.Engine.simulate`); behavior is unchanged.
+        """
+        warnings.warn(
+            "RangeQueryProtocol.run_simulated is deprecated; use "
+            "protocol.simulate_aggregate(...) or the repro.engine façade "
+            "(Engine.open(protocol).simulate(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.simulate_aggregate(true_counts, rng=rng)
 
     @abc.abstractmethod
     def theoretical_range_variance(self, range_length: int, n_users: int) -> float:

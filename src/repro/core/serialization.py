@@ -1,4 +1,4 @@
-"""Binary wire format for accumulator states and client reports.
+"""Binary wire format for accumulator states, reports and engine envelopes.
 
 Sharded aggregation only works if the intermediate objects -- the reports
 clients upload and the sufficient-statistics accumulators servers keep --
@@ -16,6 +16,21 @@ needs pickle and the format is stable across Python/numpy versions.
 Nested objects (e.g. the hierarchical accumulator's per-level oracle
 accumulators) embed each child's packed bytes as a ``uint8`` array, which
 keeps the format strictly compositional.
+
+Two format versions coexist:
+
+* **v1** (``REPROACC\\x01``) is the original layout used by every
+  accumulator state and report.  :func:`pack_blob` keeps emitting it by
+  default so all pre-engine payloads stay byte-for-byte identical.
+* **v2** (``REPROACC\\x02``) is the *envelope* version introduced with the
+  :mod:`repro.engine` façade: same physical layout, but the header is
+  expected to carry envelope metadata (engine version, protocol spec,
+  epoch keys).  :func:`unpack_blob` decodes both versions transparently;
+  :func:`blob_version` reports which one a payload uses.
+
+Malformed input of any kind -- wrong magic, truncation, garbage JSON,
+corrupt array blocks -- raises :class:`SerializationError` with the byte
+offset where decoding failed, never a raw ``struct.error`` / ``KeyError``.
 """
 
 from __future__ import annotations
@@ -27,8 +42,17 @@ from typing import Dict, Mapping, Tuple
 
 import numpy as np
 
-#: Format tag; bump the trailing byte on incompatible layout changes.
+#: Version-1 format tag: accumulator states and reports (the pre-engine
+#: wire format, still written by default for byte-for-byte stability).
 MAGIC = b"REPROACC\x01"
+
+#: Version-2 format tag: engine envelopes (checkpoints, epoch shards).
+MAGIC_V2 = b"REPROACC\x02"
+
+#: The newest format version this build reads and writes.
+FORMAT_VERSION = 2
+
+_MAGICS = {MAGIC: 1, MAGIC_V2: 2}
 
 _LENGTH = struct.Struct("<Q")
 
@@ -37,14 +61,24 @@ class SerializationError(ValueError):
     """Raised when a byte blob cannot be decoded as a packed state/report."""
 
 
-def pack_blob(header: dict, arrays: Mapping[str, np.ndarray] = ()) -> bytes:
+def pack_blob(
+    header: dict, arrays: Mapping[str, np.ndarray] = (), version: int = 1
+) -> bytes:
     """Serialize a JSON-able header plus named numeric arrays to bytes.
 
     ``header`` must be JSON serializable (Python's ``json`` keeps integer
     values exact at arbitrary precision, which the exact accumulators rely
     on).  ``arrays`` values are written as raw ``.npy`` blocks; object
-    dtypes are rejected.
+    dtypes are rejected.  ``version`` selects the magic tag: 1 (default)
+    for accumulator/report payloads, 2 for engine envelopes.
     """
+    try:
+        magic = {1: MAGIC, 2: MAGIC_V2}[version]
+    except KeyError:
+        raise SerializationError(
+            f"unknown serialization format version {version!r}; "
+            f"this build writes versions 1 and 2"
+        ) from None
     arrays = dict(arrays or {})
     body = io.BytesIO()
     for name, array in arrays.items():
@@ -53,36 +87,109 @@ def pack_blob(header: dict, arrays: Mapping[str, np.ndarray] = ()) -> bytes:
         )
     document = {"header": header, "arrays": list(arrays)}
     encoded = json.dumps(document, sort_keys=True).encode("utf-8")
-    return MAGIC + _LENGTH.pack(len(encoded)) + encoded + body.getvalue()
+    return magic + _LENGTH.pack(len(encoded)) + encoded + body.getvalue()
 
 
-def unpack_blob(data: bytes) -> Tuple[dict, Dict[str, np.ndarray]]:
-    """Inverse of :func:`pack_blob`: return ``(header, arrays)``."""
+def _sniff_magic(data: bytes) -> int:
+    """The format version of ``data``'s magic tag, or a loud failure."""
+    for magic, version in _MAGICS.items():
+        if data.startswith(magic):
+            return version
+    preview = bytes(data[: len(MAGIC)])
+    raise SerializationError(
+        f"bad magic at offset 0: {preview!r} is not a packed repro "
+        f"state/report/envelope (expected {MAGIC!r} or {MAGIC_V2!r})"
+    )
+
+
+def blob_version(data: bytes) -> int:
+    """Format version (1 or 2) of a packed blob, via its magic tag."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SerializationError(f"expected bytes, got {type(data).__name__}")
+    return _sniff_magic(bytes(data))
+
+
+def _decode_document(data) -> Tuple[bytes, dict, int]:
+    """Shared front half of decoding: magic, length field, JSON document.
+
+    Returns ``(data, document, body_offset)`` where ``body_offset`` is the
+    position of the first npy block.
+    """
     if not isinstance(data, (bytes, bytearray, memoryview)):
         raise SerializationError(
             f"expected bytes, got {type(data).__name__}"
         )
     data = bytes(data)
-    if not data.startswith(MAGIC):
-        raise SerializationError("bad magic: not a packed repro state/report")
+    _sniff_magic(data)
     offset = len(MAGIC)
     if len(data) < offset + _LENGTH.size:
-        raise SerializationError("truncated blob: missing header length")
+        raise SerializationError(
+            f"truncated blob at offset {len(data)}: need {offset + _LENGTH.size} "
+            f"bytes for the header length, have {len(data)}"
+        )
     (header_length,) = _LENGTH.unpack_from(data, offset)
     offset += _LENGTH.size
-    if len(data) < offset + header_length:
-        raise SerializationError("truncated blob: missing header")
+    if header_length > len(data) - offset:
+        raise SerializationError(
+            f"truncated blob at offset {len(data)}: header declares "
+            f"{header_length} bytes but only {len(data) - offset} remain "
+            f"after offset {offset}"
+        )
     try:
         document = json.loads(data[offset : offset + header_length].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise SerializationError("corrupt header JSON") from exc
-    body = io.BytesIO(data[offset + header_length :])
+        raise SerializationError(
+            f"corrupt header JSON in bytes [{offset}, {offset + header_length}): {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise SerializationError(
+            f"corrupt header JSON in bytes [{offset}, {offset + header_length}): "
+            f"expected an object, got {type(document).__name__}"
+        )
+    if not isinstance(document.get("header", {}), dict):
+        raise SerializationError(
+            f"corrupt header JSON in bytes [{offset}, {offset + header_length}): "
+            f"'header' must be an object, "
+            f"got {type(document['header']).__name__}"
+        )
+    names = document.get("arrays", [])
+    if not isinstance(names, list) or not all(
+        isinstance(name, str) for name in names
+    ):
+        raise SerializationError(
+            f"corrupt header JSON in bytes [{offset}, {offset + header_length}): "
+            "'arrays' must be a list of names"
+        )
+    return data, document, offset + header_length
+
+
+def peek_header(data: bytes) -> dict:
+    """Decode only the JSON header of a packed blob (arrays untouched).
+
+    Cheap dispatch helper: lets callers route a blob by ``file_kind`` /
+    ``state_kind`` without paying for the array blocks.
+    """
+    _, document, _ = _decode_document(data)
+    return document.get("header", {})
+
+
+def unpack_blob(data: bytes) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_blob`: return ``(header, arrays)``.
+
+    Accepts both v1 payloads and v2 envelopes (the physical layout is
+    identical); use :func:`blob_version` when the version matters.
+    """
+    data, document, body_offset = _decode_document(data)
+    body = io.BytesIO(data[body_offset:])
     arrays: Dict[str, np.ndarray] = {}
     for name in document.get("arrays", []):
+        block_offset = body_offset + body.tell()
         try:
             arrays[name] = np.lib.format.read_array(body, allow_pickle=False)
         except Exception as exc:  # numpy raises several internal types here
-            raise SerializationError(f"corrupt array block {name!r}") from exc
+            raise SerializationError(
+                f"corrupt array block {name!r} at offset {block_offset}: {exc}"
+            ) from exc
     return document.get("header", {}), arrays
 
 

@@ -31,6 +31,7 @@ working unchanged on top of this streaming model.
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import (
     Any,
     Callable,
@@ -107,7 +108,17 @@ class AccumulatorState(abc.ABC):
         decoder = _STATE_DECODERS.get(kind)
         if decoder is None:
             raise SerializationError(f"unknown accumulator state kind {kind!r}")
-        return decoder(header, arrays)
+        try:
+            return decoder(header, arrays)
+        except SerializationError:
+            raise
+        except (KeyError, ValueError, TypeError, IndexError) as exc:
+            # A structurally valid blob with an inconsistent header (e.g. a
+            # mutated field) must fail as a decode error, not leak the
+            # decoder's internal KeyError/ValueError.
+            raise SerializationError(
+                f"corrupt {kind!r} accumulator state: {exc!r}"
+            ) from exc
 
     def copy(self) -> "AccumulatorState":
         """An independent deep copy (default: serialize and re-load)."""
@@ -123,6 +134,12 @@ class CompositeAccumulator(AccumulatorState):
     height.  ``config`` carries the owning protocol's spec so that merges
     across incompatible configurations fail loudly and a server can be
     rebuilt from the state alone (see :func:`load_server`).
+
+    ``meta`` is free-form JSON-able annotation that rides along without
+    affecting identity: the :mod:`repro.engine` façade stamps each epoch
+    shard with its epoch key there.  It is excluded from merge
+    compatibility checks, and a state with empty ``meta`` serializes
+    byte-for-byte identically to a pre-``meta`` state.
     """
 
     state_kind = "composite"
@@ -133,11 +150,13 @@ class CompositeAccumulator(AccumulatorState):
         config: dict,
         children: List[AccumulatorState],
         n_users: int = 0,
+        meta: Optional[dict] = None,
     ) -> None:
         self.label = str(label)
         self.config = dict(config)
         self.children = list(children)
         self.n_users = int(n_users)
+        self.meta = dict(meta) if meta else {}
 
     @property
     def n_reports(self) -> int:
@@ -177,6 +196,10 @@ class CompositeAccumulator(AccumulatorState):
             "n_users": self.n_users,
             "num_children": len(self.children),
         }
+        if self.meta:
+            # Written only when present so pre-meta states stay
+            # byte-for-byte stable.
+            header["meta"] = self.meta
         return pack_blob(header, arrays)
 
     @classmethod
@@ -190,6 +213,7 @@ class CompositeAccumulator(AccumulatorState):
             config=header["config"],
             children=children,
             n_users=int(header["n_users"]),
+            meta=header.get("meta"),
         )
 
 
@@ -306,9 +330,17 @@ class Report(abc.ABC):
                 and isinstance(header.get("levels"), dict)
                 and "n_users" in header
             ):
-                return LevelReport._decode(header, arrays)
-            raise SerializationError(f"unknown report kind {kind!r}")
-        return decoder(header, arrays)
+                decoder = LevelReport._decode
+            else:
+                raise SerializationError(f"unknown report kind {kind!r}")
+        try:
+            return decoder(header, arrays)
+        except SerializationError:
+            raise
+        except (KeyError, ValueError, TypeError, IndexError) as exc:
+            # Same contract as AccumulatorState.from_bytes: inconsistent
+            # headers surface as decode errors, not internal exceptions.
+            raise SerializationError(f"corrupt {kind!r} report: {exc!r}") from exc
 
 
 class LevelReport(Report):
@@ -402,10 +434,23 @@ class LevelReport(Report):
         return cls(family, payloads, counts, n_users)
 
 
+def _warn_deprecated_report(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; every family now uses the unified "
+        "LevelReport codec -- construct LevelReport(family=...) directly",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class FlatReport(LevelReport):
-    """Back-compat constructor for flat (whole-domain oracle) reports."""
+    """Deprecated back-compat constructor for flat (whole-domain) reports.
+
+    Use :class:`LevelReport` with ``family="flat"`` instead.
+    """
 
     def __init__(self, payload: Any = None, n_users: int = 0) -> None:
+        _warn_deprecated_report("FlatReport")
         payloads = {0: payload} if n_users > 0 else {}
         super().__init__(
             "flat", payloads, np.asarray([int(n_users)], np.int64), n_users
@@ -413,7 +458,10 @@ class FlatReport(LevelReport):
 
 
 class HierarchicalReport(LevelReport):
-    """Back-compat constructor for hierarchical-histogram reports."""
+    """Deprecated back-compat constructor for hierarchical reports.
+
+    Use :class:`LevelReport` with ``family="hierarchical"`` instead.
+    """
 
     def __init__(
         self,
@@ -421,11 +469,15 @@ class HierarchicalReport(LevelReport):
         level_user_counts: Optional[np.ndarray] = None,
         n_users: int = 0,
     ) -> None:
+        _warn_deprecated_report("HierarchicalReport")
         super().__init__("hierarchical", level_payloads, level_user_counts, n_users)
 
 
 class HaarReport(LevelReport):
-    """Back-compat constructor for HaarHRR wavelet reports."""
+    """Deprecated back-compat constructor for HaarHRR wavelet reports.
+
+    Use :class:`LevelReport` with ``family="haar"`` instead.
+    """
 
     def __init__(
         self,
@@ -433,6 +485,7 @@ class HaarReport(LevelReport):
         level_user_counts: Optional[np.ndarray] = None,
         n_users: int = 0,
     ) -> None:
+        _warn_deprecated_report("HaarReport")
         super().__init__("haar", height_payloads, level_user_counts, n_users)
 
 
@@ -576,6 +629,35 @@ class ProtocolServer(abc.ABC):
     def to_bytes(self) -> bytes:
         """Serialize the accumulator state (protocol spec included)."""
         return self._state.to_bytes()
+
+    def snapshot(self) -> CompositeAccumulator:
+        """An independent deep copy of the current accumulator state.
+
+        The snapshot is fully decoupled from the live server: further
+        ``ingest`` / ``merge`` calls do not touch it, so it can serve as a
+        durable checkpoint or as the base of a lazily merged window (see
+        :mod:`repro.engine`).
+        """
+        return self._state.copy()
+
+    def restore(
+        self, state: Union[AccumulatorState, bytes, bytearray, memoryview]
+    ) -> "ProtocolServer":
+        """Replace the live state with a snapshot of the same configuration.
+
+        ``state`` is a :class:`CompositeAccumulator` (e.g. from
+        :meth:`snapshot`) or its packed bytes.  The state is adopted as-is
+        (not copied); it must belong to an identically configured protocol.
+        """
+        if isinstance(state, (bytes, bytearray, memoryview)):
+            state = AccumulatorState.from_bytes(bytes(state))
+        if not isinstance(state, CompositeAccumulator):
+            raise ProtocolUsageError(
+                f"expected a CompositeAccumulator state, got {type(state).__name__}"
+            )
+        self._empty_state()._check_compatible(state)
+        self._state = state
+        return self
 
     def _require_reports(self) -> None:
         if self._state.n_reports <= 0:

@@ -1,0 +1,29 @@
+"""Epoch-aware aggregation-service façade over the protocol engine.
+
+``Engine.open(spec)`` turns any protocol configuration into a managed
+aggregation service with epoch-partitioned state, windowed queries,
+and durable checkpoint/restore.  See :mod:`repro.engine.engine` for the
+model and ``examples/engine_windows.py`` for a runnable sliding-window
+walkthrough.
+"""
+
+from repro.engine.engine import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_KIND,
+    Engine,
+    EpochSession,
+)
+from repro.engine.windows import ALL, LastK, WindowLike, last, parse_window, resolve_window
+
+__all__ = [
+    "ALL",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_KIND",
+    "Engine",
+    "EpochSession",
+    "LastK",
+    "WindowLike",
+    "last",
+    "parse_window",
+    "resolve_window",
+]

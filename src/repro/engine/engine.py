@@ -1,0 +1,444 @@
+"""The epoch-aware aggregation-service façade.
+
+The paper's protocols assume one static population aggregated once; a
+long-running aggregation service instead absorbs *continuous* traffic.
+:class:`Engine` is the production-facing layer that turns the per-protocol
+client/server objects into managed, durable, epoch-partitioned state:
+
+* **Epochs.**  ``engine.session(epoch=...)`` opens (or re-opens) one epoch
+  -- a time slice of the report stream, e.g. an hour or a day of traffic.
+  Each epoch is its own :class:`~repro.core.session.CompositeAccumulator`
+  shard, stamped with its epoch key in the accumulator's ``meta``, so
+  ingestion never touches historical state.
+* **Windows.**  ``engine.estimator(window=...)`` answers queries over any
+  subset of epochs -- ``"all"``, ``last(k)``, or an explicit key list.
+  The selected shards are merged *lazily* (exact integer merges into a
+  copy; live epochs are never mutated) and the merged state feeds the
+  existing estimator/batch-query kernels unchanged, so a single-epoch
+  ``window="all"`` engine is bit-identical to the plain session path.
+* **Durability.**  ``engine.checkpoint(path)`` persists every epoch shard
+  in one versioned v2 envelope (:data:`repro.core.serialization.MAGIC_V2`)
+  carrying the protocol spec, engine metadata and the epoch keys;
+  :meth:`Engine.restore` rebuilds the engine from it.  A bare v1 server
+  state (``server.to_bytes()`` / ``repro-cli aggregate`` output) restores
+  too, as a single-epoch engine, so pre-engine files keep working.
+
+Example::
+
+    from repro.engine import Engine, last
+
+    engine = Engine.open("hh", domain_size=1024, epsilon=1.1, branching=4)
+    for day, items in enumerate(daily_batches):
+        engine.session(epoch=day).absorb(items, rng=rng)
+    engine.checkpoint("service.ckpt")
+
+    weekly = engine.estimator(window=last(7))
+    print(weekly.range_query((100, 400)))
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import ProtocolUsageError
+from repro.core.rng import RngLike
+from repro.core.serialization import (
+    SerializationError,
+    pack_blob,
+    pack_child,
+    peek_header,
+    unpack_blob,
+    unpack_child,
+)
+from repro.core.session import (
+    AccumulatorState,
+    CompositeAccumulator,
+    ProtocolServer,
+    Report,
+    load_server,
+    protocol_from_spec,
+)
+from repro.engine.windows import ALL, WindowLike, resolve_window
+
+#: ``file_kind`` tag of a checkpoint envelope.
+CHECKPOINT_KIND = "engine-checkpoint"
+
+#: Layout version of the checkpoint envelope contents (independent of the
+#: wire-format version, which is the envelope's v2 magic).
+CHECKPOINT_FORMAT = 1
+
+
+def _is_protocol_like(obj) -> bool:
+    return all(callable(getattr(obj, name, None)) for name in ("client", "server", "spec"))
+
+
+class EpochSession:
+    """A handle on one epoch of an :class:`Engine`.
+
+    A session is a thin view: it shares the engine's per-epoch server, so
+    two sessions opened on the same epoch fold into the same shard.  It
+    adds the user-facing conveniences of the façade -- ``absorb`` raw
+    items through the engine's client, ``ingest`` pre-encoded reports,
+    snapshot the shard, or finalize an estimator over just this epoch.
+    """
+
+    def __init__(self, engine: "Engine", epoch: int, server: ProtocolServer) -> None:
+        self._engine = engine
+        self._epoch = epoch
+        self._server = server
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EpochSession(epoch={self._epoch}, n_reports={self.n_reports})"
+
+    @property
+    def engine(self) -> "Engine":
+        """The owning engine."""
+        return self._engine
+
+    @property
+    def epoch(self) -> int:
+        """This session's epoch key."""
+        return self._epoch
+
+    @property
+    def server(self) -> ProtocolServer:
+        """The live per-epoch aggregation server (shared, not a copy)."""
+        return self._server
+
+    @property
+    def n_reports(self) -> int:
+        """Reports folded into this epoch so far."""
+        return self._server.n_reports
+
+    def ingest(self, reports: Union[Report, Iterable[Report]]) -> "EpochSession":
+        """Fold pre-encoded privatized reports into this epoch's shard."""
+        self._server.ingest(reports)
+        return self
+
+    def absorb(self, items: np.ndarray, rng: RngLike = None) -> "EpochSession":
+        """Encode raw private items through the engine's client and ingest.
+
+        One call is exactly one ``encode_batch`` + ``ingest`` round trip,
+        so ``engine.session().absorb(items, rng)`` followed by
+        ``engine.estimator()`` reproduces ``protocol.run(items, rng)``
+        bit-for-bit.
+        """
+        self._server.ingest(self._engine.client().encode_batch(items, rng=rng))
+        return self
+
+    def snapshot(self) -> CompositeAccumulator:
+        """An independent deep copy of this epoch's accumulator state."""
+        return self._server.snapshot()
+
+    def estimator(self):
+        """An estimator over this epoch alone (``window=[epoch]``)."""
+        return self._engine.estimator(window=[self._epoch])
+
+
+class Engine:
+    """Epoch-aware aggregation service for one protocol configuration.
+
+    Construct with :meth:`open`; see the module docstring for the model.
+    All epochs share the engine's protocol configuration -- one engine is
+    one logical aggregation service, not a multi-tenant registry.
+    """
+
+    def __init__(self, protocol) -> None:
+        if not _is_protocol_like(protocol):
+            raise ProtocolUsageError(
+                f"Engine needs a protocol exposing client()/server()/spec(); "
+                f"got {type(protocol).__name__}"
+            )
+        self._protocol = protocol
+        self._servers: Dict[int, ProtocolServer] = {}
+        self._client = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        spec,
+        domain_size: Optional[int] = None,
+        epsilon: Optional[float] = None,
+        **kwargs,
+    ) -> "Engine":
+        """Open an engine for one protocol configuration.
+
+        ``spec`` may be a live protocol object, a spec dict (as produced by
+        ``protocol.spec()``), or a registry handle string -- the latter
+        requires ``domain_size`` and ``epsilon`` (plus any constructor
+        keywords), mirroring :func:`repro.make_protocol`.
+        """
+        if isinstance(spec, str):
+            from repro import make_protocol  # deferred: repro imports engine
+
+            if domain_size is None or epsilon is None:
+                raise ProtocolUsageError(
+                    "Engine.open(handle, ...) requires domain_size and epsilon"
+                )
+            return cls(make_protocol(spec, domain_size, epsilon, **kwargs))
+        if isinstance(spec, dict):
+            return cls(protocol_from_spec(spec))
+        return cls(spec)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def protocol(self):
+        """The protocol configuration this engine aggregates for."""
+        return self._protocol
+
+    def spec(self) -> dict:
+        """The protocol's registry spec (see ``protocol.spec()``)."""
+        return self._protocol.spec()
+
+    @property
+    def epochs(self) -> Tuple[int, ...]:
+        """Epoch keys currently held, in ascending order."""
+        return tuple(sorted(self._servers))
+
+    def n_reports(self, window: WindowLike = ALL) -> int:
+        """Total reports across the selected window.
+
+        A fresh engine reports 0 for *any* window -- an empty service has
+        nothing in every window -- so monitoring can poll sliding windows
+        before the first epoch exists.
+        """
+        if not self._servers:
+            return 0
+        return sum(
+            self._servers[epoch].n_reports for epoch in self._resolve(window)
+        )
+
+    def describe(self) -> str:
+        """Single-line summary used by the CLI and logs."""
+        name = getattr(self._protocol, "name", type(self._protocol).__name__)
+        return (
+            f"Engine({name}, epochs={list(self.epochs)}, "
+            f"reports={self.n_reports()})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def client(self):
+        """The engine's shared stateless client-side encoder (cached)."""
+        if self._client is None:
+            self._client = self._protocol.client()
+        return self._client
+
+    def _next_epoch(self) -> int:
+        return max(self._servers) + 1 if self._servers else 0
+
+    def session(self, epoch: Optional[int] = None) -> EpochSession:
+        """Open a session on ``epoch`` (default: the next fresh epoch).
+
+        Re-opening an existing epoch returns a session over the same
+        shard; a new epoch key creates an empty shard stamped with
+        ``meta={"epoch": key}``.
+        """
+        if epoch is None:
+            epoch = self._next_epoch()
+        epoch = int(epoch)
+        server = self._servers.get(epoch)
+        if server is None:
+            server = self._protocol.server()
+            server.state.meta.setdefault("epoch", epoch)
+            self._servers[epoch] = server
+        return EpochSession(self, epoch, server)
+
+    def adopt_state(
+        self,
+        state: Union[AccumulatorState, bytes, bytearray, memoryview],
+        epoch: Optional[int] = None,
+    ) -> EpochSession:
+        """Adopt an existing accumulator state as a new epoch shard.
+
+        ``state`` is a :class:`CompositeAccumulator` or its packed bytes
+        (e.g. a ``repro-cli aggregate`` file) of an identically configured
+        protocol; it becomes epoch ``epoch`` (default: next fresh key).
+        Adopting into an existing epoch is refused -- merge through a
+        window instead, so historical shards stay immutable.
+        """
+        if epoch is None:
+            epoch = self._next_epoch()
+        epoch = int(epoch)
+        if epoch in self._servers:
+            raise ProtocolUsageError(
+                f"epoch {epoch} already exists in this engine; windows, not "
+                "adoption, combine existing epochs"
+            )
+        if isinstance(state, (bytes, bytearray, memoryview)):
+            state = AccumulatorState.from_bytes(bytes(state))
+        server = self._protocol.server(state=state)
+        server.state.meta.setdefault("epoch", epoch)
+        self._servers[epoch] = server
+        return EpochSession(self, epoch, server)
+
+    # ------------------------------------------------------------------ #
+    # windowed queries
+    # ------------------------------------------------------------------ #
+    def _resolve(self, window: WindowLike) -> List[int]:
+        return resolve_window(window, sorted(self._servers))
+
+    def window_state(self, window: WindowLike = ALL) -> CompositeAccumulator:
+        """The merged accumulator state of the selected epochs (a copy).
+
+        Merging is exact (integer sufficient statistics), commutative and
+        associative, so any window materialises bit-identically regardless
+        of how its epochs were sharded.  The returned state is independent
+        of the live shards and records the window in ``meta["epochs"]``.
+        """
+        selected = self._resolve(window)
+        merged = self._servers[selected[0]].snapshot()
+        for epoch in selected[1:]:
+            merged.merge(self._servers[epoch].state)
+        merged.meta = {"epochs": list(selected)}
+        return merged
+
+    def estimator(self, window: WindowLike = ALL):
+        """Finalize an estimator over the selected window of epochs.
+
+        The merge is lazy -- nothing is combined until an estimator is
+        requested -- and feeds the family's existing estimator and batch
+        query kernels unchanged.  A single-epoch window finalizes the live
+        shard directly, which is bit-identical to the plain
+        client/server session path.
+        """
+        selected = self._resolve(window)
+        if len(selected) == 1:
+            return self._servers[selected[0]].finalize()
+        state = self.window_state(selected)
+        finalize = getattr(self._protocol, "estimator_from_state", None)
+        if finalize is not None:
+            return finalize(state)
+        return self._protocol.server(state=state).finalize()
+
+    def simulate(self, true_counts: np.ndarray, rng: RngLike = None):
+        """Statistically equivalent aggregate simulation (Section 5).
+
+        Façade over the protocol's aggregate-simulation driver: samples an
+        estimator straight from the exact histogram without materialising
+        per-user reports.  The sample is *not* folded into any epoch --
+        simulation produces estimates, not mergeable state.
+        """
+        driver = getattr(self._protocol, "simulate_aggregate", None)
+        if driver is None:
+            name = getattr(self._protocol, "name", type(self._protocol).__name__)
+            raise ProtocolUsageError(
+                f"{name} does not support aggregate simulation"
+            )
+        return driver(true_counts, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialize every epoch shard into one versioned v2 envelope."""
+        from repro import __version__  # deferred: repro imports engine
+
+        epochs = sorted(self._servers)
+        header = {
+            "file_kind": CHECKPOINT_KIND,
+            "engine": {"format": CHECKPOINT_FORMAT, "version": __version__},
+            "protocol": self._protocol.spec(),
+            "epochs": epochs,
+            "epoch_reports": {
+                str(epoch): self._servers[epoch].n_reports for epoch in epochs
+            },
+        }
+        arrays = {
+            f"epoch_{epoch}": pack_child(self._servers[epoch].to_bytes())
+            for epoch in epochs
+        }
+        return pack_blob(header, arrays, version=2)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Engine":
+        """Rebuild an engine from checkpoint bytes.
+
+        Accepts both the v2 checkpoint envelope and a bare v1 accumulator
+        state from the pre-engine era (``server.to_bytes()`` output),
+        which restores as a single-epoch engine.
+        """
+        # Route on the JSON header alone; the array blocks are decoded
+        # once, by whichever branch owns the payload.
+        kind_header = peek_header(data)
+        if kind_header.get("file_kind") == CHECKPOINT_KIND:
+            header, arrays = unpack_blob(data)
+            spec = header.get("protocol")
+            if not isinstance(spec, dict):
+                raise SerializationError(
+                    "engine checkpoint does not embed a protocol spec"
+                )
+            epochs = header.get("epochs")
+            if not isinstance(epochs, list):
+                raise SerializationError(
+                    "engine checkpoint does not declare its epoch keys"
+                )
+            try:
+                engine = cls(protocol_from_spec(spec))
+                for epoch in epochs:
+                    key = f"epoch_{int(epoch)}"
+                    if key not in arrays:
+                        raise SerializationError(
+                            f"engine checkpoint is missing the shard for epoch {epoch}"
+                        )
+                    engine.adopt_state(unpack_child(arrays[key]), epoch=int(epoch))
+            except SerializationError:
+                raise
+            except (ProtocolUsageError, KeyError, TypeError, ValueError) as exc:
+                # A corrupt-but-parseable checkpoint (e.g. a mutated spec
+                # or an epoch shard that no longer matches it) is a decode
+                # failure, not an internal error.
+                raise SerializationError(
+                    f"corrupt engine checkpoint: {exc}"
+                ) from exc
+            return engine
+        if kind_header.get("state_kind") is not None:
+            # A pre-engine v1 payload: a single server's accumulator state.
+            try:
+                server = load_server(data)
+            except SerializationError:
+                raise
+            except (ProtocolUsageError, KeyError, TypeError, ValueError) as exc:
+                raise SerializationError(f"corrupt server state: {exc}") from exc
+            engine = cls(server.protocol)
+            epoch = int(server.state.meta.get("epoch", 0))
+            server.state.meta.setdefault("epoch", epoch)
+            engine._servers[epoch] = server
+            return engine
+        raise SerializationError(
+            f"not an engine checkpoint or server state (file_kind="
+            f"{kind_header.get('file_kind')!r})"
+        )
+
+    def checkpoint(self, path: str) -> "Engine":
+        """Write the full engine state to ``path``.
+
+        The write is atomic at the filesystem level: the envelope lands in
+        a temporary sibling file first and is renamed over ``path``, so a
+        crash mid-write never destroys the previous durable checkpoint.
+        """
+        blob = self.to_bytes()
+        temp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temp_path, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_path, path)
+        finally:
+            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
+                os.unlink(temp_path)
+        return self
+
+    @classmethod
+    def restore(cls, path: str) -> "Engine":
+        """Rebuild an engine from a file written by :meth:`checkpoint`."""
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())

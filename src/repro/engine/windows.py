@@ -1,0 +1,111 @@
+"""Window selection over an engine's epochs.
+
+A *window* names the subset of an engine's epochs a query should see.
+Three spellings are accepted everywhere a ``window=`` parameter appears:
+
+* :data:`ALL` (or the string ``"all"``, or ``None``) -- every epoch;
+* :func:`last` (or a bare positive ``int`` ``k``) -- the ``k`` most recent
+  epochs in epoch-key order (fewer if the engine holds fewer);
+* an explicit iterable of epoch keys -- exactly those epochs.
+
+Resolution always returns epoch keys in ascending order, so the merge that
+materialises a window is deterministic regardless of how the window was
+spelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.exceptions import ProtocolUsageError
+
+#: Sentinel selecting every epoch (the default window).
+ALL = "all"
+
+
+@dataclass(frozen=True)
+class LastK:
+    """A sliding window over the ``k`` most recent epochs."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if int(self.k) < 1:
+            raise ProtocolUsageError(
+                f"a last-k window needs k >= 1 epochs, got {self.k}"
+            )
+        object.__setattr__(self, "k", int(self.k))
+
+
+def last(k: int) -> LastK:
+    """The sliding window over the ``k`` most recent epochs."""
+    return LastK(k)
+
+
+WindowLike = Union[None, str, int, LastK, Iterable[int]]
+
+
+def resolve_window(window: WindowLike, epochs: Sequence[int]) -> List[int]:
+    """Resolve a window spelling against the available epoch keys.
+
+    ``epochs`` must already be in ascending order (the engine guarantees
+    this).  Returns the selected keys in ascending order; raises
+    :class:`~repro.core.exceptions.ProtocolUsageError` for unknown epochs,
+    malformed windows, or a selection that is empty because the engine has
+    no epochs at all.
+    """
+    epochs = list(epochs)
+    if not epochs:
+        raise ProtocolUsageError(
+            "the engine holds no epochs yet; open a session and ingest "
+            "reports before querying"
+        )
+    if window is None or (isinstance(window, str) and window.lower() == ALL):
+        return epochs
+    if isinstance(window, LastK):
+        return epochs[-window.k :]
+    if isinstance(window, bool):
+        # bool is an int subclass; a True/False window is always a mistake.
+        raise ProtocolUsageError(f"invalid window {window!r}")
+    if isinstance(window, int):
+        return resolve_window(LastK(window), epochs)
+    if isinstance(window, str):
+        raise ProtocolUsageError(
+            f"unknown window string {window!r}; expected 'all', an int k "
+            "(last k epochs), repro.engine.last(k), or an iterable of "
+            "epoch keys"
+        )
+    try:
+        requested = [int(epoch) for epoch in window]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolUsageError(f"invalid window {window!r}") from exc
+    if not requested:
+        raise ProtocolUsageError("an explicit window must name at least one epoch")
+    available = set(epochs)
+    missing = sorted(set(requested) - available)
+    if missing:
+        raise ProtocolUsageError(
+            f"window names unknown epoch(s) {missing}; available epochs: {epochs}"
+        )
+    selected = set(requested)
+    return [epoch for epoch in epochs if epoch in selected]
+
+
+def parse_window(text: str) -> WindowLike:
+    """Parse a CLI window spelling: ``all``, ``last:K``, or ``0,2,5``."""
+    text = (text or "").strip().lower()
+    if not text or text == ALL:
+        return ALL
+    if text.startswith("last:"):
+        try:
+            return last(int(text[len("last:") :]))
+        except ValueError as exc:
+            raise ValueError(f"malformed window {text!r}; expected last:K") from exc
+    try:
+        return [int(piece) for piece in text.split(",") if piece.strip()]
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed window {text!r}; expected 'all', 'last:K', or a "
+            "comma separated list of epoch keys"
+        ) from exc

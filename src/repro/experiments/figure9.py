@@ -56,7 +56,7 @@ def run_figure9(config: ExperimentConfig, rng=None) -> List[Figure9Cell]:
             quantile_errors = {phi: [] for phi in deciles()}
             for repetition_rng in spawn_rngs(rng, config.repetitions):
                 protocol = make_method(method_name, domain_size, config.epsilon)
-                estimator = protocol.run_simulated(counts, rng=repetition_rng)
+                estimator = protocol.simulate_aggregate(counts, rng=repetition_rng)
                 for evaluation in evaluate_quantiles(estimator, frequencies, deciles()):
                     value_errors[evaluation.phi].append(evaluation.value_error)
                     quantile_errors[evaluation.phi].append(evaluation.quantile_error)

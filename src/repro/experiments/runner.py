@@ -27,8 +27,8 @@ from repro import (
 from repro.analysis.metrics import mean_squared_error, summarize_repetitions
 from repro.core.protocol import RangeQueryProtocol
 from repro.core.rng import RngLike, ensure_rng, spawn_rngs
-from repro.core.session import protocol_from_spec
 from repro.core.types import RangeSpec
+from repro.engine import Engine
 from repro.data.synthetic import cauchy_population
 from repro.flat import FlatRangeQuery
 from repro.hierarchy import HierarchicalHistogram
@@ -169,13 +169,18 @@ def _run_one_repetition(
 
     Worker processes receive the protocol ``spec`` and rebuild it; the
     serial path passes the live ``protocol`` object straight through.
+    Each repetition runs through the :class:`repro.engine.Engine` façade:
+    the simulated path uses the engine's aggregate-simulation driver, the
+    full path absorbs the population into one epoch and finalizes the
+    ``window="all"`` estimator -- both bit-identical to the direct
+    protocol calls they replaced.
     """
-    if protocol is None:
-        protocol = protocol_from_spec(spec)
+    engine = Engine.open(spec if protocol is None else protocol)
     if simulated:
-        estimator = protocol.run_simulated(true_counts, rng=repetition_rng)
+        estimator = engine.simulate(true_counts, rng=repetition_rng)
     else:
-        estimator = protocol.run(items, rng=repetition_rng)
+        engine.session().absorb(items, rng=repetition_rng)
+        estimator = engine.estimator()
     estimates = estimator.range_queries_batch(lefts, rights)
     return mean_squared_error(estimates, truths)
 

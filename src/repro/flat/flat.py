@@ -10,6 +10,10 @@ the hierarchical and wavelet methods fix.
 The runtime roles are the generic decomposition engine instantiated on an
 :class:`~repro.core.decomposition.IdentityDecomposition` (a single level
 holding the whole domain); only the estimator and the theory live here.
+An estimator can be built from any accumulator state of this
+configuration -- a live server, a restored snapshot, or a lazily merged
+window of epoch shards (``protocol.estimator_from_state(state)``, which
+is how :meth:`repro.engine.Engine.estimator` answers windowed queries).
 """
 
 from __future__ import annotations
@@ -55,7 +59,11 @@ class FlatClient(DecompositionClient):
 
 
 class FlatServer(DecompositionServer):
-    """Aggregator of the flat protocol: a single oracle accumulator."""
+    """Aggregator of the flat protocol: a single oracle accumulator.
+
+    ``finalize`` works on any state of this configuration, including a
+    merged multi-epoch window adopted via ``server(state=...)``.
+    """
 
 
 class FlatRangeQuery(DecomposedRangeQueryProtocol):

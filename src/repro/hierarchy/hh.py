@@ -213,7 +213,11 @@ class HierarchicalServer(DecompositionServer):
     The per-level user counts are part of the sufficient statistics (each
     level's oracle debiases against the users that actually reported
     there), so sharded servers can merge exactly even though the level
-    sampling is random.
+    sampling is random.  The same property makes epoch windows exact:
+    ``finalize`` on a lazily merged window of epoch shards
+    (``protocol.estimator_from_state``, used by
+    :meth:`repro.engine.Engine.estimator`) debiases each level against
+    the window's own per-level counts.
     """
 
 

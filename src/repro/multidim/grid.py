@@ -169,7 +169,10 @@ class Grid2DServer(DecompositionServer):
     Fully mergeable and serializable like every decomposition server:
     shards of a report stream combine exactly in any order, and
     ``to_bytes()`` / :func:`~repro.core.session.load_server` round-trip the
-    state (protocol configuration included) across processes.
+    state (protocol configuration included) across processes.  Rectangle
+    estimators build from any state of this configuration, including a
+    merged window of epoch shards (``protocol.estimator_from_state``,
+    the path :meth:`repro.engine.Engine.estimator` takes for grids too).
     """
 
 

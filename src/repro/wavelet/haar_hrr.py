@@ -129,7 +129,13 @@ class HaarClient(DecompositionClient):
 
 
 class HaarServer(DecompositionServer):
-    """Aggregator of HaarHRR: one HRR accumulator per detail height."""
+    """Aggregator of HaarHRR: one HRR accumulator per detail height.
+
+    ``finalize`` rebuilds the coefficient tree from whatever state it
+    holds -- a live server or a merged multi-epoch window state
+    (``protocol.estimator_from_state``), since the per-height signed sums
+    merge exactly.
+    """
 
 
 class HaarHRR(DecomposedRangeQueryProtocol):

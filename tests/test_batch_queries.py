@@ -222,7 +222,7 @@ def _protocol_estimators(small_cauchy):
     ]
     rng = np.random.default_rng(99)
     return [
-        (protocol, protocol.run_simulated(counts, rng=rng)) for protocol in protocols
+        (protocol, protocol.simulate_aggregate(counts, rng=rng)) for protocol in protocols
     ]
 
 
@@ -275,7 +275,7 @@ class TestProtocolBatchEquivalence:
     def test_haar_coefficient_batch_on_estimator(self, small_cauchy):
         counts = small_cauchy.counts()
         domain_size = len(counts)
-        estimator = HaarHRR(domain_size, 1.1).run_simulated(
+        estimator = HaarHRR(domain_size, 1.1).simulate_aggregate(
             counts, rng=np.random.default_rng(5)
         )
         workload = _random_plus_edges(domain_size, 50, seed=11)
@@ -421,7 +421,7 @@ class TestRangeWorkload:
 
     def test_empty_workload(self, small_cauchy):
         domain_size = len(small_cauchy.counts())
-        estimator = FlatRangeQuery(domain_size, 1.1).run_simulated(
+        estimator = FlatRangeQuery(domain_size, 1.1).simulate_aggregate(
             small_cauchy.counts(), rng=np.random.default_rng(1)
         )
         empty = RangeWorkload(np.zeros(0, np.int64), np.zeros(0, np.int64))
@@ -430,7 +430,7 @@ class TestRangeWorkload:
 
     def test_batch_validation_on_estimator(self, small_cauchy):
         domain_size = len(small_cauchy.counts())
-        estimator = FlatRangeQuery(domain_size, 1.1).run_simulated(
+        estimator = FlatRangeQuery(domain_size, 1.1).simulate_aggregate(
             small_cauchy.counts(), rng=np.random.default_rng(1)
         )
         with pytest.raises(InvalidRangeError):
@@ -442,7 +442,7 @@ class TestRangeWorkload:
 
     def test_quantile_rejects_nan_and_out_of_range(self, small_cauchy):
         domain_size = len(small_cauchy.counts())
-        estimator = FlatRangeQuery(domain_size, 1.1).run_simulated(
+        estimator = FlatRangeQuery(domain_size, 1.1).simulate_aggregate(
             small_cauchy.counts(), rng=np.random.default_rng(1)
         )
         for bad in (float("nan"), -0.1, 1.1):
@@ -453,7 +453,7 @@ class TestRangeWorkload:
 
     def test_malformed_query_tuples_fail_loudly(self, small_cauchy):
         domain_size = len(small_cauchy.counts())
-        estimator = FlatRangeQuery(domain_size, 1.1).run_simulated(
+        estimator = FlatRangeQuery(domain_size, 1.1).simulate_aggregate(
             small_cauchy.counts(), rng=np.random.default_rng(1)
         )
         # A (lefts, rights) pair of *lists* is not silently reinterpreted

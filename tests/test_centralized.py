@@ -158,7 +158,7 @@ class TestCentralizedWavelet:
             for seed in range(8)
         ]
         local_errors = [
-            (local.run_simulated(counts, rng=seed).range_query((8, 47)) - truth) ** 2
+            (local.simulate_aggregate(counts, rng=seed).range_query((8, 47)) - truth) ** 2
             for seed in range(8)
         ]
         assert np.mean(central_errors) < np.mean(local_errors)

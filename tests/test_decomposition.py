@@ -102,7 +102,7 @@ class TestGoldenBitIdentity:
         protocol = CASES[case]()
         items = np.random.default_rng(0).integers(0, protocol.domain_size, size=600)
         counts = np.bincount(items, minlength=protocol.domain_size)
-        estimator = protocol.run_simulated(counts, rng=np.random.default_rng(11))
+        estimator = protocol.simulate_aggregate(counts, rng=np.random.default_rng(11))
         _check(
             case,
             estimator.estimated_frequencies(),
@@ -228,13 +228,28 @@ class TestUnifiedReportCodec:
         assert np.array_equal(revived.level_user_counts, report.level_user_counts)
 
     def test_back_compat_constructors(self):
-        flat = FlatReport(payload=None, n_users=0)
+        # The per-family report subclasses are deprecation shims now: they
+        # must still behave exactly like LevelReport, but warn.
+        with pytest.warns(DeprecationWarning, match="LevelReport"):
+            flat = FlatReport(payload=None, n_users=0)
         assert flat.family == "flat" and flat.payload is None
-        hierarchical = HierarchicalReport({}, np.zeros(4, np.int64), 0)
+        with pytest.warns(DeprecationWarning, match="LevelReport"):
+            hierarchical = HierarchicalReport({}, np.zeros(4, np.int64), 0)
         assert hierarchical.family == "hierarchical"
-        haar = HaarReport({}, np.zeros(4, np.int64), 0)
+        with pytest.warns(DeprecationWarning, match="LevelReport"):
+            haar = HaarReport({}, np.zeros(4, np.int64), 0)
         assert haar.family == "haar" and haar.height_payloads == {}
         for report in (flat, hierarchical, haar):
             revived = Report.from_bytes(report.to_bytes())
             assert isinstance(revived, LevelReport)
             assert revived.family == report.family
+
+    def test_run_simulated_is_a_deprecated_alias(self):
+        protocol = FlatRangeQuery(16, 1.1, oracle="oue")
+        counts = np.full(16, 20)
+        direct = protocol.simulate_aggregate(counts, rng=np.random.default_rng(5))
+        with pytest.warns(DeprecationWarning, match="simulate_aggregate"):
+            legacy = protocol.run_simulated(counts, rng=np.random.default_rng(5))
+        assert np.array_equal(
+            direct.estimated_frequencies(), legacy.estimated_frequencies()
+        )

@@ -26,7 +26,7 @@ class TestEndToEnd:
 
     def test_point_queries_are_accurate(self, small_cauchy):
         protocol = FlatRangeQuery(small_cauchy.domain_size, 3.0)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=4)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=4)
         truth = small_cauchy.frequencies()
         mode = int(np.argmax(truth))
         assert estimator.point_query(mode) == pytest.approx(truth[mode], abs=0.03)
@@ -35,7 +35,7 @@ class TestEndToEnd:
         protocol = FlatRangeQuery(small_cauchy.domain_size, 1.1)
         truth = small_cauchy.frequencies()[5:30].sum()
         answers = [
-            protocol.run_simulated(small_cauchy.counts(), rng=seed).range_query((5, 29))
+            protocol.simulate_aggregate(small_cauchy.counts(), rng=seed).range_query((5, 29))
             for seed in range(12)
         ]
         assert np.mean(answers) == pytest.approx(truth, abs=0.06)
@@ -45,11 +45,11 @@ class TestEndToEnd:
         with pytest.raises(ProtocolUsageError):
             protocol.run(np.array([], dtype=int), rng=0)
         with pytest.raises(ProtocolUsageError):
-            protocol.run_simulated(np.zeros(16), rng=0)
+            protocol.simulate_aggregate(np.zeros(16), rng=0)
 
     def test_counts_length_checked(self):
         with pytest.raises(ValueError):
-            FlatRangeQuery(16, 1.0).run_simulated(np.ones(4), rng=0)
+            FlatRangeQuery(16, 1.0).simulate_aggregate(np.ones(4), rng=0)
 
 
 class TestTheory:

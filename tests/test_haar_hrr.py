@@ -44,7 +44,7 @@ class TestEndToEnd:
     def test_full_domain_range_is_one(self, small_cauchy):
         """The smooth coefficient is hard-coded, so the full range is exact."""
         protocol = HaarHRR(small_cauchy.domain_size, 0.5)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=4)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=4)
         assert estimator.range_query((0, small_cauchy.domain_size - 1)) == pytest.approx(
             1.0, abs=1e-9
         )
@@ -53,7 +53,7 @@ class TestEndToEnd:
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
         truth = small_cauchy.frequencies()[10:41].sum()
         answers = [
-            protocol.run_simulated(small_cauchy.counts(), rng=seed).range_query((10, 40))
+            protocol.simulate_aggregate(small_cauchy.counts(), rng=seed).range_query((10, 40))
             for seed in range(12)
         ]
         assert np.mean(answers) == pytest.approx(truth, abs=0.05)
@@ -63,11 +63,11 @@ class TestEndToEnd:
         with pytest.raises(ProtocolUsageError):
             protocol.run(np.array([], dtype=int), rng=0)
         with pytest.raises(ProtocolUsageError):
-            protocol.run_simulated(np.zeros(16), rng=0)
+            protocol.simulate_aggregate(np.zeros(16), rng=0)
 
     def test_counts_length_checked(self):
         with pytest.raises(ValueError):
-            HaarHRR(16, 1.0).run_simulated(np.ones(8), rng=0)
+            HaarHRR(16, 1.0).simulate_aggregate(np.ones(8), rng=0)
 
     def test_level_user_counts_partition_population(self, small_cauchy):
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
@@ -79,7 +79,7 @@ class TestEndToEnd:
 class TestEstimator:
     def test_coefficient_evaluation_matches_prefix_sums(self, small_cauchy):
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=6)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=6)
         for query in [(0, 5), (7, 42), (20, 63), (13, 13)]:
             assert estimator.range_query_from_coefficients(query) == pytest.approx(
                 estimator.range_query(query), abs=1e-9
@@ -87,7 +87,7 @@ class TestEstimator:
 
     def test_smooth_coefficient_is_exact(self, small_cauchy):
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=7)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=7)
         assert estimator.coefficients.smooth == pytest.approx(
             1.0 / math.sqrt(protocol.padded_size)
         )
@@ -95,7 +95,7 @@ class TestEstimator:
     def test_noiseless_limit_recovers_exact_coefficients(self, small_cauchy):
         """With a huge epsilon the estimated coefficients converge to exact."""
         protocol = HaarHRR(small_cauchy.domain_size, 12.0)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=8)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=8)
         exact = haar_transform(small_cauchy.frequencies())
         estimated = estimator.coefficients
         for exact_level, estimated_level in zip(exact.details, estimated.details):
@@ -103,7 +103,7 @@ class TestEstimator:
 
     def test_estimated_frequencies_sum_to_one(self, small_cauchy):
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=9)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=9)
         assert estimator.estimated_frequencies().sum() == pytest.approx(1.0, abs=1e-9)
 
 

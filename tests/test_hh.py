@@ -64,7 +64,7 @@ class TestEndToEnd:
             for seed in range(8)
         ]
         simulated = [
-            protocol.run_simulated(small_cauchy.counts(), rng=100 + seed).range_query((10, 40))
+            protocol.simulate_aggregate(small_cauchy.counts(), rng=100 + seed).range_query((10, 40))
             for seed in range(8)
         ]
         assert np.mean(per_user) == pytest.approx(truth, abs=0.08)
@@ -75,12 +75,12 @@ class TestEndToEnd:
         with pytest.raises(ProtocolUsageError):
             protocol.run(np.array([], dtype=int), rng=0)
         with pytest.raises(ProtocolUsageError):
-            protocol.run_simulated(np.zeros(16), rng=0)
+            protocol.simulate_aggregate(np.zeros(16), rng=0)
 
     def test_simulated_counts_length_checked(self):
         protocol = HierarchicalHistogram(16, 1.0)
         with pytest.raises(ValueError):
-            protocol.run_simulated(np.ones(8), rng=0)
+            protocol.simulate_aggregate(np.ones(8), rng=0)
 
     def test_level_user_counts_partition_population(self, small_cauchy):
         protocol = HierarchicalHistogram(
@@ -99,7 +99,7 @@ class TestEndToEnd:
             oracle="hrr",
             level_strategy="split",
         )
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=4)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=4)
         truth = small_cauchy.frequencies()[0:32].sum()
         assert estimator.range_query((0, 31)) == pytest.approx(truth, abs=0.2)
 
@@ -109,7 +109,7 @@ class TestEstimator:
         protocol = HierarchicalHistogram(
             small_cauchy.domain_size, 1.1, branching=4, oracle="oue", consistency=True
         )
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=6)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=6)
         assert estimator.is_consistent
         assert consistency_violation(estimator.level_fractions, 4) < 1e-9
 
@@ -117,7 +117,7 @@ class TestEstimator:
         protocol = HierarchicalHistogram(
             small_cauchy.domain_size, 1.1, branching=4, oracle="oue", consistency=False
         )
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=6)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=6)
         assert not estimator.is_consistent
         fixed = estimator.with_consistency()
         assert fixed.is_consistent
@@ -129,7 +129,7 @@ class TestEstimator:
         protocol = HierarchicalHistogram(
             small_cauchy.domain_size, 1.1, branching=2, oracle="hrr", consistency=True
         )
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=7)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=7)
         freqs = estimator.estimated_frequencies()
         for left, right in [(0, 10), (5, 50), (33, 63)]:
             assert estimator.range_query((left, right)) == pytest.approx(
@@ -138,13 +138,13 @@ class TestEstimator:
 
     def test_range_query_bounds_checked(self, small_cauchy):
         protocol = HierarchicalHistogram(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=8)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=8)
         with pytest.raises(InvalidRangeError):
             estimator.range_query((0, small_cauchy.domain_size))
 
     def test_batch_queries_match_single_queries(self, small_cauchy):
         protocol = HierarchicalHistogram(small_cauchy.domain_size, 1.1, branching=4)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=9)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=9)
         queries = [(0, 5), (3, 40), (20, 63)]
         batch = estimator.range_queries(queries)
         singles = [estimator.range_query(query) for query in queries]
@@ -152,7 +152,7 @@ class TestEstimator:
 
     def test_node_value_accessor(self, small_cauchy):
         protocol = HierarchicalHistogram(small_cauchy.domain_size, 1.1, branching=4)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=10)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=10)
         assert estimator.node_value(0, 0) == pytest.approx(1.0)
 
 

@@ -38,7 +38,7 @@ def workload(population):
 def _mse(protocol, population, workload, seeds=(1, 2, 3)):
     errors = []
     for seed in seeds:
-        estimator = protocol.run_simulated(population.counts(), rng=seed)
+        estimator = protocol.simulate_aggregate(population.counts(), rng=seed)
         errors.append(
             mean_squared_error(estimator.range_queries(workload.queries), workload.truths)
         )

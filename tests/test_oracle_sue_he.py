@@ -137,7 +137,7 @@ class TestHierarchicalIntegrationWithNewOracles:
         protocol = HierarchicalHistogram(
             small_cauchy.domain_size, 2.0, branching=4, oracle=oracle_name
         )
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=1)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=1)
         truth = small_cauchy.frequencies()[8:40].sum()
         assert estimator.range_query((8, 39)) == pytest.approx(truth, abs=0.15)
 

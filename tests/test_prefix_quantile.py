@@ -52,7 +52,7 @@ class TestTrueQuantiles:
 class TestEstimatedQuantiles:
     def test_quantiles_close_to_truth(self, medium_cauchy):
         protocol = HierarchicalHistogram(medium_cauchy.domain_size, 1.5, branching=4)
-        estimator = protocol.run_simulated(medium_cauchy.counts(), rng=3)
+        estimator = protocol.simulate_aggregate(medium_cauchy.counts(), rng=3)
         freqs = medium_cauchy.frequencies()
         for phi in (0.25, 0.5, 0.75):
             estimated = estimate_quantile(estimator, phi)
@@ -61,7 +61,7 @@ class TestEstimatedQuantiles:
 
     def test_evaluate_quantiles_structure(self, small_cauchy):
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=4)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=4)
         evaluations = evaluate_quantiles(estimator, small_cauchy.frequencies(), deciles())
         assert len(evaluations) == 9
         for evaluation in evaluations:
@@ -74,7 +74,7 @@ class TestEstimatedQuantiles:
 
     def test_binary_search_quantile_close_to_cdf_quantile(self, medium_cauchy):
         protocol = HierarchicalHistogram(medium_cauchy.domain_size, 1.5, branching=4)
-        estimator = protocol.run_simulated(medium_cauchy.counts(), rng=12)
+        estimator = protocol.simulate_aggregate(medium_cauchy.counts(), rng=12)
         freqs = medium_cauchy.frequencies()
         for phi in (0.25, 0.5, 0.75):
             by_search = quantile_by_binary_search(estimator, phi)
@@ -93,13 +93,13 @@ class TestEstimatedQuantiles:
 
     def test_binary_search_quantile_validation(self, small_cauchy):
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=13)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=13)
         with pytest.raises(ValueError):
             quantile_by_binary_search(estimator, -0.2)
 
     def test_quantile_query_validation(self, small_cauchy):
         protocol = FlatRangeQuery(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=5)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=5)
         with pytest.raises(ValueError):
             estimator.quantile_query(-0.1)
         with pytest.raises(ValueError):
@@ -109,7 +109,7 @@ class TestEstimatedQuantiles:
 class TestPrefixHelpers:
     def test_prefix_answers_match_range_queries(self, small_cauchy):
         protocol = HierarchicalHistogram(small_cauchy.domain_size, 1.1, branching=4)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=6)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=6)
         endpoints = [0, 10, 40, 63]
         answers = prefix_answers(estimator, endpoints)
         expected = [estimator.range_query((0, b)) for b in endpoints]
@@ -117,14 +117,14 @@ class TestPrefixHelpers:
 
     def test_cdf_shapes_and_final_value(self, small_cauchy):
         protocol = HaarHRR(small_cauchy.domain_size, 1.1)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=7)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=7)
         cdf = estimated_cdf(estimator)
         assert len(cdf) == small_cauchy.domain_size
         assert cdf[-1] == pytest.approx(1.0, abs=0.05)
 
     def test_monotone_cdf_is_monotone_and_clipped(self, small_cauchy):
         protocol = FlatRangeQuery(small_cauchy.domain_size, 0.5)
-        estimator = protocol.run_simulated(small_cauchy.counts(), rng=8)
+        estimator = protocol.simulate_aggregate(small_cauchy.counts(), rng=8)
         cdf = monotone_cdf(estimator)
         assert np.all(np.diff(cdf) >= 0)
         assert cdf.min() >= 0.0 and cdf.max() <= 1.0

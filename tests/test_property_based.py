@@ -192,7 +192,7 @@ class TestEstimatorConsistencyProperties:
         domain = 32
         counts = rng.integers(5, 200, size=domain).astype(float)
         protocol = HierarchicalHistogram(domain, 1.0, branching=2, oracle="hrr")
-        estimator = protocol.run_simulated(counts, rng=rng)
+        estimator = protocol.simulate_aggregate(counts, rng=rng)
         left = data.draw(st.integers(min_value=0, max_value=domain - 1))
         right = data.draw(st.integers(min_value=left, max_value=domain - 1))
         freqs = estimator.estimated_frequencies()
