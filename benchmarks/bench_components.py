@@ -17,7 +17,8 @@ from repro.frequency_oracles import (
     OptimizedUnaryEncoding,
     fwht,
 )
-from repro.hierarchy import HierarchicalHistogram, enforce_consistency
+from repro.core.postprocess import tree_enforce_consistency
+from repro.hierarchy import HierarchicalHistogram
 from repro.hierarchy.tree import DomainTree
 from repro.wavelet import HaarHRR
 from repro.wavelet.haar import haar_transform
@@ -72,7 +73,7 @@ def test_bench_consistency(benchmark):
     """Constrained inference over a fan-out-4 tree with 4^6 leaves."""
     rng = np.random.default_rng(5)
     levels = [rng.random(4**depth) for depth in range(7)]
-    benchmark(enforce_consistency, levels, 4)
+    benchmark(tree_enforce_consistency, levels, 4)
 
 
 def test_bench_badic_decomposition(benchmark):

@@ -80,8 +80,10 @@ from repro.analysis.metrics import mean_squared_error
 from repro.core.exceptions import ProtocolUsageError
 from repro.core.rng import ensure_rng
 from repro.core.serialization import SerializationError
+from repro.core.postprocess import available_pipelines
 from repro.core.session import (
     load_report_file,
+    protocol_from_spec,
     save_report_file,
     save_server_file,
 )
@@ -235,6 +237,7 @@ def _build_protocol(args: argparse.Namespace):
             not args.no_consistency if hasattr(args, "no_consistency") else None
         ),
         "domain_size_y": _domain_size_y(args),
+        "postprocess": getattr(args, "postprocess", None),
     }
     accepted = accepted_protocol_kwargs(PROTOCOL_REGISTRY[method])
     kwargs = {
@@ -242,7 +245,11 @@ def _build_protocol(args: argparse.Namespace):
         for name, value in candidates.items()
         if name in accepted and value is not None
     }
-    return make_protocol(method, args.domain_size, args.epsilon, **kwargs)
+    try:
+        return make_protocol(method, args.domain_size, args.epsilon, **kwargs)
+    except ValueError as exc:
+        # e.g. an unknown --postprocess token; surface the registry message.
+        raise SystemExit(str(exc))
 
 
 def _domain_size_y(args: argparse.Namespace) -> int:
@@ -363,13 +370,29 @@ def command_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_sans_postprocess(spec: Optional[dict]) -> Optional[dict]:
+    """A protocol spec with the (statistics-irrelevant) pipeline stripped."""
+    if not isinstance(spec, dict):
+        return spec
+    return {key: value for key, value in spec.items() if key != "postprocess"}
+
+
 def _ingest_report_files(
-    paths: Sequence[str], session, spec: Optional[dict], epoch: Optional[int] = 0
+    paths: Sequence[str],
+    session,
+    spec: Optional[dict],
+    epoch: Optional[int] = 0,
+    postprocess: Optional[str] = None,
 ) -> Tuple[object, dict, int]:
     """Fold report files into an engine session, validating their specs.
 
     ``session`` may be ``None``; it is created from the first report's
     protocol, on epoch ``epoch`` (``None`` = the engine's next fresh key).
+    ``postprocess`` optionally overrides the pipeline recorded in the
+    report files.  Spec compatibility across files ignores the
+    ``postprocess`` key (post-processing never touches the accumulated
+    statistics, so shards encoded under different pipelines are
+    exchangeable; the first file's -- or the override's -- pipeline wins).
     Returns ``(session, spec, n_reports_folded)``.
     """
     folded = 0
@@ -379,9 +402,14 @@ def _ingest_report_files(
         except (OSError, SerializationError) as exc:
             raise SystemExit(f"could not load report file {path}: {exc}")
         if session is None:
-            session = Engine.open(protocol).session(epoch=epoch)
             spec = protocol.spec()
-        elif protocol.spec() != spec:
+            if postprocess is not None:
+                try:
+                    protocol = protocol_from_spec({**spec, "postprocess": postprocess})
+                except ValueError as exc:
+                    raise SystemExit(str(exc))
+            session = Engine.open(protocol).session(epoch=epoch)
+        elif _spec_sans_postprocess(protocol.spec()) != _spec_sans_postprocess(spec):
             raise SystemExit(
                 f"{path} was encoded with a different protocol configuration "
                 f"({protocol.spec()} != {spec})"
@@ -399,7 +427,9 @@ def command_aggregate(args: argparse.Namespace) -> int:
     layout, so downstream ``merge`` / ``engine checkpoint`` runs (and
     pre-engine tooling) consume it unchanged.
     """
-    session, _, _ = _ingest_report_files(args.reports, None, None)
+    session, _, _ = _ingest_report_files(
+        args.reports, None, None, postprocess=getattr(args, "postprocess", None)
+    )
     if session is None:
         raise SystemExit("no report files given")
     # Classic layout: strip the engine's epoch annotation so the output
@@ -562,9 +592,20 @@ def command_engine_info(args: argparse.Namespace) -> int:
 
 
 def command_engine_query(args: argparse.Namespace) -> int:
-    """Restore a checkpoint and answer queries over a window of epochs."""
+    """Restore a checkpoint and answer queries over a window of epochs.
+
+    ``--postprocess`` re-finalizes the checkpointed statistics under a
+    different pipeline (post-processing never touches the accumulated
+    state, so no re-ingestion is needed).
+    """
     engine = _restore_engine(args.checkpoint)
     window = _parse_window_arg(args)
+    postprocess = getattr(args, "postprocess", None)
+    if postprocess is not None:
+        try:
+            engine = engine.with_postprocess(postprocess)
+        except (ValueError, ProtocolUsageError) as exc:
+            raise SystemExit(str(exc))
     try:
         selected = resolve_window(window, engine.epochs)
         estimator = engine.estimator(window)
@@ -573,6 +614,8 @@ def command_engine_query(args: argparse.Namespace) -> int:
     output = _window_output(engine, window, estimator, args)
     output["window"] = getattr(args, "window", "all")
     output["epochs"] = selected
+    if postprocess is not None:
+        output["postprocess"] = postprocess
     _write_query_output(output, args)
     return 0
 
@@ -630,6 +673,17 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None)
     generate.set_defaults(func=command_generate)
 
+    def add_postprocess_argument(sub):
+        sub.add_argument(
+            "--postprocess",
+            default=None,
+            help=(
+                "post-processing pipeline applied at estimate assembly: "
+                f"'+'-combinations of {', '.join(available_pipelines())} "
+                "(default: the protocol's own default)"
+            ),
+        )
+
     def add_common_run_arguments(sub):
         sub.add_argument("--input", required=True, help="CSV file with one user per row")
         sub.add_argument("--column", type=int, default=0)
@@ -643,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser("run", help="run one protocol and answer queries")
     add_common_run_arguments(run)
+    add_postprocess_argument(run)
     run.add_argument("--method", choices=RANGE_PROTOCOL_CHOICES, default="hh")
     run.add_argument("--no-consistency", action="store_true")
     run.add_argument("--quantiles", default="", help="comma separated values in [0, 1]")
@@ -679,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
     encode.add_argument("--branching", type=int, default=4)
     encode.add_argument("--oracle", default="oue")
     encode.add_argument("--no-consistency", action="store_true")
+    add_postprocess_argument(encode)
     encode.add_argument("--seed", type=int, default=None)
     encode.add_argument(
         "--shards",
@@ -697,6 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--reports", nargs="+", required=True, help="report files from encode"
     )
     aggregate.add_argument("--output", required=True, help="accumulator state file")
+    add_postprocess_argument(aggregate)
     aggregate.set_defaults(func=command_aggregate)
 
     merge = subparsers.add_parser(
@@ -776,6 +833,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma separated xleft:xright:yleft:yright rectangles (grid2d only)",
     )
     query.add_argument("--dump-frequencies", action="store_true")
+    add_postprocess_argument(query)
     query.add_argument("--output", default=None, help="write JSON here instead of stdout")
     query.set_defaults(func=command_engine_query)
 

@@ -19,6 +19,10 @@ from but that are not themselves specific to any one mechanism:
   ``Decomposition`` abstraction (flat / B-adic tree / Haar / 2-D grid
   level structures) and the ``DecomposedRangeQueryProtocol`` base every
   concrete protocol instantiates.  See ``ARCHITECTURE.md``.
+* :mod:`repro.core.postprocess` -- the pluggable post-processing layer:
+  ``PostProcessor`` steps composed into ``PostPipeline`` objects through
+  a string registry (``"clip"``, ``"norm_sub"``, ``"consistency"``, ...)
+  and applied by every decomposition's assembly.
 * :mod:`repro.core.serialization` -- the pickle-free wire format reports
   and accumulator states use to cross process boundaries.
 """
@@ -28,6 +32,7 @@ from repro.core.exceptions import (
     InvalidDomainError,
     InvalidPrivacyBudgetError,
     InvalidRangeError,
+    InvalidWindowError,
     ProtocolUsageError,
 )
 from repro.core.rng import ensure_rng, spawn_rngs
@@ -69,12 +74,21 @@ from repro.core.decomposition import (
     IdentityDecomposition,
     multinomial_level_split,
 )
+from repro.core.postprocess import (
+    PostContext,
+    PostPipeline,
+    PostProcessor,
+    available_pipelines,
+    make_pipeline,
+    resolve_postprocess,
+)
 
 __all__ = [
     "ReproError",
     "InvalidDomainError",
     "InvalidPrivacyBudgetError",
     "InvalidRangeError",
+    "InvalidWindowError",
     "ProtocolUsageError",
     "SerializationError",
     "FORMAT_VERSION",
@@ -107,6 +121,12 @@ __all__ = [
     "HaarDecomposition",
     "Grid2DDecomposition",
     "multinomial_level_split",
+    "PostContext",
+    "PostPipeline",
+    "PostProcessor",
+    "available_pipelines",
+    "make_pipeline",
+    "resolve_postprocess",
     "protocol_from_spec",
     "load_server",
     "save_report_file",

@@ -44,6 +44,15 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.exceptions import ProtocolUsageError
+from repro.core.postprocess import (
+    FREQUENCIES,
+    GRID,
+    HAAR,
+    TREE,
+    PipelineLike,
+    PostContext,
+    resolve_postprocess,
+)
 from repro.core.protocol import RangeQueryEstimator, RangeQueryProtocol
 from repro.core.rng import RngLike, ensure_rng
 from repro.core.types import Domain
@@ -216,9 +225,12 @@ class IdentityDecomposition(Decomposition):
 
     label = "flat"
 
-    def __init__(self, domain: Domain, oracle_factory) -> None:
+    def __init__(
+        self, domain: Domain, oracle_factory, postprocess: PipelineLike = None
+    ) -> None:
         self._domain = domain
         self._oracle_factory = oracle_factory
+        self._pipeline = resolve_postprocess(postprocess, FREQUENCIES)
 
     @property
     def levels(self) -> Sequence[int]:
@@ -243,7 +255,12 @@ class IdentityDecomposition(Decomposition):
     def assemble(self, level_estimates, level_user_counts, n_users):
         from repro.flat.flat import FlatEstimator
 
-        return FlatEstimator(self._domain, level_estimates[0])
+        frequencies = level_estimates[0]
+        if self._pipeline:
+            frequencies = self._pipeline.apply(
+                frequencies, PostContext(kind=FREQUENCIES, n_users=n_users)
+            )
+        return FlatEstimator(self._domain, frequencies)
 
     def simulate_level(self, item_counts, level, oracle, rng):
         return oracle.estimate_from_counts(item_counts, rng=rng)
@@ -270,6 +287,7 @@ class BAdicTreeDecomposition(Decomposition):
         level_probabilities: np.ndarray,
         level_strategy: str = "sample",
         consistency: bool = False,
+        postprocess: PipelineLike = None,
     ) -> None:
         self._tree = tree
         self._domain = Domain(tree.domain_size)
@@ -277,6 +295,11 @@ class BAdicTreeDecomposition(Decomposition):
         self._level_probabilities = np.asarray(level_probabilities, dtype=np.float64)
         self._level_strategy = level_strategy
         self._consistency = bool(consistency)
+        if postprocess is None:
+            # The legacy boolean maps onto the equivalent pipeline, keeping
+            # consistency=True bit-identical to the pre-pipeline outputs.
+            postprocess = "consistency" if self._consistency else "none"
+        self._pipeline = resolve_postprocess(postprocess, TREE)
 
     @property
     def tree(self):
@@ -319,15 +342,21 @@ class BAdicTreeDecomposition(Decomposition):
         level_values[0][:] = 1.0
         for level, estimates in level_estimates.items():
             level_values[level] = estimates
-        estimator = HierarchicalEstimator(
+        if self._pipeline:
+            context = PostContext(
+                kind=TREE,
+                n_users=n_users,
+                level_user_counts=level_user_counts,
+                branching=self._tree.branching,
+                tree=self._tree,
+            )
+            level_values = self._pipeline.apply(level_values, context)
+        return HierarchicalEstimator(
             self._tree,
             level_values,
-            consistent=False,
+            consistent=self._pipeline.tree_consistent(),
             level_user_counts=level_user_counts,
         )
-        if self._consistency:
-            estimator = estimator.with_consistency()
-        return estimator
 
     def prepare_counts(self, counts: np.ndarray) -> np.ndarray:
         return np.rint(counts).astype(np.int64)
@@ -363,6 +392,8 @@ class HaarDecomposition(Decomposition):
         oracle_factory,
         level_probabilities: np.ndarray,
         smooth_coefficient: float,
+        postprocess: PipelineLike = None,
+        epsilon: Optional[float] = None,
     ) -> None:
         self._domain = domain
         self._padded = int(padded_size)
@@ -370,6 +401,10 @@ class HaarDecomposition(Decomposition):
         self._oracle_factory = oracle_factory
         self._level_probabilities = np.asarray(level_probabilities, dtype=np.float64)
         self._smooth = float(smooth_coefficient)
+        self._pipeline = resolve_postprocess(postprocess, HAAR)
+        # Known only when provided by the owning protocol; used to derive
+        # the per-height noise floors of the haar_threshold processor.
+        self._epsilon = None if epsilon is None else float(epsilon)
 
     @property
     def levels(self) -> Sequence[int]:
@@ -412,9 +447,42 @@ class HaarDecomposition(Decomposition):
             else:
                 details.append(signed_fractions / (2.0 ** (height_j / 2.0)))
         coefficients = HaarCoefficients(smooth=self._smooth, details=details)
+        if self._pipeline:
+            context = PostContext(
+                kind=HAAR,
+                n_users=n_users,
+                level_user_counts=level_user_counts,
+                noise_variances=self._noise_variances(level_user_counts),
+            )
+            coefficients = self._pipeline.apply(coefficients, context)
         return HaarEstimator(
             self._domain.size, self._padded, coefficients, level_user_counts
         )
+
+    def _noise_variances(
+        self, level_user_counts: np.ndarray
+    ) -> Optional[Dict[int, float]]:
+        """Estimation variance of one detail coefficient per height.
+
+        The debiased signed fraction at height ``j`` carries the standard
+        oracle variance over the ``n_j`` users sampled there; dividing by
+        ``2^{j/2}`` to obtain the coefficient scales the variance by
+        ``2^{-j}``.  ``None`` when the owning protocol did not share its
+        epsilon (direct decomposition constructions).
+        """
+        if self._epsilon is None:
+            return None
+        from repro.frequency_oracles.base import standard_oracle_variance
+
+        psi = standard_oracle_variance(self._epsilon)
+        variances: Dict[int, float] = {}
+        for height_j in self.levels:
+            n_level = int(level_user_counts[height_j])
+            if n_level <= 0:
+                variances[height_j] = float("inf")
+            else:
+                variances[height_j] = psi / n_level / (2.0**height_j)
+        return variances
 
     def prepare_counts(self, counts: np.ndarray) -> np.ndarray:
         counts = np.rint(counts).astype(np.int64)
@@ -447,13 +515,21 @@ class Grid2DDecomposition(Decomposition):
 
     label = "grid2d"
 
-    def __init__(self, tree_x, tree_y, epsilon: float, oracle_name: str) -> None:
+    def __init__(
+        self,
+        tree_x,
+        tree_y,
+        epsilon: float,
+        oracle_name: str,
+        postprocess: PipelineLike = None,
+    ) -> None:
         self._tree_x = tree_x
         self._tree_y = tree_y
         self._domain_x = Domain(tree_x.domain_size)
         self._domain_y = Domain(tree_y.domain_size)
         self._epsilon = float(epsilon)
         self._oracle_name = oracle_name
+        self._pipeline = resolve_postprocess(postprocess, GRID)
         self._pairs = [
             (level_x, level_y)
             for level_x in range(1, tree_x.height + 1)
@@ -521,6 +597,10 @@ class Grid2DDecomposition(Decomposition):
                 grids[(level_x, level_y)] = np.zeros(shape)
             else:
                 grids[(level_x, level_y)] = estimates.reshape(shape)
+        if self._pipeline:
+            grids = self._pipeline.apply(
+                grids, PostContext(kind=GRID, n_users=n_users)
+            )
         return Grid2DEstimator(self._tree_x, self._tree_y, grids)
 
 

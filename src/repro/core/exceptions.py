@@ -38,3 +38,14 @@ class ProtocolUsageError(ReproError, RuntimeError):
     have been aggregated, or aggregating reports produced by a different
     protocol configuration.
     """
+
+
+class InvalidWindowError(ProtocolUsageError, ValueError):
+    """An engine window selection is malformed or unsatisfiable.
+
+    Raised by :func:`repro.engine.windows.resolve_window` for empty
+    selections, unknown epoch keys, and ``last:K`` windows asking for more
+    epochs than the engine holds.  Subclasses both
+    :class:`ProtocolUsageError` (so existing engine error handling keeps
+    working) and ``ValueError`` (window arguments are caller input).
+    """

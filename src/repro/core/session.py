@@ -125,6 +125,25 @@ class AccumulatorState(abc.ABC):
         return AccumulatorState.from_bytes(self.to_bytes())
 
 
+def _comparable_config(config: dict) -> dict:
+    """A config dict with post-processing identity stripped.
+
+    Post-processing runs at assembly time only -- it never touches the
+    sufficient statistics -- so two accumulators whose embedded protocol
+    specs differ *only* in their ``postprocess`` pipeline hold exchangeable
+    state and may be merged or adopted across that difference (this is how
+    ``engine query --postprocess`` re-finalizes an existing checkpoint
+    under a different pipeline).
+    """
+    protocol = config.get("protocol")
+    if isinstance(protocol, dict) and "postprocess" in protocol:
+        config = dict(config)
+        config["protocol"] = {
+            key: value for key, value in protocol.items() if key != "postprocess"
+        }
+    return config
+
+
 class CompositeAccumulator(AccumulatorState):
     """An accumulator made of child accumulators plus a user counter.
 
@@ -171,7 +190,7 @@ class CompositeAccumulator(AccumulatorState):
             raise ProtocolUsageError(
                 f"cannot merge accumulator {other.label!r} into {self.label!r}"
             )
-        if self.config != other.config:
+        if _comparable_config(self.config) != _comparable_config(other.config):
             raise ProtocolUsageError(
                 "cannot merge accumulators of differently configured protocols: "
                 f"{self.config} != {other.config}"

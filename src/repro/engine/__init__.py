@@ -7,6 +7,7 @@ model and ``examples/engine_windows.py`` for a runnable sliding-window
 walkthrough.
 """
 
+from repro.core.exceptions import InvalidWindowError
 from repro.engine.engine import (
     CHECKPOINT_FORMAT,
     CHECKPOINT_KIND,
@@ -21,6 +22,7 @@ __all__ = [
     "CHECKPOINT_KIND",
     "Engine",
     "EpochSession",
+    "InvalidWindowError",
     "LastK",
     "WindowLike",
     "last",

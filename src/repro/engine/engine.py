@@ -320,6 +320,29 @@ class Engine:
             return finalize(state)
         return self._protocol.server(state=state).finalize()
 
+    def with_postprocess(self, postprocess) -> "Engine":
+        """A view of this engine under a different post-processing pipeline.
+
+        Post-processing runs at assembly (finalize) time only, so an
+        existing service can be re-finalized under any pipeline without
+        re-ingesting a single report.  ``postprocess`` is a registry
+        string (``"none"``, ``"norm_sub"``, ``"consistency+norm_sub"``,
+        ...); the returned engine shares the live shards of every epoch
+        existing at call time (ingest into those through either view and
+        both see the reports) but finalizes its estimators through the new
+        pipeline.  This is what the CLI's ``engine query --postprocess``
+        uses.
+        """
+        spec = self.spec()
+        spec["postprocess"] = postprocess
+        clone = Engine(protocol_from_spec(spec))
+        for epoch in self.epochs:
+            # Adopt the live shard itself (not a copy): states are
+            # exchangeable across postprocess settings because the
+            # pipeline never touches the sufficient statistics.
+            clone.adopt_state(self._servers[epoch].state, epoch=epoch)
+        return clone
+
     def simulate(self, true_counts: np.ndarray, rng: RngLike = None):
         """Statistically equivalent aggregate simulation (Section 5).
 

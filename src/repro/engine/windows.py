@@ -5,12 +5,15 @@ Three spellings are accepted everywhere a ``window=`` parameter appears:
 
 * :data:`ALL` (or the string ``"all"``, or ``None``) -- every epoch;
 * :func:`last` (or a bare positive ``int`` ``k``) -- the ``k`` most recent
-  epochs in epoch-key order (fewer if the engine holds fewer);
+  epochs in epoch-key order;
 * an explicit iterable of epoch keys -- exactly those epochs.
 
 Resolution always returns epoch keys in ascending order, so the merge that
 materialises a window is deterministic regardless of how the window was
-spelled.
+spelled.  Malformed or unsatisfiable selections -- empty windows, unknown
+epoch keys, a ``last:K`` asking for more epochs than exist -- raise
+:class:`~repro.core.exceptions.InvalidWindowError`, which is both a
+``ProtocolUsageError`` and a ``ValueError`` (never a bare ``KeyError``).
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Union
 
-from repro.core.exceptions import ProtocolUsageError
+from repro.core.exceptions import InvalidWindowError
 
 #: Sentinel selecting every epoch (the default window).
 ALL = "all"
@@ -32,7 +35,7 @@ class LastK:
 
     def __post_init__(self) -> None:
         if int(self.k) < 1:
-            raise ProtocolUsageError(
+            raise InvalidWindowError(
                 f"a last-k window needs k >= 1 epochs, got {self.k}"
             )
         object.__setattr__(self, "k", int(self.k))
@@ -51,27 +54,33 @@ def resolve_window(window: WindowLike, epochs: Sequence[int]) -> List[int]:
 
     ``epochs`` must already be in ascending order (the engine guarantees
     this).  Returns the selected keys in ascending order; raises
-    :class:`~repro.core.exceptions.ProtocolUsageError` for unknown epochs,
-    malformed windows, or a selection that is empty because the engine has
-    no epochs at all.
+    :class:`~repro.core.exceptions.InvalidWindowError` (a
+    ``ProtocolUsageError`` *and* a ``ValueError``) for unknown epochs,
+    malformed or empty windows, a ``last:K`` window larger than the number
+    of held epochs, or a selection against an engine with no epochs at all.
     """
     epochs = list(epochs)
     if not epochs:
-        raise ProtocolUsageError(
+        raise InvalidWindowError(
             "the engine holds no epochs yet; open a session and ingest "
             "reports before querying"
         )
     if window is None or (isinstance(window, str) and window.lower() == ALL):
         return epochs
     if isinstance(window, LastK):
+        if window.k > len(epochs):
+            raise InvalidWindowError(
+                f"a last:{window.k} window needs {window.k} epochs but the "
+                f"engine holds only {len(epochs)}; available epochs: {epochs}"
+            )
         return epochs[-window.k :]
     if isinstance(window, bool):
         # bool is an int subclass; a True/False window is always a mistake.
-        raise ProtocolUsageError(f"invalid window {window!r}")
+        raise InvalidWindowError(f"invalid window {window!r}")
     if isinstance(window, int):
         return resolve_window(LastK(window), epochs)
     if isinstance(window, str):
-        raise ProtocolUsageError(
+        raise InvalidWindowError(
             f"unknown window string {window!r}; expected 'all', an int k "
             "(last k epochs), repro.engine.last(k), or an iterable of "
             "epoch keys"
@@ -79,13 +88,13 @@ def resolve_window(window: WindowLike, epochs: Sequence[int]) -> List[int]:
     try:
         requested = [int(epoch) for epoch in window]
     except (TypeError, ValueError) as exc:
-        raise ProtocolUsageError(f"invalid window {window!r}") from exc
+        raise InvalidWindowError(f"invalid window {window!r}") from exc
     if not requested:
-        raise ProtocolUsageError("an explicit window must name at least one epoch")
+        raise InvalidWindowError("an explicit window must name at least one epoch")
     available = set(epochs)
     missing = sorted(set(requested) - available)
     if missing:
-        raise ProtocolUsageError(
+        raise InvalidWindowError(
             f"window names unknown epoch(s) {missing}; available epochs: {epochs}"
         )
     selected = set(requested)
@@ -100,6 +109,10 @@ def parse_window(text: str) -> WindowLike:
     if text.startswith("last:"):
         try:
             return last(int(text[len("last:") :]))
+        except InvalidWindowError:
+            # A well-formed but unsatisfiable K (e.g. last:0): keep the
+            # specific message rather than reporting a parse failure.
+            raise
         except ValueError as exc:
             raise ValueError(f"malformed window {text!r}; expected last:K") from exc
     try:

@@ -15,6 +15,8 @@ from typing import Callable, Dict
 from repro.experiments.ablations import (
     format_ablation,
     run_consistency_ablation,
+    run_grid_postprocess_ablation,
+    run_postprocess_ablation,
     run_prefix_vs_range,
     run_sampling_vs_splitting,
 )
@@ -72,6 +74,14 @@ def _run_ablations(config) -> str:
         ),
         format_ablation(
             run_prefix_vs_range(config), "Ablation A3 -- prefix vs arbitrary ranges"
+        ),
+        format_ablation(
+            run_postprocess_ablation(config),
+            "Ablation A4 -- post-processing pipelines per family",
+        ),
+        format_ablation(
+            run_grid_postprocess_ablation(config),
+            "Ablation A4 (2-D) -- grid pipelines on rectangle workloads",
         ),
     ]
     return "\n\n".join(parts)

@@ -1,6 +1,6 @@
 """Ablation studies for the design choices the paper motivates analytically.
 
-Three ablations, one per design decision called out in DESIGN.md:
+Four ablations, one per design decision called out in DESIGN.md:
 
 * **A1 -- level sampling vs budget splitting** (Section 4.4).  The paper
   argues splitting the budget across levels costs a factor ``h`` more
@@ -9,6 +9,10 @@ Three ablations, one per design decision called out in DESIGN.md:
   should never hurt and helps most at large fan-outs and long ranges.
 * **A3 -- prefix vs arbitrary ranges** (Section 4.7).  Prefix queries touch
   only one fringe and should see roughly half the variance.
+* **A4 -- post-processing pipelines per family**.  The unified
+  :mod:`repro.core.postprocess` registry lets every family swap its
+  assembly-time clean-up; A4 sweeps the sensible pipelines of each 1-D
+  family (and the 2-D grid) on the same populations and workloads.
 """
 
 from __future__ import annotations
@@ -16,7 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.core.rng import ensure_rng
+import numpy as np
+
+from repro import make_protocol
+from repro.analysis.metrics import mean_squared_error
+from repro.core.rng import ensure_rng, spawn_rngs
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figure6 import build_prefix_evaluation
 from repro.experiments.runner import (
@@ -148,6 +156,135 @@ def run_prefix_vs_range(config: ExperimentConfig, rng=None) -> List[AblationRow]
                     mse=prefix_result.mse_mean,
                 )
             )
+    return rows
+
+
+#: Post-processing pipelines swept per 1-D family by A4.  The hierarchical
+#: variants start from the raw (consistency=False) protocol so every
+#: pipeline is measured against the same unprocessed estimates.
+POSTPROCESS_SWEEP = {
+    "flat": ("none", "clip", "norm_sub", "monotone_cdf"),
+    "hh": ("none", "consistency", "consistency+norm_sub", "least_squares"),
+    "haar": ("none", "haar_threshold"),
+}
+
+#: Domains where materialising the least-squares design matrix is cheap.
+_LEAST_SQUARES_DOMAIN_LIMIT = 2**9
+
+
+def run_postprocess_ablation(config: ExperimentConfig, rng=None) -> List[AblationRow]:
+    """A4: sweep the post-processing registry per 1-D protocol family.
+
+    Every variant of one family sees identical oracle randomness (the
+    pipeline runs after aggregation), so rows differ only by pipeline.
+    """
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    rows: List[AblationRow] = []
+    for domain_size in config.domain_sizes:
+        counts = cauchy_counts(
+            domain_size, config.n_users, config.center_fraction, rng=rng
+        )
+        frequencies = counts / counts.sum()
+        queries = build_range_workload(
+            domain_size, config.exhaustive_domain_limit, config.num_start_points
+        )
+        workload = WorkloadEvaluation.from_frequencies(queries, frequencies)
+        for family, pipelines in POSTPROCESS_SWEEP.items():
+            family_seed = int(rng.integers(0, 2**63))
+            for pipeline in pipelines:
+                if (
+                    "least_squares" in pipeline
+                    and domain_size > _LEAST_SQUARES_DOMAIN_LIMIT
+                ):
+                    continue
+                kwargs = {"postprocess": pipeline}
+                if family == "hh":
+                    kwargs.update(branching=4, oracle="oue", consistency=False)
+                elif family == "flat":
+                    kwargs.update(oracle="oue")
+                protocol = make_protocol(family, domain_size, config.epsilon, **kwargs)
+                # The same seed for every pipeline of one family: the
+                # pipeline runs after aggregation, so rows differ only by
+                # post-processing, never by oracle randomness.  (This
+                # re-runs the aggregate simulation per pipeline -- the
+                # simulation path samples estimates directly and holds no
+                # reusable accumulator state -- trading some redundant
+                # compute for one uniform evaluate_method loop.)
+                result = evaluate_method(
+                    protocol,
+                    counts,
+                    workload,
+                    config.repetitions,
+                    rng=np.random.default_rng(family_seed),
+                )
+                rows.append(
+                    AblationRow(
+                        label=f"{protocol.name}[{pipeline}]",
+                        domain_size=domain_size,
+                        mse=result.mse_mean,
+                    )
+                )
+    return rows
+
+
+def run_grid_postprocess_ablation(
+    config: ExperimentConfig,
+    rng=None,
+    grid_size: int = 16,
+) -> List[AblationRow]:
+    """A4 (2-D): grid pipelines on an axis-aligned rectangle workload.
+
+    The grid family answers rectangles, not scalar ranges, so it gets its
+    own small evaluation loop: a lattice rectangle workload over a
+    ``grid_size x grid_size`` domain, exact answers from the 2-D
+    histogram, full per-user protocol runs (the grid has no aggregate
+    simulation driver).
+    """
+    rng = ensure_rng(rng if rng is not None else config.seed)
+    n_users = min(config.n_users, 2**15)
+    # Correlated coordinates so the marginals carry real structure.
+    x_items = rng.integers(0, grid_size, size=n_users)
+    y_items = np.minimum(
+        grid_size - 1, x_items + rng.integers(0, max(2, grid_size // 4), size=n_users)
+    )
+    histogram = np.zeros((grid_size, grid_size))
+    np.add.at(histogram, (x_items, y_items), 1.0)
+    histogram /= n_users
+    # Every rectangle with corners on a grid_size/4-step lattice.
+    anchors = list(range(0, grid_size, max(1, grid_size // 4)))
+    rectangles = [
+        (xl, xr, yl, yr)
+        for xl in anchors
+        for xr in [a + max(1, grid_size // 4) - 1 for a in anchors]
+        if xl <= xr
+        for yl in anchors
+        for yr in [a + max(1, grid_size // 4) - 1 for a in anchors]
+        if yl <= yr
+    ]
+    truths = np.asarray(
+        [
+            histogram[xl : xr + 1, yl : yr + 1].sum()
+            for xl, xr, yl, yr in rectangles
+        ]
+    )
+    arrays = [np.asarray(col, np.int64) for col in zip(*rectangles)]
+    rows: List[AblationRow] = []
+    for pipeline in ("none", "clip", "grid_consistency"):
+        protocol = make_protocol(
+            "grid2d", grid_size, config.epsilon, branching=2, postprocess=pipeline
+        )
+        errors = []
+        for repetition_rng in spawn_rngs(config.seed, config.repetitions):
+            estimator = protocol.run(x_items, y_items, rng=repetition_rng)
+            estimates = estimator.rectangle_queries(*arrays)
+            errors.append(mean_squared_error(estimates, truths))
+        rows.append(
+            AblationRow(
+                label=f"{protocol.name}[{pipeline}]",
+                domain_size=grid_size,
+                mse=float(np.mean(errors)),
+            )
+        )
     return rows
 
 

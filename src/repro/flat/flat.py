@@ -27,6 +27,7 @@ from repro.core.decomposition import (
     IdentityDecomposition,
 )
 from repro.core.exceptions import ProtocolUsageError
+from repro.core.postprocess import FREQUENCIES, PipelineLike, resolve_postprocess
 from repro.core.protocol import RangeQueryEstimator
 from repro.core.session import (
     AccumulatorState,
@@ -80,6 +81,11 @@ class FlatRangeQuery(DecomposedRangeQueryProtocol):
         Optional chunk size for the OLH decoding loop (an execution knob
         only; it never changes results and is not part of the protocol
         spec).  Only valid with ``oracle="olh"``.
+    postprocess:
+        Post-processing pipeline applied to the debiased frequencies at
+        assembly time: a registry string (``"none"``, ``"clip"``,
+        ``"norm_sub"``, ``"monotone_cdf"``, ``"+"``-combinable) or a
+        :class:`~repro.core.postprocess.PostPipeline`.  Default: none.
     """
 
     def __init__(
@@ -88,6 +94,7 @@ class FlatRangeQuery(DecomposedRangeQueryProtocol):
         epsilon: float,
         oracle: str = "oue",
         aggregation_chunk: Optional[int] = None,
+        postprocess: PipelineLike = None,
     ) -> None:
         super().__init__(domain_size, epsilon)
         self._oracle_name = oracle.strip().lower()
@@ -96,12 +103,20 @@ class FlatRangeQuery(DecomposedRangeQueryProtocol):
                 "aggregation_chunk is only supported by the 'olh' oracle"
             )
         self._aggregation_chunk = aggregation_chunk
+        # Validate eagerly so bad pipeline strings fail at construction.
+        self._pipeline = resolve_postprocess(postprocess, FREQUENCIES)
+        self._postprocess_arg = None if postprocess is None else self._pipeline.spec
         self.name = f"Flat{self._oracle_name.upper()}"
 
     @property
     def oracle_name(self) -> str:
         """Handle of the underlying frequency oracle."""
         return self._oracle_name
+
+    @property
+    def postprocess(self) -> Optional[str]:
+        """Registry spelling of the post-processing pipeline (None = none)."""
+        return self._postprocess_arg
 
     def _make_oracle(self):
         kwargs = {}
@@ -110,7 +125,9 @@ class FlatRangeQuery(DecomposedRangeQueryProtocol):
         return make_oracle(self._oracle_name, self.domain_size, self.epsilon, **kwargs)
 
     def _build_decomposition(self) -> IdentityDecomposition:
-        return IdentityDecomposition(self.domain, self._make_oracle)
+        return IdentityDecomposition(
+            self.domain, self._make_oracle, postprocess=self._pipeline
+        )
 
     def client(self) -> FlatClient:
         return FlatClient(self)
@@ -119,12 +136,17 @@ class FlatRangeQuery(DecomposedRangeQueryProtocol):
         return FlatServer(self, state)
 
     def spec(self) -> dict:
-        return {
+        spec = {
             "name": "flat",
             "domain_size": self.domain_size,
             "epsilon": self.epsilon,
             "oracle": self._oracle_name,
         }
+        if self._postprocess_arg is not None:
+            # Written only when set, so pre-pipeline specs (and the states
+            # that embed them) stay byte-identical.
+            spec["postprocess"] = self._postprocess_arg
+        return spec
 
     def theoretical_range_variance(self, range_length: int, n_users: int) -> float:
         """Fact 1: ``Var = r * V_F``."""

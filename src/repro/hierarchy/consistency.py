@@ -25,28 +25,30 @@ reduces the children's error.
 The result is the best linear unbiased estimator subject to the tree
 constraints (Gauss-Markov, Lemma 4.6), reducing the per-node variance by a
 factor of at least ``B / (B + 1)``.
+
+.. deprecated::
+    The math now lives in :mod:`repro.core.postprocess` as the
+    ``TreeWeightedAveraging`` / ``TreeMeanConsistency`` processors of the
+    unified post-processing pipeline (registry token ``"consistency"``).
+    :func:`weighted_averaging` and :func:`mean_consistency` remain as thin
+    aliases; :func:`enforce_consistency` additionally emits a
+    ``DeprecationWarning`` pointing at the pipeline API.  Behavior is
+    bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import warnings
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-
-def _validate_levels(level_values: Sequence[np.ndarray], branching: int) -> List[np.ndarray]:
-    if branching < 2:
-        raise ValueError(f"branching factor must be >= 2, got {branching}")
-    levels = [np.array(values, dtype=np.float64, copy=True) for values in level_values]
-    if not levels:
-        raise ValueError("level_values must contain at least the root level")
-    for depth, values in enumerate(levels):
-        expected = branching ** depth
-        if len(values) != expected:
-            raise ValueError(
-                f"level {depth} must have {expected} nodes, got {len(values)}"
-            )
-    return levels
+from repro.core.postprocess import (
+    _validate_tree_levels,
+    tree_enforce_consistency,
+    tree_mean_consistency,
+    tree_weighted_averaging,
+)
 
 
 def weighted_averaging(
@@ -54,78 +56,46 @@ def weighted_averaging(
 ) -> List[np.ndarray]:
     """Stage 1: bottom-up weighted averaging of node estimates.
 
-    ``level_values[0]`` is the root, ``level_values[-1]`` the leaves.
-    Returns a new list; the input is not modified.
+    Alias of :func:`repro.core.postprocess.tree_weighted_averaging` (the
+    canonical home of the math since the pipeline unification).
     """
-    levels = _validate_levels(level_values, branching)
-    height = len(levels) - 1
-    b = float(branching)
-    # Walk from the last internal level up to the root.  A node at level
-    # ``depth`` has paper-height i = height - depth + 1 (leaves have i = 1).
-    for depth in range(height - 1, -1, -1):
-        i = height - depth + 1
-        child_sums = levels[depth + 1].reshape(-1, branching).sum(axis=1)
-        numerator_self = b**i - b ** (i - 1)
-        numerator_children = b ** (i - 1) - 1.0
-        denominator = b**i - 1.0
-        # In-place update (the levels are private copies): one temporary
-        # instead of three per level.
-        values = levels[depth]
-        values *= numerator_self
-        child_sums *= numerator_children
-        values += child_sums
-        values /= denominator
-    return levels
+    return tree_weighted_averaging(level_values, branching)
 
 
 def mean_consistency(
     level_values: Sequence[np.ndarray],
     branching: int,
-    root_value: float = None,
+    root_value: Optional[float] = None,
 ) -> List[np.ndarray]:
     """Stage 2: top-down redistribution of parent/children residuals.
 
-    If ``root_value`` is given the root is pinned to that value first (the
-    hierarchical-histogram protocol passes ``1.0`` because fractions over
-    the whole population must sum to one).
+    Alias of :func:`repro.core.postprocess.tree_mean_consistency` (the
+    canonical home of the math since the pipeline unification).
     """
-    levels = _validate_levels(level_values, branching)
-    if root_value is not None:
-        levels[0] = np.array([float(root_value)])
-    height = len(levels) - 1
-    for depth in range(1, height + 1):
-        child_sums = levels[depth].reshape(-1, branching).sum(axis=1)
-        residual = (levels[depth - 1] - child_sums) / branching
-        # Broadcast the per-parent residual onto the children in place.
-        levels[depth].reshape(-1, branching)[...] += residual[:, None]
-    return levels
+    return tree_mean_consistency(level_values, branching, root_value=root_value)
 
 
 def enforce_consistency(
     level_values: Sequence[np.ndarray],
     branching: int,
-    root_value: float = 1.0,
+    root_value: Optional[float] = 1.0,
 ) -> List[np.ndarray]:
-    """Full two-stage constrained inference (Stage 1 then Stage 2).
+    """Deprecated alias of the ``"consistency"`` post-processing pipeline.
 
-    Parameters
-    ----------
-    level_values:
-        Per-level node estimates, root first.
-    branching:
-        Tree fan-out ``B``.
-    root_value:
-        Known exact value of the root, or ``None`` to keep the averaged
-        root.  The LDP protocol uses ``1.0``.
-
-    Returns
-    -------
-    list of numpy.ndarray
-        Adjusted estimates with every parent equal to the sum of its
-        children (up to floating point error).
+    Use ``postprocess="consistency"`` on the protocol (or
+    :func:`repro.core.postprocess.tree_enforce_consistency` for the bare
+    math).  Behavior is unchanged: Stage 1 then Stage 2 with the root
+    pinned to ``root_value``.
     """
-    averaged = weighted_averaging(level_values, branching)
-    return mean_consistency(averaged, branching, root_value=root_value)
+    warnings.warn(
+        "repro.hierarchy.consistency.enforce_consistency is deprecated; use "
+        "the unified post-processing pipeline (protocol postprocess="
+        "'consistency', or repro.core.postprocess.tree_enforce_consistency "
+        "for the bare math) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return tree_enforce_consistency(level_values, branching, root_value=root_value)
 
 
 def consistency_violation(level_values: Sequence[np.ndarray], branching: int) -> float:
@@ -134,7 +104,7 @@ def consistency_violation(level_values: Sequence[np.ndarray], branching: int) ->
     Useful in tests and as a sanity check after post-processing (should be
     at floating-point noise level).
     """
-    levels = _validate_levels(level_values, branching)
+    levels = _validate_tree_levels(level_values, branching)
     worst = 0.0
     for depth in range(len(levels) - 1):
         child_sums = levels[depth + 1].reshape(-1, branching).sum(axis=1)

@@ -29,6 +29,12 @@ from repro.core.decomposition import (
     DecomposedRangeQueryProtocol,
 )
 from repro.core.exceptions import ProtocolUsageError
+from repro.core.postprocess import (
+    TREE,
+    PipelineLike,
+    resolve_postprocess,
+    tree_enforce_consistency,
+)
 from repro.core.protocol import RangeQueryEstimator, RangeLike, _as_range
 from repro.core.session import (
     AccumulatorState,
@@ -38,7 +44,6 @@ from repro.core.session import (
 from repro.core.types import Domain
 from repro.frequency_oracles import make_oracle
 from repro.frequency_oracles.base import standard_oracle_variance
-from repro.hierarchy.consistency import enforce_consistency
 from repro.hierarchy.tree import DomainTree
 
 #: Level-allocation strategies.  ``"sample"`` is the paper's protocol;
@@ -118,16 +123,27 @@ class HierarchicalEstimator(RangeQueryEstimator):
     # post-processing
     # ------------------------------------------------------------------ #
     def with_consistency(self) -> "HierarchicalEstimator":
-        """Return a new estimator with constrained inference applied."""
+        """Return a new estimator with constrained inference applied.
+
+        Idempotent: a consistent estimator returns itself unchanged, so
+        chained calls never re-run (or drift) the inference.  The returned
+        estimator starts with every query cache (prefix sums, per-level
+        prefix sums, monotone CDF) explicitly invalidated, so batch range
+        queries after post-processing can never read stale caches.
+        """
         if self._consistent:
             return self
-        adjusted = enforce_consistency(self._levels, self.branching, root_value=1.0)
-        return HierarchicalEstimator(
+        adjusted = tree_enforce_consistency(
+            self._levels, self.branching, root_value=1.0
+        )
+        estimator = HierarchicalEstimator(
             self._tree,
             adjusted,
             consistent=True,
             level_user_counts=self._level_user_counts,
         )
+        estimator.invalidate_cache()
+        return estimator
 
     # ------------------------------------------------------------------ #
     # queries
@@ -248,6 +264,14 @@ class HierarchicalHistogram(DecomposedRangeQueryProtocol):
         Optional chunk size for the OLH decoding loop (an execution knob
         only; it never changes results and is not part of the protocol
         spec).  Only valid with ``oracle="olh"``.
+    postprocess:
+        Explicit post-processing pipeline applied to the per-level
+        estimates at assembly time -- a registry string (``"none"``,
+        ``"consistency"``, ``"consistency+norm_sub"``, ``"least_squares"``,
+        ...) or a :class:`~repro.core.postprocess.PostPipeline`.  When
+        given it overrides the ``consistency`` boolean; the default
+        (``None``) maps ``consistency=True`` to the equivalent
+        ``"consistency"`` pipeline, bit-identical to the legacy behavior.
     """
 
     def __init__(
@@ -260,6 +284,7 @@ class HierarchicalHistogram(DecomposedRangeQueryProtocol):
         level_strategy: str = "sample",
         level_probabilities: Optional[Sequence[float]] = None,
         aggregation_chunk: Optional[int] = None,
+        postprocess: PipelineLike = None,
     ) -> None:
         super().__init__(domain_size, epsilon)
         if level_strategy not in LEVEL_STRATEGIES:
@@ -273,7 +298,18 @@ class HierarchicalHistogram(DecomposedRangeQueryProtocol):
                 "aggregation_chunk is only supported by the 'olh' oracle"
             )
         self._aggregation_chunk = aggregation_chunk
-        self._consistency = bool(consistency)
+        # Validate eagerly so bad pipeline strings fail at construction.
+        # An explicit pipeline overrides the consistency boolean; the
+        # reported flag (and the "CI" name suffix, and the variance bound)
+        # then follow what the pipeline actually establishes, so callers
+        # never see consistency=True on an estimator that is not.
+        if postprocess is not None:
+            pipeline = resolve_postprocess(postprocess, TREE)
+            self._postprocess_arg = pipeline.spec
+            self._consistency = pipeline.tree_consistent()
+        else:
+            self._postprocess_arg = None
+            self._consistency = bool(consistency)
         self._level_strategy = level_strategy
         # Keep the caller's raw argument so spec() can rebuild an identical
         # protocol (re-normalizing resolved values would drift by ulps).
@@ -327,8 +363,19 @@ class HierarchicalHistogram(DecomposedRangeQueryProtocol):
 
     @property
     def consistency(self) -> bool:
-        """Whether constrained inference is applied."""
+        """Whether the assembled estimator is tree-consistent.
+
+        With an explicit ``postprocess`` pipeline this is derived from the
+        pipeline (e.g. ``"consistency"`` -> True, ``"none"`` or
+        ``"consistency+norm_sub"`` -> False) rather than the constructor
+        boolean, so it always describes the estimator actually produced.
+        """
         return self._consistency
+
+    @property
+    def postprocess(self) -> Optional[str]:
+        """Explicit pipeline spelling, or ``None`` (= the consistency flag)."""
+        return self._postprocess_arg
 
     @property
     def level_strategy(self) -> str:
@@ -363,6 +410,7 @@ class HierarchicalHistogram(DecomposedRangeQueryProtocol):
             self._level_probabilities,
             level_strategy=self._level_strategy,
             consistency=self._consistency,
+            postprocess=self._postprocess_arg,
         )
 
     def client(self) -> HierarchicalClient:
@@ -372,7 +420,7 @@ class HierarchicalHistogram(DecomposedRangeQueryProtocol):
         return HierarchicalServer(self, state)
 
     def spec(self) -> dict:
-        return {
+        spec = {
             "name": "hh",
             "domain_size": self.domain_size,
             "epsilon": self.epsilon,
@@ -382,6 +430,11 @@ class HierarchicalHistogram(DecomposedRangeQueryProtocol):
             "level_strategy": self._level_strategy,
             "level_probabilities": self._level_probabilities_arg,
         }
+        if self._postprocess_arg is not None:
+            # Written only when set, so pre-pipeline specs (and the states
+            # that embed them) stay byte-identical.
+            spec["postprocess"] = self._postprocess_arg
+        return spec
 
     # ------------------------------------------------------------------ #
     # theory

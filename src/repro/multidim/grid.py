@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.decomposition import DecompositionRoles, Grid2DDecomposition
 from repro.core.exceptions import InvalidRangeError, ProtocolUsageError
+from repro.core.postprocess import GRID, PipelineLike, resolve_postprocess
 from repro.core.rng import RngLike, ensure_rng
 from repro.core.session import (
     AccumulatorState,
@@ -189,6 +190,11 @@ class HierarchicalGrid2D(DecompositionRoles):
         Fan-out of both per-axis trees.
     oracle:
         Frequency-oracle handle used for the node-pair report.
+    postprocess:
+        Post-processing pipeline applied to the level-pair grids at
+        assembly time -- ``"none"`` (default), ``"clip"``, ``"norm_sub"``,
+        or ``"grid_consistency"`` (reconcile each grid against shared
+        per-axis marginals), ``"+"``-combinable.
     """
 
     def __init__(
@@ -198,6 +204,7 @@ class HierarchicalGrid2D(DecompositionRoles):
         epsilon: float,
         branching: int = 2,
         oracle: str = "hrr",
+        postprocess: PipelineLike = None,
     ) -> None:
         self._domain_x = Domain(int(domain_size_x))
         self._domain_y = Domain(int(domain_size_y))
@@ -205,6 +212,9 @@ class HierarchicalGrid2D(DecompositionRoles):
         self._tree_x = DomainTree(self._domain_x.size, branching)
         self._tree_y = DomainTree(self._domain_y.size, branching)
         self._oracle_name = oracle.strip().lower()
+        # Validate eagerly so bad pipeline strings fail at construction.
+        self._pipeline = resolve_postprocess(postprocess, GRID)
+        self._postprocess_arg = None if postprocess is None else self._pipeline.spec
         self.name = f"Grid2D{self._oracle_name.upper()}"
 
     @classmethod
@@ -215,6 +225,7 @@ class HierarchicalGrid2D(DecompositionRoles):
         domain_size_y: Optional[int] = None,
         branching: int = 2,
         oracle: str = "hrr",
+        postprocess: PipelineLike = None,
     ) -> "HierarchicalGrid2D":
         """Registry adapter: ``make_protocol`` passes one leading domain size.
 
@@ -224,7 +235,7 @@ class HierarchicalGrid2D(DecompositionRoles):
         """
         if domain_size_y is None:
             domain_size_y = domain_size
-        return cls(domain_size, domain_size_y, epsilon, branching, oracle)
+        return cls(domain_size, domain_size_y, epsilon, branching, oracle, postprocess)
 
     @property
     def epsilon(self) -> float:
@@ -251,6 +262,11 @@ class HierarchicalGrid2D(DecompositionRoles):
         """Handle of the node-pair frequency oracle."""
         return self._oracle_name
 
+    @property
+    def postprocess(self) -> Optional[str]:
+        """Registry spelling of the post-processing pipeline (None = none)."""
+        return self._postprocess_arg
+
     def _level_pairs(self) -> List[Tuple[int, int]]:
         return self.decomposition().level_pairs
 
@@ -259,7 +275,11 @@ class HierarchicalGrid2D(DecompositionRoles):
     # ------------------------------------------------------------------ #
     def _build_decomposition(self) -> Grid2DDecomposition:
         return Grid2DDecomposition(
-            self._tree_x, self._tree_y, self.epsilon, self._oracle_name
+            self._tree_x,
+            self._tree_y,
+            self.epsilon,
+            self._oracle_name,
+            postprocess=self._pipeline,
         )
 
     def client(self) -> Grid2DClient:
@@ -269,7 +289,7 @@ class HierarchicalGrid2D(DecompositionRoles):
         return Grid2DServer(self, state)
 
     def spec(self) -> dict:
-        return {
+        spec = {
             "name": "grid2d",
             "domain_size": self.domain_size_x,
             "epsilon": self.epsilon,
@@ -277,6 +297,11 @@ class HierarchicalGrid2D(DecompositionRoles):
             "branching": self.branching,
             "oracle": self._oracle_name,
         }
+        if self._postprocess_arg is not None:
+            # Written only when set, so pre-pipeline specs (and the states
+            # that embed them) stay byte-identical.
+            spec["postprocess"] = self._postprocess_arg
+        return spec
 
     def run(
         self, items_x: np.ndarray, items_y: np.ndarray, rng: RngLike = None

@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.postprocess import MonotoneCdf
 from repro.core.protocol import RangeQueryEstimator
 
 
@@ -35,11 +36,12 @@ def monotone_cdf(estimator: RangeQueryEstimator) -> np.ndarray:
 
     Isotonic-style clean-up is a valid post-processing step under LDP (it
     only touches the already-privatized output) and is what the quantile
-    search uses internally.
+    search uses internally.  Delegates to the
+    :class:`~repro.core.postprocess.MonotoneCdf` processor of the unified
+    post-processing pipeline; the estimator's own cached monotone-CDF fast
+    path (used by batch quantile queries) is unaffected.
     """
-    cdf = estimator.cdf()
-    cdf = np.maximum.accumulate(cdf)
-    return np.clip(cdf, 0.0, 1.0)
+    return MonotoneCdf.monotonize(estimator.cdf(), clip=True)
 
 
 def prefix_variance_reduction_factor() -> float:

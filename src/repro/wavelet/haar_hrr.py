@@ -34,6 +34,7 @@ from repro.core.decomposition import (
     DecomposedRangeQueryProtocol,
     HaarDecomposition,
 )
+from repro.core.postprocess import HAAR, PipelineLike, resolve_postprocess
 from repro.core.protocol import RangeQueryEstimator, RangeLike, _as_range
 from repro.core.session import (
     AccumulatorState,
@@ -150,6 +151,11 @@ class HaarHRR(DecomposedRangeQueryProtocol):
     level_probabilities:
         Optional sampling distribution over detail heights ``1..h``; uniform
         (the variance-optimal choice) by default.
+    postprocess:
+        Post-processing pipeline applied to the estimated coefficients at
+        assembly time -- ``"none"`` (default; the Haar representation is
+        consistent by construction) or ``"haar_threshold"`` (zero detail
+        coefficients below their noise floor before inversion).
     """
 
     name = "HaarHRR"
@@ -159,8 +165,12 @@ class HaarHRR(DecomposedRangeQueryProtocol):
         domain_size: int,
         epsilon: float,
         level_probabilities: Optional[np.ndarray] = None,
+        postprocess: PipelineLike = None,
     ) -> None:
         super().__init__(domain_size, epsilon)
+        # Validate eagerly so bad pipeline strings fail at construction.
+        self._pipeline = resolve_postprocess(postprocess, HAAR)
+        self._postprocess_arg = None if postprocess is None else self._pipeline.spec
         self._padded = next_power_of(2, self.domain_size)
         self._height = int(math.log2(self._padded)) if self._padded > 1 else 0
         if self._height == 0:
@@ -208,6 +218,11 @@ class HaarHRR(DecomposedRangeQueryProtocol):
     # ------------------------------------------------------------------ #
     # client / server roles
     # ------------------------------------------------------------------ #
+    @property
+    def postprocess(self) -> Optional[str]:
+        """Registry spelling of the post-processing pipeline (None = none)."""
+        return self._postprocess_arg
+
     def _build_decomposition(self) -> HaarDecomposition:
         return HaarDecomposition(
             self.domain,
@@ -216,6 +231,8 @@ class HaarHRR(DecomposedRangeQueryProtocol):
             self._height_oracle,
             self._level_probabilities,
             self._smooth_coefficient(),
+            postprocess=self._pipeline,
+            epsilon=self.epsilon,
         )
 
     def client(self) -> HaarClient:
@@ -225,12 +242,17 @@ class HaarHRR(DecomposedRangeQueryProtocol):
         return HaarServer(self, state)
 
     def spec(self) -> dict:
-        return {
+        spec = {
             "name": "haar",
             "domain_size": self.domain_size,
             "epsilon": self.epsilon,
             "level_probabilities": self._level_probabilities_arg,
         }
+        if self._postprocess_arg is not None:
+            # Written only when set, so pre-pipeline specs (and the states
+            # that embed them) stay byte-identical.
+            spec["postprocess"] = self._postprocess_arg
+        return spec
 
     # ------------------------------------------------------------------ #
     # theory

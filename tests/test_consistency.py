@@ -3,12 +3,14 @@
 import numpy as np
 import pytest
 
+from repro.core.postprocess import (
+    tree_enforce_consistency,
+    tree_mean_consistency,
+    tree_weighted_averaging,
+)
 from repro.hierarchy.consistency import (
     consistency_violation,
-    enforce_consistency,
-    mean_consistency,
     variance_reduction_factor,
-    weighted_averaging,
 )
 from repro.hierarchy.tree import DomainTree
 
@@ -24,7 +26,7 @@ class TestExactInputs:
     def test_exact_tree_is_untouched(self):
         counts = np.array([5.0, 3.0, 8.0, 4.0, 1.0, 9.0, 2.0, 8.0])
         levels = _exact_levels(counts, 2)
-        adjusted = enforce_consistency(levels, 2, root_value=1.0)
+        adjusted = tree_enforce_consistency(levels, 2, root_value=1.0)
         for before, after in zip(levels, adjusted):
             assert np.allclose(before, after)
 
@@ -46,12 +48,12 @@ class TestNoisyInputs:
     @pytest.mark.parametrize("branching", [2, 4, 8])
     def test_consistency_holds_after_postprocessing(self, branching):
         _, _, noisy = self._noisy_levels(branching, branching**3, seed=1)
-        adjusted = enforce_consistency(noisy, branching, root_value=1.0)
+        adjusted = tree_enforce_consistency(noisy, branching, root_value=1.0)
         assert consistency_violation(adjusted, branching) < 1e-9
 
     def test_root_pinned_to_one(self):
         _, _, noisy = self._noisy_levels(2, 16, seed=2)
-        adjusted = enforce_consistency(noisy, 2, root_value=1.0)
+        adjusted = tree_enforce_consistency(noisy, 2, root_value=1.0)
         assert adjusted[0][0] == pytest.approx(1.0)
         assert adjusted[-1].sum() == pytest.approx(1.0)
 
@@ -67,37 +69,37 @@ class TestNoisyInputs:
                 level + rng.normal(0, noise, size=len(level)) for level in exact
             ]
             noisy[0] = np.array([1.0])
-            adjusted = enforce_consistency(noisy, branching, root_value=1.0)
+            adjusted = tree_enforce_consistency(noisy, branching, root_value=1.0)
             raw_errors.append(np.mean((noisy[-1] - exact[-1]) ** 2))
             adjusted_errors.append(np.mean((adjusted[-1] - exact[-1]) ** 2))
         assert np.mean(adjusted_errors) < np.mean(raw_errors)
 
     def test_stage_functions_compose(self):
         _, _, noisy = self._noisy_levels(2, 16, seed=4)
-        averaged = weighted_averaging(noisy, 2)
-        final = mean_consistency(averaged, 2, root_value=1.0)
-        direct = enforce_consistency(noisy, 2, root_value=1.0)
+        averaged = tree_weighted_averaging(noisy, 2)
+        final = tree_mean_consistency(averaged, 2, root_value=1.0)
+        direct = tree_enforce_consistency(noisy, 2, root_value=1.0)
         for a, b in zip(final, direct):
             assert np.allclose(a, b)
 
     def test_mean_consistency_without_root_pin(self):
         _, _, noisy = self._noisy_levels(2, 8, seed=5)
-        adjusted = mean_consistency(noisy, 2, root_value=None)
+        adjusted = tree_mean_consistency(noisy, 2, root_value=None)
         assert consistency_violation(adjusted, 2) < 1e-9
 
 
 class TestValidation:
     def test_wrong_level_sizes_rejected(self):
         with pytest.raises(ValueError):
-            enforce_consistency([np.array([1.0]), np.array([0.5, 0.3, 0.2])], 2)
+            tree_enforce_consistency([np.array([1.0]), np.array([0.5, 0.3, 0.2])], 2)
 
     def test_empty_levels_rejected(self):
         with pytest.raises(ValueError):
-            enforce_consistency([], 2)
+            tree_enforce_consistency([], 2)
 
     def test_bad_branching_rejected(self):
         with pytest.raises(ValueError):
-            enforce_consistency([np.array([1.0])], 1)
+            tree_enforce_consistency([np.array([1.0])], 1)
 
     def test_variance_reduction_factor(self):
         assert variance_reduction_factor(2) == pytest.approx(2 / 3)

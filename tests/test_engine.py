@@ -27,7 +27,7 @@ from repro.core.serialization import (
     blob_version,
     pack_blob,
 )
-from repro.engine import Engine, last, parse_window, resolve_window
+from repro.engine import Engine, InvalidWindowError, last, parse_window, resolve_window
 
 
 def _check(case, actual, expected):
@@ -177,7 +177,7 @@ class TestWindows:
         assert resolve_window(None, epochs) == [0, 1, 2, 3]
         assert resolve_window(2, epochs) == [2, 3]
         assert resolve_window(last(3), epochs) == [1, 2, 3]
-        assert resolve_window(last(99), epochs) == [0, 1, 2, 3]
+        assert resolve_window(last(4), epochs) == [0, 1, 2, 3]
         assert resolve_window([3, 0], epochs) == [0, 3]  # ascending, dedup order
         assert engine.n_reports(last(2)) == 400
 
@@ -201,6 +201,8 @@ class TestWindows:
             engine.estimator(window=[])
         with pytest.raises(ProtocolUsageError, match="k >= 1"):
             engine.estimator(window=last(0))
+        with pytest.raises(ProtocolUsageError, match="holds only 4"):
+            engine.estimator(window=last(99))
         with pytest.raises(ProtocolUsageError, match="unknown window string"):
             engine.estimator(window="yesterday")
         with pytest.raises(ProtocolUsageError, match="invalid window"):
@@ -213,6 +215,25 @@ class TestWindows:
         assert empty.n_reports([0]) == 0
         with pytest.raises(ProtocolUsageError, match="no epochs"):
             empty.estimator()
+
+    def test_window_errors_are_clean_value_errors(self):
+        """Malformed windows raise ValueError subclasses, never KeyError.
+
+        The three contract cases: empty selections, unknown epoch keys,
+        and last:K with K larger than the number of held epochs.
+        """
+        engine = self._engine()  # epochs 0..3
+        for window in ([], [0, 9], last(5), "yesterday"):
+            with pytest.raises(ValueError):
+                engine.estimator(window=window)
+        with pytest.raises(InvalidWindowError):
+            engine.window_state(last(99))
+        try:
+            engine.estimator(window=[7])
+        except KeyError:  # pragma: no cover - the defect this test pins
+            raise AssertionError("unknown epochs must not raise KeyError")
+        except ValueError:
+            pass
 
     def test_parse_window_cli_forms(self):
         assert parse_window("all") == "all"

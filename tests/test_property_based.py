@@ -14,7 +14,8 @@ from hypothesis import strategies as st
 from repro.core.types import RangeSpec, is_power_of, next_power_of
 from repro.frequency_oracles.hadamard import fwht, hadamard_matrix, ifwht
 from repro.hierarchy.badic import badic_decomposition, decomposition_size_bound, is_badic
-from repro.hierarchy.consistency import consistency_violation, enforce_consistency
+from repro.core.postprocess import tree_enforce_consistency
+from repro.hierarchy.consistency import consistency_violation
 from repro.hierarchy.tree import DomainTree
 from repro.wavelet.haar import (
     evaluate_range_from_coefficients,
@@ -118,7 +119,7 @@ class TestConsistencyProperties:
         levels = [
             rng.normal(0.5, 0.2, size=branching**depth) for depth in range(height + 1)
         ]
-        adjusted = enforce_consistency(levels, branching, root_value=1.0)
+        adjusted = tree_enforce_consistency(levels, branching, root_value=1.0)
         assert consistency_violation(adjusted, branching) < 1e-8
         assert adjusted[0][0] == pytest.approx(1.0)
 
@@ -137,7 +138,7 @@ class TestConsistencyProperties:
             tree.level_histogram(counts, level) / counts.sum()
             for level in range(tree.num_levels)
         ]
-        adjusted = enforce_consistency(levels, branching, root_value=1.0)
+        adjusted = tree_enforce_consistency(levels, branching, root_value=1.0)
         for before, after in zip(levels, adjusted):
             assert np.allclose(before, after, atol=1e-9)
 
