@@ -79,6 +79,37 @@ client/server session path, and pre-engine v1 state files restore as
 single-epoch engines.  The CLI mirrors the façade with
 ``engine checkpoint`` / ``engine query`` / ``engine info`` subcommands.
 
+The network-facing service
+--------------------------
+
+:mod:`repro.service` puts an asyncio HTTP gateway in front of the engine
+and fans ingest out to shard worker *processes* -- because accumulators
+merge exactly, the sharding is unobservable in the estimates.  Serve and
+drive it straight from the CLI (stdlib only, no extra dependencies)::
+
+    python -m repro.cli serve --method hh --domain-size 1024 \\
+        --epsilon 1.1 --workers 4 --port 8377 --checkpoint service.ckpt
+    python -m repro.cli loadgen --url http://127.0.0.1:8377 --users 50000
+
+or in-process for tests and notebooks::
+
+    from repro.service import AggregationService, ServiceThread, request_json
+
+    service = AggregationService({"name": "hh", "domain_size": 1024,
+                                  "epsilon": 1.1}, num_workers=4)
+    with ServiceThread(service) as handle:
+        # POST framed batches to handle.url + "/ingest", then:
+        answer = request_json(handle.url + "/query?ranges=100:400")
+
+``POST /ingest`` accepts the framed report-batch container
+(:func:`repro.core.serialization.pack_report_batch` -- the same bytes
+``encode --output -`` pipes to stdout), ``POST /close`` seals the epoch
+by merging every shard into the engine, ``GET /query`` answers windowed
+range/quantile/frequency queries (``postprocess=`` re-finalizes), and
+checkpoints flush on a configurable epoch cadence plus graceful
+shutdown.  ``benchmarks/bench_service.py`` records sustained ingest
+throughput, p99 latency and crash-recovery time in ``BENCH_service.json``.
+
 Post-processing pipelines
 -------------------------
 
@@ -181,7 +212,7 @@ from repro.hierarchy import HierarchicalHistogram
 from repro.multidim import HierarchicalGrid2D
 from repro.wavelet import HaarHRR
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Protocol registry used by the experiment harness and the CLI.  Classes
 #: may expose a ``from_registry(domain_size, epsilon, **kwargs)`` adapter

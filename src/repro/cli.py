@@ -36,6 +36,18 @@ state-file juggling for long-running services (``aggregate`` and
   range/quantile/rectangle queries over a window of epochs
   (``--window all``, ``--window last:K``, or ``--window 0,2,5``).
 
+The service pair runs the same machinery over the network
+(:mod:`repro.service`):
+
+* ``repro-cli serve``   -- HTTP ingest gateway + shard worker processes,
+  epoch close on ``POST /close``, durable ``--checkpoint`` restore;
+* ``repro-cli loadgen`` -- drive a running gateway with synthetic
+  traffic and report sustained reports/second and latency percentiles.
+
+``encode`` and ``aggregate`` accept ``-`` for stdin/stdout (``encode
+--output -`` emits the service's framed-batch wire format), so the
+pipeline composes with shell pipes and ``curl``.
+
 Every registry handle (``flat``, ``hh``, ``haar`` / ``wavelet``,
 ``grid2d`` / ``grid``) round-trips through the sharded workflow.  The 2-D
 grid encodes two CSV columns (``--column`` / ``--column-y``, sized by
@@ -79,9 +91,16 @@ from repro import (
 from repro.analysis.metrics import mean_squared_error
 from repro.core.exceptions import ProtocolUsageError
 from repro.core.rng import ensure_rng
-from repro.core.serialization import SerializationError
+from repro.core.serialization import (
+    MAGIC_BATCH,
+    SerializationError,
+    pack_report_batch,
+    unpack_report_batch,
+)
 from repro.core.postprocess import available_pipelines
 from repro.core.session import (
+    Report,
+    load_report_bytes,
     load_report_file,
     protocol_from_spec,
     save_report_file,
@@ -158,12 +177,13 @@ def read_item_columns(
 ) -> np.ndarray:
     """Read integer columns from a CSV file (one row per user) in one pass.
 
-    Returns an ``(N, len(columns))`` ``int64`` array.
+    ``path`` may be ``"-"`` for standard input.  Returns an
+    ``(N, len(columns))`` ``int64`` array.
     """
-    rows: List[List[int]] = []
-    with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        for row_number, row in enumerate(reader):
+
+    def collect(handle) -> List[List[int]]:
+        rows: List[List[int]] = []
+        for row_number, row in enumerate(csv.reader(handle)):
             if has_header and row_number == 0:
                 continue
             if not row:
@@ -175,6 +195,13 @@ def read_item_columns(
                     f"could not read integers from columns {list(columns)} "
                     f"of line {row_number + 1}"
                 ) from exc
+        return rows
+
+    if path == "-":
+        rows = collect(sys.stdin)
+    else:
+        with open(path, newline="") as handle:
+            rows = collect(handle)
     if not rows:
         raise ValueError(f"no usable rows found in {path}")
     return np.asarray(rows, dtype=np.int64)
@@ -341,7 +368,13 @@ def _write_query_output(output: dict, args: argparse.Namespace) -> None:
 
 
 def command_encode(args: argparse.Namespace) -> int:
-    """Client side of the streaming pipeline: items -> report file(s)."""
+    """Client side of the streaming pipeline: items -> report file(s).
+
+    ``--input -`` reads the CSV from standard input; ``--output -``
+    writes one framed report batch (the service's ``POST /ingest``
+    payload, ``--shards`` reports as its frames) to standard output, so
+    ``encode`` pipes directly into ``aggregate`` or ``curl``.
+    """
     if _is_grid_method(args):
         items = read_item_columns(
             args.input, [args.column, args.column_y], has_header=args.has_header
@@ -357,6 +390,19 @@ def command_encode(args: argparse.Namespace) -> int:
     shards = int(args.shards)
     if shards < 1:
         raise SystemExit("--shards must be at least 1")
+    if args.output == "-":
+        reports = [
+            client.encode_batch(chunk, rng=rng)
+            for chunk in np.array_split(items, shards)
+        ]
+        sys.stdout.buffer.write(pack_report_batch(protocol, reports))
+        sys.stdout.buffer.flush()
+        print(
+            f"encoded {len(items)} users with {protocol.name} into a "
+            f"{len(reports)}-frame batch on stdout",
+            file=sys.stderr,
+        )
+        return 0
     paths = []
     for index, chunk in enumerate(np.array_split(items, shards)):
         report = client.encode_batch(chunk, rng=rng)
@@ -371,10 +417,45 @@ def command_encode(args: argparse.Namespace) -> int:
 
 
 def _spec_sans_postprocess(spec: Optional[dict]) -> Optional[dict]:
-    """A protocol spec with the (statistics-irrelevant) pipeline stripped."""
+    """A protocol spec with its assembly-time keys stripped.
+
+    ``postprocess`` (and the ``consistency`` flag it derives) only affect
+    finalize, never the accumulated statistics, so reports and shards are
+    exchangeable across those settings.
+    """
     if not isinstance(spec, dict):
         return spec
-    return {key: value for key, value in spec.items() if key != "postprocess"}
+    return {
+        key: value
+        for key, value in spec.items()
+        if key not in ("postprocess", "consistency")
+    }
+
+
+def _load_report_source(path: str):
+    """Yield ``(protocol, report)`` pairs from one report source.
+
+    ``path`` is a report file from ``encode``, or ``"-"`` for standard
+    input -- which additionally accepts a framed report batch (the
+    service wire format, as ``encode --output -`` emits), yielding one
+    pair per frame.
+    """
+    if path == "-":
+        data = sys.stdin.buffer.read()
+        if data.startswith(MAGIC_BATCH):
+            header, frames = unpack_report_batch(data)
+            spec = header.get("protocol")
+            if not isinstance(spec, dict):
+                raise SerializationError(
+                    "the framed batch on stdin carries no protocol spec"
+                )
+            protocol = protocol_from_spec(spec)
+            for frame in frames:
+                yield protocol, Report.from_bytes(frame)
+        else:
+            yield load_report_bytes(data, source="<stdin>")
+    else:
+        yield load_report_file(path)
 
 
 def _ingest_report_files(
@@ -393,29 +474,35 @@ def _ingest_report_files(
     ``postprocess`` key (post-processing never touches the accumulated
     statistics, so shards encoded under different pipelines are
     exchangeable; the first file's -- or the override's -- pipeline wins).
-    Returns ``(session, spec, n_reports_folded)``.
+    A path of ``"-"`` reads standard input (a report file or a framed
+    batch).  Returns ``(session, spec, n_reports_folded)``.
     """
     folded = 0
     for path in paths:
         try:
-            protocol, report = load_report_file(path)
-        except (OSError, SerializationError) as exc:
+            pairs = list(_load_report_source(path))
+        except (OSError, SerializationError, ValueError) as exc:
             raise SystemExit(f"could not load report file {path}: {exc}")
-        if session is None:
-            spec = protocol.spec()
-            if postprocess is not None:
-                try:
-                    protocol = protocol_from_spec({**spec, "postprocess": postprocess})
-                except ValueError as exc:
-                    raise SystemExit(str(exc))
-            session = Engine.open(protocol).session(epoch=epoch)
-        elif _spec_sans_postprocess(protocol.spec()) != _spec_sans_postprocess(spec):
-            raise SystemExit(
-                f"{path} was encoded with a different protocol configuration "
-                f"({protocol.spec()} != {spec})"
-            )
-        session.ingest(report)
-        folded += report.n_users
+        for protocol, report in pairs:
+            if session is None:
+                spec = protocol.spec()
+                if postprocess is not None:
+                    try:
+                        protocol = protocol_from_spec(
+                            {**spec, "postprocess": postprocess}
+                        )
+                    except ValueError as exc:
+                        raise SystemExit(str(exc))
+                session = Engine.open(protocol).session(epoch=epoch)
+            elif _spec_sans_postprocess(protocol.spec()) != _spec_sans_postprocess(
+                spec
+            ):
+                raise SystemExit(
+                    f"{path} was encoded with a different protocol configuration "
+                    f"({protocol.spec()} != {spec})"
+                )
+            session.ingest(report)
+            folded += report.n_users
     return session, spec, folded
 
 
@@ -425,7 +512,10 @@ def command_aggregate(args: argparse.Namespace) -> int:
     Thin wrapper over the engine façade: one single-epoch engine ingests
     every report file and its shard state is written in the classic v1
     layout, so downstream ``merge`` / ``engine checkpoint`` runs (and
-    pre-engine tooling) consume it unchanged.
+    pre-engine tooling) consume it unchanged.  ``--reports -`` reads a
+    report file or framed batch from standard input; ``--output -``
+    writes the state bytes to standard output, so the whole pipeline
+    composes with shell pipes.
     """
     session, _, _ = _ingest_report_files(
         args.reports, None, None, postprocess=getattr(args, "postprocess", None)
@@ -435,10 +525,17 @@ def command_aggregate(args: argparse.Namespace) -> int:
     # Classic layout: strip the engine's epoch annotation so the output
     # stays byte-identical to a plain single-server aggregation.
     session.server.state.meta.clear()
-    save_server_file(args.output, session.server)
+    if args.output == "-":
+        sys.stdout.buffer.write(session.server.to_bytes())
+        sys.stdout.buffer.flush()
+        destination, status_stream = "stdout", sys.stderr
+    else:
+        save_server_file(args.output, session.server)
+        destination, status_stream = args.output, sys.stdout
     print(
         f"aggregated {session.n_reports} reports from {len(args.reports)} "
-        f"file(s) into {args.output}"
+        f"file(s) into {destination}",
+        file=status_stream,
     )
     return 0
 
@@ -658,6 +755,108 @@ def command_compare(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- #
 # argument parsing
 # --------------------------------------------------------------------- #
+def command_serve(args: argparse.Namespace) -> int:
+    """Run the network-facing aggregation service (gateway + workers).
+
+    With ``--checkpoint`` pointing at an existing file the service
+    resumes from it (ignoring the protocol flags -- the checkpoint *is*
+    the configuration); otherwise a fresh engine is built from
+    ``--method``/``--domain-size``/``--epsilon`` and the checkpoint file,
+    if requested, is created on the first epoch close.  SIGINT/SIGTERM
+    trigger a graceful shutdown: the in-progress epoch is closed, a final
+    checkpoint written, and the workers quit cleanly.
+    """
+    import asyncio
+    import signal
+
+    # Deferred import: the service layer is optional machinery the rest
+    # of the CLI never pays for (and it imports cli's query grammar).
+    from repro.service import AggregationService
+
+    options = {
+        "num_workers": args.workers,
+        "host": args.host,
+        "port": args.port,
+        "checkpoint_every": args.checkpoint_every,
+    }
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        service = AggregationService.from_checkpoint(args.checkpoint, **options)
+        origin = f"restored from {args.checkpoint}"
+    else:
+        if args.domain_size is None:
+            raise SystemExit(
+                "--domain-size is required unless --checkpoint names an "
+                "existing checkpoint to restore"
+            )
+        service = AggregationService(
+            _build_protocol(args), checkpoint_path=args.checkpoint, **options
+        )
+        origin = "fresh engine"
+
+    async def run() -> None:
+        await service.start()
+        epochs = list(service.engine.epochs)
+        print(
+            f"serving {service.spec.get('name')} on {service.url} "
+            f"({args.workers} workers, {origin}, epochs={epochs}); "
+            "Ctrl-C for graceful shutdown",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("shutting down: closing epoch, flushing checkpoint", flush=True)
+        await service.stop(flush=True)
+        print(f"stopped; engine holds epochs {list(service.engine.epochs)}", flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def command_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running service with synthetic traffic and report numbers.
+
+    Fetches the protocol spec from the gateway itself (clients must
+    encode for the server's configuration), generates and privatizes a
+    synthetic population locally, posts it from ``--concurrency``
+    threads, closes the epoch, and prints a JSON document with sustained
+    reports/second and ingest latency percentiles.
+    """
+    from repro.service import generate_batches, request_json, run_loadgen
+
+    url = args.url.rstrip("/")
+    try:
+        spec = request_json(url + "/spec")
+    except (OSError, RuntimeError, ValueError) as exc:
+        raise SystemExit(f"could not fetch {url}/spec: {exc}")
+    try:
+        dataset, blobs = generate_batches(
+            spec,
+            n_users=args.users,
+            batch_size=args.batch_size,
+            distribution=args.distribution,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    result = run_loadgen(
+        url,
+        blobs,
+        dataset.n_users,
+        concurrency=args.concurrency,
+        close_epoch=not args.no_close,
+    )
+    document = {"url": url, "spec": spec, **result.to_document()}
+    text = json.dumps(document, indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0 if result.errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-cli",
@@ -836,6 +1035,70 @@ def build_parser() -> argparse.ArgumentParser:
     add_postprocess_argument(query)
     query.add_argument("--output", default=None, help="write JSON here instead of stdout")
     query.set_defaults(func=command_engine_query)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the aggregation service: HTTP ingest gateway + shard workers",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks an ephemeral port)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="number of shard worker processes"
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint file: restored if it exists, written on epoch close",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="write the checkpoint every K-th epoch close",
+    )
+    serve.add_argument("--method", choices=PROTOCOL_CHOICES, default="hh")
+    serve.add_argument(
+        "--domain-size",
+        type=int,
+        default=None,
+        help="domain size (required unless restoring a checkpoint)",
+    )
+    serve.add_argument(
+        "--domain-size-y",
+        type=int,
+        default=None,
+        help="y-axis size for grid2d (defaults to --domain-size)",
+    )
+    serve.add_argument("--epsilon", type=float, default=1.1)
+    serve.add_argument("--branching", type=int, default=4)
+    serve.add_argument("--oracle", default="oue")
+    serve.add_argument("--no-consistency", action="store_true")
+    add_postprocess_argument(serve)
+    serve.set_defaults(func=command_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a running service with synthetic traffic; report throughput",
+    )
+    loadgen.add_argument("--url", required=True, help="gateway base URL")
+    loadgen.add_argument("--users", type=int, default=10000)
+    loadgen.add_argument("--batch-size", type=int, default=500)
+    loadgen.add_argument("--concurrency", type=int, default=4)
+    loadgen.add_argument(
+        "--distribution", choices=sorted(DISTRIBUTIONS), default="zipf"
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--no-close",
+        action="store_true",
+        help="leave the epoch open after the run (default: POST /close)",
+    )
+    loadgen.add_argument(
+        "--output", default=None, help="also write the JSON result here"
+    )
+    loadgen.set_defaults(func=command_loadgen)
 
     return parser
 

@@ -28,6 +28,14 @@ Two format versions coexist:
   epoch keys).  :func:`unpack_blob` decodes both versions transparently;
   :func:`blob_version` reports which one a payload uses.
 
+A third magic, ``REPROBAT\\x01``, frames *batches* of reports for network
+transport (:func:`pack_report_batch` / :func:`unpack_report_batch`): a
+JSON header carrying the protocol spec and frame bookkeeping followed by
+length-prefixed packed reports.  This is the wire protocol of the ingest
+gateway in :mod:`repro.service` -- a pure container over the v1 report
+layout, so the gateway can route frames to shard workers without
+decoding any arrays.
+
 Malformed input of any kind -- wrong magic, truncation, garbage JSON,
 corrupt array blocks -- raises :class:`SerializationError` with the byte
 offset where decoding failed, never a raw ``struct.error`` / ``KeyError``.
@@ -38,7 +46,7 @@ from __future__ import annotations
 import io
 import json
 import struct
-from typing import Dict, Mapping, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -48,6 +56,10 @@ MAGIC = b"REPROACC\x01"
 
 #: Version-2 format tag: engine envelopes (checkpoints, epoch shards).
 MAGIC_V2 = b"REPROACC\x02"
+
+#: Report-batch framing tag: the network wire format of the ingest
+#: gateway (:mod:`repro.service`) and of ``encode --output -``.
+MAGIC_BATCH = b"REPROBAT\x01"
 
 #: The newest format version this build reads and writes.
 FORMAT_VERSION = 2
@@ -191,6 +203,167 @@ def unpack_blob(data: bytes) -> Tuple[dict, Dict[str, np.ndarray]]:
                 f"corrupt array block {name!r} at offset {block_offset}: {exc}"
             ) from exc
     return document.get("header", {}), arrays
+
+
+# --------------------------------------------------------------------- #
+# framed report batches: the network wire format
+# --------------------------------------------------------------------- #
+#: ``batch_kind`` tag every report batch declares in its header.
+REPORT_BATCH_KIND = "report-batch"
+
+
+def pack_report_batch(spec, reports) -> bytes:
+    """Frame a batch of serialized reports for network transport.
+
+    This is the one payload the ingest gateway (:mod:`repro.service`)
+    accepts on ``POST /ingest``: a magic tag (:data:`MAGIC_BATCH`), a JSON
+    header carrying the protocol ``spec`` plus frame bookkeeping, then the
+    packed bytes of each report, length-prefixed::
+
+        REPROBAT\\x01 | u64 header length | JSON header
+                     | (u64 frame length | report bytes) * count
+
+    ``reports`` is an iterable of :class:`~repro.core.session.Report`
+    instances (or their already-packed bytes); each report stays in the
+    existing pickle-free v1 layout, so the frame is a pure container --
+    the gateway can split and fan frames out to shard workers without
+    decoding a single array.  The header records ``count`` and the total
+    ``n_users`` so receivers can account for a batch from the header
+    alone (for packed bytes the user count is peeked from each report's
+    own header).
+    """
+    frames: list = []
+    n_users = 0
+    for report in reports:
+        if isinstance(report, (bytes, bytearray, memoryview)):
+            blob = bytes(report)
+            n_users += int(peek_header(blob).get("n_users", 0))
+        elif callable(getattr(report, "to_bytes", None)):
+            blob = report.to_bytes()
+            n_users += int(getattr(report, "n_users", 0))
+        else:
+            raise SerializationError(
+                f"cannot frame a report of type {type(report).__name__}; "
+                "expected a Report or packed report bytes"
+            )
+        frames.append(blob)
+    if spec is not None and callable(getattr(spec, "spec", None)):
+        spec = spec.spec()  # a live protocol object; record its registry spec
+    header = {
+        "batch_kind": REPORT_BATCH_KIND,
+        "count": len(frames),
+        "n_users": n_users,
+    }
+    if spec is not None:
+        header["protocol"] = spec
+    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    out = bytearray(MAGIC_BATCH)
+    out += _LENGTH.pack(len(encoded))
+    out += encoded
+    for blob in frames:
+        out += _LENGTH.pack(len(blob))
+        out += blob
+    return bytes(out)
+
+
+def _decode_batch_header(data) -> Tuple[bytes, dict, int]:
+    """Front half of batch decoding: magic, length field, JSON header.
+
+    Returns ``(data, header, frames_offset)``.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SerializationError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if not data.startswith(MAGIC_BATCH):
+        preview = bytes(data[: len(MAGIC_BATCH)])
+        raise SerializationError(
+            f"bad magic at offset 0: {preview!r} is not a framed report "
+            f"batch (expected {MAGIC_BATCH!r})"
+        )
+    offset = len(MAGIC_BATCH)
+    if len(data) < offset + _LENGTH.size:
+        raise SerializationError(
+            f"truncated report batch at offset {len(data)}: need "
+            f"{offset + _LENGTH.size} bytes for the header length, have {len(data)}"
+        )
+    (header_length,) = _LENGTH.unpack_from(data, offset)
+    offset += _LENGTH.size
+    if header_length > len(data) - offset:
+        raise SerializationError(
+            f"truncated report batch at offset {len(data)}: header declares "
+            f"{header_length} bytes but only {len(data) - offset} remain "
+            f"after offset {offset}"
+        )
+    try:
+        header = json.loads(data[offset : offset + header_length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"corrupt batch header JSON in bytes "
+            f"[{offset}, {offset + header_length}): {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("batch_kind") != REPORT_BATCH_KIND:
+        kind = header.get("batch_kind") if isinstance(header, dict) else None
+        raise SerializationError(
+            f"corrupt batch header JSON in bytes "
+            f"[{offset}, {offset + header_length}): batch_kind "
+            f"{kind!r} is not {REPORT_BATCH_KIND!r}"
+        )
+    count = header.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        raise SerializationError(
+            f"corrupt batch header JSON in bytes "
+            f"[{offset}, {offset + header_length}): 'count' must be a "
+            f"non-negative integer, got {count!r}"
+        )
+    return data, header, offset + header_length
+
+
+def report_batch_header(data) -> dict:
+    """Decode only the JSON header of a framed report batch.
+
+    Cheap accounting/routing helper: the gateway validates a batch's
+    ``protocol`` spec and reads ``count`` / ``n_users`` from here without
+    touching the report frames.
+    """
+    _, header, _ = _decode_batch_header(data)
+    return header
+
+
+def unpack_report_batch(data) -> Tuple[dict, List[bytes]]:
+    """Inverse of :func:`pack_report_batch`: return ``(header, frames)``.
+
+    ``frames`` is the list of packed report byte strings, in batch order;
+    decode each with ``Report.from_bytes``.  Truncated frames, a frame
+    count that disagrees with the header, or trailing garbage after the
+    last frame all raise :class:`SerializationError` with the offending
+    byte offset.
+    """
+    data, header, offset = _decode_batch_header(data)
+    count = header["count"]
+    frames: List[bytes] = []
+    for index in range(count):
+        if len(data) - offset < _LENGTH.size:
+            raise SerializationError(
+                f"truncated report batch at offset {offset}: need "
+                f"{_LENGTH.size} bytes for the length of frame "
+                f"{index}/{count}, have {len(data) - offset}"
+            )
+        (frame_length,) = _LENGTH.unpack_from(data, offset)
+        offset += _LENGTH.size
+        if frame_length > len(data) - offset:
+            raise SerializationError(
+                f"truncated report batch at offset {offset}: frame "
+                f"{index}/{count} declares {frame_length} bytes but only "
+                f"{len(data) - offset} remain"
+            )
+        frames.append(data[offset : offset + frame_length])
+        offset += frame_length
+    if offset != len(data):
+        raise SerializationError(
+            f"trailing garbage after frame {count - 1}/{count}: "
+            f"{len(data) - offset} unexpected bytes at offset {offset}"
+        )
+    return header, frames
 
 
 def pack_child(child_bytes: bytes) -> np.ndarray:

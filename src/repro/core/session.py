@@ -125,21 +125,34 @@ class AccumulatorState(abc.ABC):
         return AccumulatorState.from_bytes(self.to_bytes())
 
 
+#: Protocol-spec keys that only affect estimate assembly (finalize), never
+#: the accumulated sufficient statistics.  ``consistency`` is itself a
+#: post-processing step (constrained inference at finalize time), and an
+#: explicit ``postprocess`` pipeline overrides -- and re-derives -- the
+#: ``consistency`` flag, so the two keys form one assembly-time identity.
+_ASSEMBLY_ONLY_SPEC_KEYS = ("postprocess", "consistency")
+
+
 def _comparable_config(config: dict) -> dict:
     """A config dict with post-processing identity stripped.
 
     Post-processing runs at assembly time only -- it never touches the
     sufficient statistics -- so two accumulators whose embedded protocol
-    specs differ *only* in their ``postprocess`` pipeline hold exchangeable
-    state and may be merged or adopted across that difference (this is how
-    ``engine query --postprocess`` re-finalizes an existing checkpoint
-    under a different pipeline).
+    specs differ *only* in assembly-time keys (``postprocess``, the
+    ``consistency`` flag it derives) hold exchangeable state and may be
+    merged or adopted across that difference (this is how ``engine query
+    --postprocess`` and the service's ``/query?postprocess=`` re-finalize
+    existing statistics under a different pipeline).
     """
     protocol = config.get("protocol")
-    if isinstance(protocol, dict) and "postprocess" in protocol:
+    if isinstance(protocol, dict) and any(
+        key in protocol for key in _ASSEMBLY_ONLY_SPEC_KEYS
+    ):
         config = dict(config)
         config["protocol"] = {
-            key: value for key, value in protocol.items() if key != "postprocess"
+            key: value
+            for key, value in protocol.items()
+            if key not in _ASSEMBLY_ONLY_SPEC_KEYS
         }
     return config
 
@@ -866,15 +879,26 @@ def save_report_file(path: str, protocol: "RangeQueryProtocol", report: Report) 
         handle.write(blob)
 
 
-def load_report_file(path: str) -> Tuple["RangeQueryProtocol", Report]:
-    """Read a file written by :func:`save_report_file`."""
-    with open(path, "rb") as handle:
-        header, arrays = unpack_blob(handle.read())
+def load_report_bytes(
+    data: bytes, source: str = "<bytes>"
+) -> Tuple["RangeQueryProtocol", Report]:
+    """Decode a report blob as written by :func:`save_report_file`.
+
+    ``source`` labels error messages (a path, ``"<stdin>"``, ...); the
+    pipe-friendly twin of :func:`load_report_file`.
+    """
+    header, arrays = unpack_blob(data)
     if header.get("file_kind") != "report":
-        raise SerializationError(f"{path} is not an encoded report file")
+        raise SerializationError(f"{source} is not an encoded report file")
     protocol = protocol_from_spec(header["protocol"])
     report = Report.from_bytes(unpack_child(arrays["report"]))
     return protocol, report
+
+
+def load_report_file(path: str) -> Tuple["RangeQueryProtocol", Report]:
+    """Read a file written by :func:`save_report_file`."""
+    with open(path, "rb") as handle:
+        return load_report_bytes(handle.read(), source=path)
 
 
 def save_server_file(path: str, server: ProtocolServer) -> None:

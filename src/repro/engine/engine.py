@@ -39,6 +39,7 @@ Example::
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
@@ -144,6 +145,20 @@ class Engine:
     Construct with :meth:`open`; see the module docstring for the model.
     All epochs share the engine's protocol configuration -- one engine is
     one logical aggregation service, not a multi-tenant registry.
+
+    **Concurrency contract.**  The epoch map itself is thread-safe: every
+    operation that creates, adopts, absorbs or enumerates epoch shards
+    (:meth:`session`, :meth:`adopt_state`, :meth:`absorb_shard`,
+    :meth:`window_state`, :meth:`estimator`, :meth:`to_bytes`, ...) runs
+    under one internal re-entrant lock, so concurrent shard adoption from
+    many threads never loses, duplicates or misnumbers an epoch -- this
+    is what lets a multi-process ingest service (:mod:`repro.service`)
+    fold worker shards in from whatever thread completes first.  The
+    *contents* of a single epoch shard are not locked: ``ingest`` into
+    one :class:`EpochSession` must come from one thread at a time (the
+    usual arrangement -- e.g. one worker process per shard -- satisfies
+    this for free), while readers are safe because windows materialise
+    from snapshots, never from live state.
     """
 
     def __init__(self, protocol) -> None:
@@ -155,6 +170,10 @@ class Engine:
         self._protocol = protocol
         self._servers: Dict[int, ProtocolServer] = {}
         self._client = None
+        # Guards the epoch map (see the concurrency contract above).
+        # Re-entrant because compound operations (from_bytes, absorb_shard,
+        # with_postprocess) call the locked primitives while holding it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # construction
@@ -201,7 +220,8 @@ class Engine:
     @property
     def epochs(self) -> Tuple[int, ...]:
         """Epoch keys currently held, in ascending order."""
-        return tuple(sorted(self._servers))
+        with self._lock:
+            return tuple(sorted(self._servers))
 
     def n_reports(self, window: WindowLike = ALL) -> int:
         """Total reports across the selected window.
@@ -210,11 +230,12 @@ class Engine:
         nothing in every window -- so monitoring can poll sliding windows
         before the first epoch exists.
         """
-        if not self._servers:
-            return 0
-        return sum(
-            self._servers[epoch].n_reports for epoch in self._resolve(window)
-        )
+        with self._lock:
+            if not self._servers:
+                return 0
+            return sum(
+                self._servers[epoch].n_reports for epoch in self._resolve(window)
+            )
 
     def describe(self) -> str:
         """Single-line summary used by the CLI and logs."""
@@ -243,14 +264,15 @@ class Engine:
         shard; a new epoch key creates an empty shard stamped with
         ``meta={"epoch": key}``.
         """
-        if epoch is None:
-            epoch = self._next_epoch()
-        epoch = int(epoch)
-        server = self._servers.get(epoch)
-        if server is None:
-            server = self._protocol.server()
-            server.state.meta.setdefault("epoch", epoch)
-            self._servers[epoch] = server
+        with self._lock:
+            if epoch is None:
+                epoch = self._next_epoch()
+            epoch = int(epoch)
+            server = self._servers.get(epoch)
+            if server is None:
+                server = self._protocol.server()
+                server.state.meta.setdefault("epoch", epoch)
+                self._servers[epoch] = server
         return EpochSession(self, epoch, server)
 
     def adopt_state(
@@ -264,21 +286,51 @@ class Engine:
         (e.g. a ``repro-cli aggregate`` file) of an identically configured
         protocol; it becomes epoch ``epoch`` (default: next fresh key).
         Adopting into an existing epoch is refused -- merge through a
-        window instead, so historical shards stay immutable.
+        window instead, so historical shards stay immutable (to *combine*
+        shards of one time slice, see :meth:`absorb_shard`).
         """
-        if epoch is None:
-            epoch = self._next_epoch()
-        epoch = int(epoch)
-        if epoch in self._servers:
-            raise ProtocolUsageError(
-                f"epoch {epoch} already exists in this engine; windows, not "
-                "adoption, combine existing epochs"
-            )
         if isinstance(state, (bytes, bytearray, memoryview)):
             state = AccumulatorState.from_bytes(bytes(state))
-        server = self._protocol.server(state=state)
-        server.state.meta.setdefault("epoch", epoch)
-        self._servers[epoch] = server
+        with self._lock:
+            if epoch is None:
+                epoch = self._next_epoch()
+            epoch = int(epoch)
+            if epoch in self._servers:
+                raise ProtocolUsageError(
+                    f"epoch {epoch} already exists in this engine; windows, not "
+                    "adoption, combine existing epochs"
+                )
+            server = self._protocol.server(state=state)
+            server.state.meta.setdefault("epoch", epoch)
+            self._servers[epoch] = server
+        return EpochSession(self, epoch, server)
+
+    def absorb_shard(
+        self,
+        state: Union[AccumulatorState, bytes, bytearray, memoryview],
+        epoch: Optional[int] = None,
+    ) -> EpochSession:
+        """Merge one shard's accumulator into an epoch, creating it if new.
+
+        This is the epoch-close hook of sharded ingestion: N workers each
+        accumulate a slice of one time window, and on epoch close every
+        shard is absorbed into the same epoch key.  Unlike
+        :meth:`adopt_state`, absorbing into an existing epoch *merges*
+        (exactly -- integer sufficient statistics, so any absorption order
+        is bit-identical to single-server ingestion of the same reports).
+        The adopt-or-merge decision and the merge itself run under the
+        engine lock, so concurrent absorption from many threads is safe.
+        """
+        if isinstance(state, (bytes, bytearray, memoryview)):
+            state = AccumulatorState.from_bytes(bytes(state))
+        with self._lock:
+            if epoch is None:
+                epoch = self._next_epoch()
+            epoch = int(epoch)
+            server = self._servers.get(epoch)
+            if server is None:
+                return self.adopt_state(state, epoch=epoch)
+            server.merge(state)
         return EpochSession(self, epoch, server)
 
     # ------------------------------------------------------------------ #
@@ -295,10 +347,11 @@ class Engine:
         of how its epochs were sharded.  The returned state is independent
         of the live shards and records the window in ``meta["epochs"]``.
         """
-        selected = self._resolve(window)
-        merged = self._servers[selected[0]].snapshot()
-        for epoch in selected[1:]:
-            merged.merge(self._servers[epoch].state)
+        with self._lock:
+            selected = self._resolve(window)
+            merged = self._servers[selected[0]].snapshot()
+            for epoch in selected[1:]:
+                merged.merge(self._servers[epoch].state)
         merged.meta = {"epochs": list(selected)}
         return merged
 
@@ -311,10 +364,11 @@ class Engine:
         shard directly, which is bit-identical to the plain
         client/server session path.
         """
-        selected = self._resolve(window)
-        if len(selected) == 1:
-            return self._servers[selected[0]].finalize()
-        state = self.window_state(selected)
+        with self._lock:
+            selected = self._resolve(window)
+            if len(selected) == 1:
+                return self._servers[selected[0]].finalize()
+            state = self.window_state(selected)
         finalize = getattr(self._protocol, "estimator_from_state", None)
         if finalize is not None:
             return finalize(state)
@@ -336,11 +390,12 @@ class Engine:
         spec = self.spec()
         spec["postprocess"] = postprocess
         clone = Engine(protocol_from_spec(spec))
-        for epoch in self.epochs:
-            # Adopt the live shard itself (not a copy): states are
-            # exchangeable across postprocess settings because the
-            # pipeline never touches the sufficient statistics.
-            clone.adopt_state(self._servers[epoch].state, epoch=epoch)
+        with self._lock:
+            for epoch in self.epochs:
+                # Adopt the live shard itself (not a copy): states are
+                # exchangeable across postprocess settings because the
+                # pipeline never touches the sufficient statistics.
+                clone.adopt_state(self._servers[epoch].state, epoch=epoch)
         return clone
 
     def simulate(self, true_counts: np.ndarray, rng: RngLike = None):
@@ -366,20 +421,21 @@ class Engine:
         """Serialize every epoch shard into one versioned v2 envelope."""
         from repro import __version__  # deferred: repro imports engine
 
-        epochs = sorted(self._servers)
-        header = {
-            "file_kind": CHECKPOINT_KIND,
-            "engine": {"format": CHECKPOINT_FORMAT, "version": __version__},
-            "protocol": self._protocol.spec(),
-            "epochs": epochs,
-            "epoch_reports": {
-                str(epoch): self._servers[epoch].n_reports for epoch in epochs
-            },
-        }
-        arrays = {
-            f"epoch_{epoch}": pack_child(self._servers[epoch].to_bytes())
-            for epoch in epochs
-        }
+        with self._lock:
+            epochs = sorted(self._servers)
+            header = {
+                "file_kind": CHECKPOINT_KIND,
+                "engine": {"format": CHECKPOINT_FORMAT, "version": __version__},
+                "protocol": self._protocol.spec(),
+                "epochs": epochs,
+                "epoch_reports": {
+                    str(epoch): self._servers[epoch].n_reports for epoch in epochs
+                },
+            }
+            arrays = {
+                f"epoch_{epoch}": pack_child(self._servers[epoch].to_bytes())
+                for epoch in epochs
+            }
         return pack_blob(header, arrays, version=2)
 
     @classmethod

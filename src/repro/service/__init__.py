@@ -1,0 +1,39 @@
+"""Network-facing aggregation service.
+
+The paper's aggregator, made operational: an asyncio HTTP ingest
+gateway (:mod:`repro.service.gateway`) fronting ``N`` shard worker
+processes (:mod:`repro.service.workers`), feeding the epoch-aware
+:class:`~repro.engine.Engine` on epoch close.  Because accumulator
+merge is exact, the sharded service answers queries bit-identically to
+a single process ingesting the same reports -- scale-out without an
+accuracy tax.
+
+Quickstart (see also ``repro-cli serve`` / ``repro-cli loadgen``)::
+
+    from repro.service import AggregationService, ServiceThread
+
+    service = AggregationService(
+        {"name": "hh", "domain_size": 1024, "epsilon": 1.0},
+        num_workers=4,
+        checkpoint_path="state.bin",
+    )
+    with ServiceThread(service) as handle:
+        ...  # POST framed batches to handle.url + "/ingest"
+"""
+
+from repro.service.gateway import AggregationService, ServiceThread, request_json
+from repro.service.http import HttpError
+from repro.service.loadgen import LoadgenResult, generate_batches, run_loadgen
+from repro.service.workers import WorkerPool, ingest_batches_single_process
+
+__all__ = [
+    "AggregationService",
+    "HttpError",
+    "LoadgenResult",
+    "ServiceThread",
+    "WorkerPool",
+    "generate_batches",
+    "ingest_batches_single_process",
+    "request_json",
+    "run_loadgen",
+]

@@ -1,0 +1,627 @@
+"""The network-facing aggregation service: async gateway + shard workers.
+
+The paper's aggregator is an abstract entity collecting privatized
+reports from millions of users.  :class:`AggregationService` is that
+entity made concrete: a single asyncio HTTP gateway that accepts framed
+report batches, fans them out to per-shard worker processes
+(:mod:`repro.service.workers`), merges the shard accumulators into the
+epoch-aware :class:`~repro.engine.Engine` on epoch close, and answers
+windowed queries -- with durability via the engine's v2 checkpoint
+envelope.
+
+Endpoints (all JSON except the ingest body):
+
+=======================  =====================================================
+``GET  /healthz``        liveness: 200 while the gateway and every worker run
+``GET  /spec``           the protocol registry spec clients must encode for
+``GET  /stats``          epochs, report counts, per-worker stats, checkpoints
+``POST /ingest``         body = one framed report batch
+                         (:func:`repro.core.serialization.pack_report_batch`);
+                         the gateway validates the header and forwards the
+                         frames to one shard worker without decoding arrays
+``POST /close``          close the current epoch: drain every worker, merge
+                         the shard states into the engine (exact, order
+                         independent), checkpoint every K-th close
+``POST /checkpoint``     force a checkpoint now
+``GET  /query``          windowed estimates; parameters ``window``
+                         (``all`` | ``last:K`` | ``0,2,5``), ``ranges``,
+                         ``quantiles``, ``rectangles``, ``frequencies=1``,
+                         and optional ``postprocess=`` re-finalization
+=======================  =====================================================
+
+Correctness invariant: sharded service ingestion is *bit-identical* to
+single-process ingestion of the same report stream.  Workers accumulate
+integer sufficient statistics and epoch close merges them exactly
+(associative + commutative), so the number of workers, the round-robin
+interleaving and the merge order are all unobservable in query answers.
+
+Durability: if ``checkpoint_path`` is set, every ``checkpoint_every``-th
+epoch close rewrites the checkpoint (atomic rename, v2 envelope), and a
+graceful :meth:`AggregationService.stop` flushes the in-progress epoch
+and checkpoints before the workers exit.  Restarting on the same path
+resumes with every checkpointed epoch intact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Optional, Union
+
+from repro.core.exceptions import InvalidWindowError, ProtocolUsageError
+from repro.core.serialization import (
+    MAGIC_BATCH,
+    SerializationError,
+    report_batch_header,
+)
+from repro.core.session import AccumulatorState
+from repro.engine import Engine, parse_window, resolve_window
+from repro.service.http import (
+    DEFAULT_MAX_BODY,
+    MAX_HEADER_BYTES,
+    HttpError,
+    HttpRequest,
+    error_response,
+    json_response,
+    read_request,
+)
+from repro.service.workers import WorkerPool
+
+
+def _spec_sans_postprocess(spec: Optional[dict]) -> Optional[dict]:
+    """Spec identity for ingest compatibility.
+
+    Assembly-time keys (``postprocess`` and the ``consistency`` flag it
+    derives) never touch sufficient statistics, so batches encoded under
+    different settings of them are exchangeable.
+    """
+    if not isinstance(spec, dict):
+        return spec
+    return {
+        key: value
+        for key, value in spec.items()
+        if key not in ("postprocess", "consistency")
+    }
+
+
+class AggregationService:
+    """One protocol configuration served over HTTP with sharded ingest.
+
+    ``engine`` is an :class:`~repro.engine.Engine` (possibly restored
+    from a checkpoint), a protocol object, or a spec dict.  The service
+    owns the engine's epoch lifecycle: reports accumulate in the worker
+    shards of the *current* epoch, ``POST /close`` folds them into the
+    engine, and queries see every closed epoch.
+    """
+
+    def __init__(
+        self,
+        engine: Union[Engine, dict, object],
+        *,
+        num_workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        max_body: int = DEFAULT_MAX_BODY,
+        start_method: str = "spawn",
+    ) -> None:
+        if not isinstance(engine, Engine):
+            engine = Engine.open(engine)
+        if int(checkpoint_every) < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self._engine = engine
+        self._spec = engine.spec()
+        self._host = host
+        self._requested_port = int(port)
+        self._checkpoint_path = checkpoint_path
+        self._checkpoint_every = int(checkpoint_every)
+        self._max_body = int(max_body)
+        self._pool = WorkerPool(
+            self._spec, num_workers=num_workers, start_method=start_method
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._port: Optional[int] = None
+        self._close_lock = asyncio.Lock()
+        epochs = engine.epochs
+        self._current_epoch = (max(epochs) + 1) if epochs else 0
+        self._started_at = time.monotonic()
+        self._batches_accepted = 0
+        self._reports_accepted = 0
+        self._checkpoints_written = 0
+        self._closes_since_checkpoint = 0
+        self._stopping = False
+
+    # ------------------------------------------------------------------ #
+    # construction / lifecycle
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_checkpoint(cls, path: str, **options) -> "AggregationService":
+        """A service resuming from an engine checkpoint file.
+
+        Every checkpointed epoch is restored; ingestion continues on the
+        next fresh epoch key, so a crash-restart never rewrites history.
+        """
+        return cls(Engine.restore(path), checkpoint_path=path, **options)
+
+    @property
+    def engine(self) -> Engine:
+        """The underlying epoch-aware engine (closed epochs only)."""
+        return self._engine
+
+    @property
+    def spec(self) -> dict:
+        return dict(self._spec)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after :meth:`start`)."""
+        if self._port is None:
+            raise RuntimeError("service is not started")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def current_epoch(self) -> int:
+        """The epoch key in-flight reports belong to."""
+        return self._current_epoch
+
+    async def start(self) -> "AggregationService":
+        """Spawn the shard workers and start accepting connections."""
+        self._pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._host,
+            port=self._requested_port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self, flush: bool = True) -> None:
+        """Stop the service.
+
+        ``flush=True`` is the graceful path: stop accepting connections,
+        close the in-progress epoch (so no accepted report is lost),
+        write a final checkpoint, and let the workers exit cleanly.
+        ``flush=False`` simulates a crash: the current epoch's
+        un-checkpointed shards are dropped on the floor.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if flush:
+            await self._close_epoch()
+            if self._checkpoint_path is not None:
+                await self._write_checkpoint()
+            await self._pool.shutdown(graceful=True)
+        else:
+            await self._pool.shutdown(graceful=False)
+
+    # ------------------------------------------------------------------ #
+    # epoch lifecycle
+    # ------------------------------------------------------------------ #
+    async def _write_checkpoint(self) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, self._engine.checkpoint, self._checkpoint_path
+        )
+        self._checkpoints_written += 1
+        self._closes_since_checkpoint = 0
+
+    async def _close_epoch(self) -> dict:
+        """Drain every worker and merge the shard states into the engine.
+
+        Merging runs under the engine's lock via
+        :meth:`~repro.engine.Engine.absorb_shard`; empty shards are
+        skipped so a traffic-free close never creates an unfinalizable
+        zero-report epoch.
+        """
+        async with self._close_lock:
+            epoch = self._current_epoch
+            shard_blobs = await self._pool.close_epoch()
+            total = 0
+            for blob in shard_blobs:
+                state = AccumulatorState.from_bytes(blob)
+                if state.n_reports <= 0:
+                    continue
+                # Worker states carry no epoch stamp; absorb_shard merges
+                # them (exactly) into the closing epoch under the lock.
+                state.meta.clear()
+                self._engine.absorb_shard(state, epoch=epoch)
+                total += state.n_reports
+            if total == 0:
+                return {"closed": False, "reports": 0, "epoch": None}
+            self._current_epoch = epoch + 1
+            self._closes_since_checkpoint += 1
+            checkpointed = False
+            if (
+                self._checkpoint_path is not None
+                and self._closes_since_checkpoint >= self._checkpoint_every
+            ):
+                await self._write_checkpoint()
+                checkpointed = True
+            return {
+                "closed": True,
+                "epoch": epoch,
+                "reports": total,
+                "checkpointed": checkpointed,
+                "epochs": list(self._engine.epochs),
+            }
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, max_body=self._max_body)
+                except HttpError as exc:
+                    writer.write(error_response(exc.status, exc.message))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                try:
+                    response = await self._dispatch(request)
+                except HttpError as exc:
+                    response = error_response(
+                        exc.status, exc.message, keep_alive=request.keep_alive
+                    )
+                except Exception as exc:  # noqa: BLE001 - boundary: a handler
+                    # bug must produce a 500, never kill the connection loop.
+                    response = error_response(500, f"{type(exc).__name__}: {exc}")
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> bytes:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return await self._handle_healthz(request)
+        if route == ("GET", "/spec"):
+            return json_response(200, self._spec, keep_alive=request.keep_alive)
+        if route == ("GET", "/stats"):
+            return await self._handle_stats(request)
+        if route == ("POST", "/ingest"):
+            return await self._handle_ingest(request)
+        if route == ("POST", "/close"):
+            return await self._handle_close(request)
+        if route == ("POST", "/checkpoint"):
+            return await self._handle_checkpoint(request)
+        if route == ("GET", "/query"):
+            return await self._handle_query(request)
+        known_paths = {
+            "/healthz", "/spec", "/stats", "/ingest", "/close",
+            "/checkpoint", "/query",
+        }
+        if request.path in known_paths:
+            raise HttpError(405, f"{request.method} is not allowed on {request.path}")
+        raise HttpError(404, f"unknown endpoint {request.path}")
+
+    async def _handle_healthz(self, request: HttpRequest) -> bytes:
+        alive = self._pool.alive_count
+        healthy = alive == len(self._pool) and not self._stopping
+        payload = {
+            "status": "ok" if healthy else "degraded",
+            "workers": {"alive": alive, "configured": len(self._pool)},
+        }
+        return json_response(
+            200 if healthy else 503, payload, keep_alive=request.keep_alive
+        )
+
+    async def _handle_stats(self, request: HttpRequest) -> bytes:
+        worker_stats = await self._pool.stats()
+        engine = self._engine
+        epochs = list(engine.epochs)
+        payload = {
+            "uptime_s": time.monotonic() - self._started_at,
+            "method": self._spec.get("name"),
+            "current_epoch": self._current_epoch,
+            "epochs": epochs,
+            "epoch_reports": {
+                str(epoch): engine.session(epoch=epoch).n_reports
+                for epoch in epochs
+            },
+            "closed_reports": engine.n_reports() if epochs else 0,
+            "pending_reports": sum(
+                stat.get("epoch_reports", 0) for stat in worker_stats
+            ),
+            "accepted": {
+                "batches": self._batches_accepted,
+                "reports": self._reports_accepted,
+            },
+            "workers": worker_stats,
+            "checkpoint": {
+                "path": self._checkpoint_path,
+                "every": self._checkpoint_every,
+                "written": self._checkpoints_written,
+            },
+        }
+        return json_response(200, payload, keep_alive=request.keep_alive)
+
+    async def _handle_ingest(self, request: HttpRequest) -> bytes:
+        blob = request.body
+        if not blob:
+            raise HttpError(411, "ingest needs a framed report batch as its body")
+        if not blob.startswith(MAGIC_BATCH):
+            raise HttpError(
+                400,
+                f"body is not a framed report batch (expected magic {MAGIC_BATCH!r})",
+            )
+        try:
+            header = report_batch_header(blob)
+        except SerializationError as exc:
+            raise HttpError(400, str(exc)) from exc
+        batch_spec = header.get("protocol")
+        if batch_spec is not None and _spec_sans_postprocess(
+            batch_spec
+        ) != _spec_sans_postprocess(self._spec):
+            raise HttpError(
+                409,
+                "batch was encoded for a different protocol configuration: "
+                f"{batch_spec} != {self._spec}",
+            )
+        count = header.get("count", 0)
+        n_users = int(header.get("n_users", 0))
+        if count == 0 or n_users == 0:
+            return json_response(
+                200,
+                {"queued": 0, "epoch": self._current_epoch},
+                keep_alive=request.keep_alive,
+            )
+        epoch = self._current_epoch
+        try:
+            worker = await self._pool.ingest(blob)
+        except (BrokenPipeError, OSError) as exc:
+            raise HttpError(503, f"shard worker unavailable: {exc}") from exc
+        self._batches_accepted += 1
+        self._reports_accepted += n_users
+        return json_response(
+            200,
+            {"queued": n_users, "epoch": epoch, "worker": worker},
+            keep_alive=request.keep_alive,
+        )
+
+    async def _handle_close(self, request: HttpRequest) -> bytes:
+        result = await self._close_epoch()
+        return json_response(200, result, keep_alive=request.keep_alive)
+
+    async def _handle_checkpoint(self, request: HttpRequest) -> bytes:
+        if self._checkpoint_path is None:
+            raise HttpError(409, "service was started without a checkpoint path")
+        await self._write_checkpoint()
+        return json_response(
+            200,
+            {
+                "checkpoint": self._checkpoint_path,
+                "epochs": list(self._engine.epochs),
+                "written": self._checkpoints_written,
+            },
+            keep_alive=request.keep_alive,
+        )
+
+    async def _handle_query(self, request: HttpRequest) -> bytes:
+        # Queries touch numpy kernels only -- cheap enough to answer on
+        # the event loop; the heavy lifting (ingest) lives in the workers.
+        params = request.params
+        engine = self._engine
+        postprocess = params.get("postprocess")
+        if postprocess:
+            try:
+                engine = engine.with_postprocess(postprocess)
+            except (ValueError, ProtocolUsageError) as exc:
+                raise HttpError(400, str(exc)) from exc
+        try:
+            window = parse_window(params.get("window", "all"))
+        except (ValueError, ProtocolUsageError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        try:
+            selected = resolve_window(window, engine.epochs)
+            estimator = engine.estimator(window)
+        except InvalidWindowError as exc:
+            raise HttpError(409, str(exc)) from exc
+        except ProtocolUsageError as exc:
+            raise HttpError(400, str(exc)) from exc
+        payload = {
+            "method": self._spec.get("name"),
+            "epsilon": self._spec.get("epsilon"),
+            "window": params.get("window", "all"),
+            "epochs": selected,
+            "n_users": int(engine.n_reports(window)),
+        }
+        if postprocess:
+            payload["postprocess"] = postprocess
+        payload.update(self._answer_queries(estimator, params))
+        return json_response(200, payload, keep_alive=request.keep_alive)
+
+    @staticmethod
+    def _answer_queries(estimator, params: dict) -> dict:
+        # Deferred import: repro.cli defines the one query-string grammar
+        # (shared with every CLI surface) and lazily imports this package
+        # for its `serve` command, so the import must not be module-level.
+        from repro.cli import parse_quantiles, parse_ranges, parse_rectangles
+
+        try:
+            if hasattr(estimator, "rectangle_query"):
+                if params.get("ranges") or params.get("quantiles"):
+                    raise HttpError(
+                        400,
+                        "a 2-D grid protocol answers rectangles "
+                        "(xleft:xright:yleft:yright), not ranges/quantiles",
+                    )
+                rectangles = parse_rectangles(params.get("rectangles", ""))
+                return {
+                    "rectangles": {
+                        f"{xl}:{xr}:{yl}:{yr}": estimator.rectangle_query(
+                            (xl, xr), (yl, yr)
+                        )
+                        for xl, xr, yl, yr in rectangles
+                    }
+                }
+            if params.get("rectangles"):
+                raise HttpError(
+                    400, "rectangles require a 2-D grid protocol"
+                )
+            answers = {
+                "ranges": {
+                    f"{left}:{right}": estimator.range_query((left, right))
+                    for left, right in parse_ranges(params.get("ranges", ""))
+                },
+                "quantiles": {
+                    f"{phi:g}": int(estimator.quantile_query(phi))
+                    for phi in parse_quantiles(params.get("quantiles", ""))
+                },
+            }
+            if params.get("frequencies"):
+                answers["frequencies"] = [
+                    float(value) for value in estimator.estimated_frequencies()
+                ]
+            return answers
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+
+
+class ServiceThread:
+    """Run an :class:`AggregationService` on a background event loop.
+
+    Synchronous harness used by tests, the benchmark and embedding
+    applications: the service runs on its own thread's event loop while
+    the caller drives it over plain blocking HTTP.
+
+    Use as a context manager::
+
+        with ServiceThread(AggregationService(spec)) as handle:
+            requests.post(handle.url + "/ingest", data=batch)  # any client
+    """
+
+    def __init__(self, service: AggregationService) -> None:
+        self.service = service
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return self.service.url
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise RuntimeError("service thread already started")
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        failure: list = []
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+
+            async def boot() -> None:
+                try:
+                    await self.service.start()
+                except Exception as exc:  # pragma: no cover - boot failure
+                    failure.append(exc)
+                finally:
+                    ready.set()
+
+            self._loop.create_task(boot())
+            self._loop.run_forever()
+            # Drain cancelled tasks so the loop closes cleanly.
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            self._loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-service", daemon=True)
+        self._thread.start()
+        ready.wait()
+        if failure:
+            self.stop(flush=False)
+            raise failure[0]
+        return self
+
+    def stop(self, flush: bool = True) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.stop(flush=flush), self._loop
+            )
+            future.result(timeout=60)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=60)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(flush=exc_type is None)
+
+
+def request_json(url: str, method: str = "GET", body: Optional[bytes] = None) -> dict:
+    """One blocking JSON round trip against a gateway (stdlib only).
+
+    Convenience for scripts and tests; raises ``RuntimeError`` on any
+    non-200 status with the server's error message.
+    """
+    import http.client
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url)
+    path = parts.path or "/"
+    if parts.query:
+        path = f"{path}?{parts.query}"
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port or 80, timeout=60
+    )
+    try:
+        connection.request(
+            method,
+            path,
+            body=body,
+            headers={"Content-Type": "application/octet-stream"} if body else {},
+        )
+        response = connection.getresponse()
+        payload = response.read()
+        document = json.loads(payload.decode("utf-8"))
+        if response.status != 200:
+            raise RuntimeError(
+                f"{method} {path} -> {response.status}: "
+                f"{document.get('error', payload[:200])}"
+            )
+        return document
+    finally:
+        connection.close()

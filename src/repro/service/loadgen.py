@@ -1,0 +1,221 @@
+"""Load generator for the aggregation service.
+
+Drives a running gateway the way a fleet of devices would: encode a
+synthetic population client-side (the privatization happens *here*, on
+the "device"), pack the reports into framed batches, and post them from
+``concurrency`` threads over keep-alive connections while sampling
+per-request latency.  The result quantifies the service's two headline
+numbers -- sustained reports/second and p99 ingest latency -- and is what
+``repro-cli loadgen`` and :mod:`benchmarks.bench_service` build on.
+
+The generator is honest about what it measures: latency is wall-clock
+around each ``POST /ingest`` round trip (client-observed, connection
+reuse, no pipelining), and throughput is total reports over total
+wall-clock including the final epoch close.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.core.rng import ensure_rng
+from repro.core.serialization import pack_report_batch
+from repro.core.session import protocol_from_spec
+from repro.data.synthetic import make_population
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of ``samples``; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one load-generation run against a gateway."""
+
+    n_users: int
+    batches: int
+    concurrency: int
+    elapsed_s: float
+    reports_per_s: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_max_ms: float
+    closed_epoch: Optional[int] = None
+    errors: int = 0
+    latencies_ms: List[float] = field(default_factory=list, repr=False)
+
+    def to_document(self) -> dict:
+        """JSON-able summary (drops the raw latency samples)."""
+        return {
+            "n_users": self.n_users,
+            "batches": self.batches,
+            "concurrency": self.concurrency,
+            "elapsed_s": self.elapsed_s,
+            "reports_per_s": self.reports_per_s,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_max_ms": self.latency_max_ms,
+            "closed_epoch": self.closed_epoch,
+            "errors": self.errors,
+        }
+
+
+def generate_batches(
+    spec: dict,
+    n_users: int,
+    batch_size: int,
+    distribution: str = "zipf",
+    seed: Optional[int] = 0,
+):
+    """Encode a synthetic population into framed report batches.
+
+    Returns ``(dataset, batch_blobs)``: the population (for ground-truth
+    comparisons) and one :func:`pack_report_batch` blob per chunk of
+    ``batch_size`` users.  Encoding happens once, up front, so the timed
+    ingest loop measures the *service*, not client-side privatization.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    protocol = protocol_from_spec(spec)
+    if hasattr(protocol, "domain_size_y") or spec.get("name") == "grid2d":
+        raise ValueError(
+            "the load generator drives 1-D protocols; grid2d needs 2-D items"
+        )
+    dataset = make_population(
+        distribution, int(spec["domain_size"]), int(n_users), rng=ensure_rng(seed)
+    )
+    client = protocol.client()
+    rng = ensure_rng(None if seed is None else seed + 1)
+    blobs = []
+    for start in range(0, dataset.n_users, batch_size):
+        chunk = dataset.items[start : start + batch_size]
+        report = client.encode_batch(np.asarray(chunk), rng=rng)
+        blobs.append(pack_report_batch(protocol, [report]))
+    return dataset, blobs
+
+
+class _GatewayClient:
+    """One keep-alive connection to the gateway (thread-confined)."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parts = urlsplit(url if "//" in url else "http://" + url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported URL scheme {parts.scheme!r}")
+        self._conn = http.client.HTTPConnection(
+            parts.hostname, parts.port or 80, timeout=timeout
+        )
+
+    def post_batch(self, blob: bytes) -> int:
+        self._conn.request(
+            "POST",
+            "/ingest",
+            body=blob,
+            headers={"Content-Type": "application/octet-stream"},
+        )
+        response = self._conn.getresponse()
+        response.read()
+        return response.status
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def run_loadgen(
+    url: str,
+    batch_blobs: List[bytes],
+    n_users: int,
+    concurrency: int = 4,
+    close_epoch: bool = True,
+) -> LoadgenResult:
+    """Post every batch from ``concurrency`` threads and time it.
+
+    Batches are pulled from a shared cursor so threads stay busy until
+    the work runs dry; each thread owns one keep-alive connection.  With
+    ``close_epoch`` the run ends with ``POST /close`` (included in the
+    throughput clock -- a report is not "ingested" until its epoch is
+    queryable).
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    concurrency = min(concurrency, max(1, len(batch_blobs)))
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+
+    def drive(slot: int) -> None:
+        client = _GatewayClient(url)
+        try:
+            while True:
+                with cursor_lock:
+                    index = cursor[0]
+                    if index >= len(batch_blobs):
+                        return
+                    cursor[0] = index + 1
+                started = time.perf_counter()
+                try:
+                    status = client.post_batch(batch_blobs[index])
+                except OSError:
+                    errors[slot] += 1
+                    continue
+                latencies[slot].append((time.perf_counter() - started) * 1000.0)
+                if status != 200:
+                    errors[slot] += 1
+        finally:
+            client.close()
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, args=(slot,), name=f"loadgen-{slot}")
+        for slot in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    closed_epoch: Optional[int] = None
+    if close_epoch:
+        from repro.service.gateway import request_json
+
+        document = request_json(url + "/close", method="POST")
+        closed_epoch = document.get("epoch")
+    elapsed = time.perf_counter() - started
+
+    samples = [sample for bucket in latencies for sample in bucket]
+    return LoadgenResult(
+        n_users=n_users,
+        batches=len(batch_blobs),
+        concurrency=concurrency,
+        elapsed_s=elapsed,
+        reports_per_s=(n_users / elapsed) if elapsed > 0 else 0.0,
+        latency_p50_ms=percentile(samples, 50.0),
+        latency_p99_ms=percentile(samples, 99.0),
+        latency_max_ms=max(samples) if samples else 0.0,
+        closed_epoch=closed_epoch,
+        errors=sum(errors),
+        latencies_ms=samples,
+    )
+
+
+__all__ = [
+    "LoadgenResult",
+    "generate_batches",
+    "percentile",
+    "run_loadgen",
+]

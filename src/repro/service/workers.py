@@ -1,0 +1,304 @@
+"""Multi-process shard workers: the ingest hot loop of the service.
+
+The gateway (:mod:`repro.service.gateway`) is a single asyncio process --
+great at juggling thousands of connections, terrible at burning CPU on
+report decoding and accumulation.  This module moves that hot loop onto
+``N`` worker *processes*, one shard each, connected over
+``multiprocessing`` pipes:
+
+* the gateway forwards each framed report batch (still bytes -- it never
+  decodes an array) to one worker, round-robin;
+* every worker decodes the batch and folds it into its own
+  :class:`~repro.core.session.ProtocolServer` accumulator;
+* on epoch close each worker hands back its packed accumulator state and
+  resets.  Because accumulator merge is exactly associative and
+  commutative (integer sufficient statistics), merging the shard states
+  in *any* order reproduces single-process ingestion of the same reports
+  bit-for-bit -- sharding is a pure throughput play, never an accuracy
+  trade.
+
+The pipe protocol is deliberately pickle-free, mirroring the repository's
+wire format: one opcode byte followed by a payload (a framed batch, a
+packed accumulator state, or a JSON document).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+from multiprocessing.connection import Connection
+from typing import List, Optional
+
+from repro.core.serialization import SerializationError, unpack_report_batch
+from repro.core.session import Report, protocol_from_spec
+
+#: Opcode: ingest one framed report batch (no reply).
+OP_INGEST = b"I"
+#: Opcode: close the current epoch -- reply with the packed shard state
+#: and start a fresh accumulator.
+OP_CLOSE = b"C"
+#: Opcode: reply with a JSON stats document.
+OP_STATS = b"S"
+#: Opcode: acknowledge and exit.
+OP_QUIT = b"Q"
+
+
+def shard_worker_main(conn: Connection, spec: dict) -> None:
+    """Entry point of one shard worker process.
+
+    Rebuilds the protocol from its registry ``spec`` (JSON-able, so it
+    survives the ``spawn`` start method), then serves opcodes from the
+    pipe until :data:`OP_QUIT` or EOF.  Decode failures never kill the
+    worker: they are counted and surfaced through :data:`OP_STATS` and in
+    the :data:`OP_CLOSE` reply header, so the gateway can report them.
+    """
+    protocol = protocol_from_spec(spec)
+    server = protocol.server()
+    batches = 0
+    errors = 0
+    last_error = ""
+    while True:
+        try:
+            message = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        opcode, payload = message[:1], message[1:]
+        if opcode == OP_INGEST:
+            try:
+                _, frames = unpack_report_batch(payload)
+                reports = [Report.from_bytes(frame) for frame in frames]
+                server.ingest(reports)
+                batches += 1
+            except (SerializationError, ValueError, TypeError) as exc:
+                errors += 1
+                last_error = str(exc)
+        elif opcode == OP_CLOSE:
+            conn.send_bytes(OP_CLOSE + server.to_bytes())
+            server = protocol.server()
+        elif opcode == OP_STATS:
+            document = {
+                "pid": os.getpid(),
+                "epoch_reports": server.n_reports,
+                "batches": batches,
+                "errors": errors,
+                "last_error": last_error,
+            }
+            conn.send_bytes(OP_STATS + json.dumps(document).encode("utf-8"))
+        elif opcode == OP_QUIT:
+            conn.send_bytes(OP_QUIT)
+            break
+        else:
+            errors += 1
+            last_error = f"unknown opcode {opcode!r}"
+    conn.close()
+
+
+class ShardWorker:
+    """Async handle on one worker process.
+
+    All pipe traffic for one worker is serialized through its
+    ``asyncio.Lock`` (the pipe is a FIFO shared by every request handler),
+    and the blocking ``send_bytes`` / ``recv_bytes`` calls run on the
+    event loop's default executor so the gateway never stalls.
+    """
+
+    def __init__(self, index: int, process, conn: Connection) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.lock = asyncio.Lock()
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    async def _send(self, payload: bytes) -> None:
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.conn.send_bytes, payload)
+
+    async def _recv(self) -> bytes:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.conn.recv_bytes)
+
+    async def ingest(self, batch_blob: bytes) -> None:
+        """Forward one framed report batch (fire-and-forget).
+
+        The pipe is a FIFO, so a later :meth:`close_epoch` is guaranteed
+        to observe every batch sent before it.
+        """
+        async with self.lock:
+            await self._send(OP_INGEST + batch_blob)
+
+    async def close_epoch(self) -> bytes:
+        """Drain the worker's current epoch: its packed accumulator state."""
+        async with self.lock:
+            await self._send(OP_CLOSE)
+            reply = await self._recv()
+        if reply[:1] != OP_CLOSE:
+            raise RuntimeError(
+                f"worker {self.index} replied {reply[:1]!r} to a close"
+            )
+        return reply[1:]
+
+    async def stats(self) -> dict:
+        async with self.lock:
+            await self._send(OP_STATS)
+            reply = await self._recv()
+        if reply[:1] != OP_STATS:
+            raise RuntimeError(
+                f"worker {self.index} replied {reply[:1]!r} to a stats probe"
+            )
+        return json.loads(reply[1:].decode("utf-8"))
+
+    async def quit(self) -> None:
+        """Ask the worker to exit and wait for its acknowledgement."""
+        async with self.lock:
+            await self._send(OP_QUIT)
+            await self._recv()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.process.join, 5)
+
+    def terminate(self) -> None:
+        """Hard-kill the worker (crash simulation / last-resort cleanup)."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class WorkerPool:
+    """``N`` shard workers plus the round-robin fan-out policy.
+
+    One pool serves one protocol configuration (the workers are built
+    from its registry spec).  ``start()`` is synchronous -- workers spawn
+    before the gateway accepts traffic -- and every other operation is a
+    coroutine safe to call from any number of concurrent handlers.
+    """
+
+    def __init__(
+        self, spec: dict, num_workers: int = 2, start_method: str = "spawn"
+    ) -> None:
+        if int(num_workers) < 1:
+            raise ValueError(f"need at least 1 worker, got {num_workers}")
+        self._spec = dict(spec)
+        self._num_workers = int(num_workers)
+        self._start_method = start_method
+        self._workers: List[ShardWorker] = []
+        self._next = 0
+
+    def __len__(self) -> int:
+        return self._num_workers
+
+    @property
+    def workers(self) -> List[ShardWorker]:
+        return list(self._workers)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for worker in self._workers if worker.alive)
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker processes (idempotent)."""
+        if self._workers:
+            return self
+        context = multiprocessing.get_context(self._start_method)
+        for index in range(self._num_workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=shard_worker_main,
+                args=(child_conn, self._spec),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(ShardWorker(index, process, parent_conn))
+        return self
+
+    def _require_started(self) -> None:
+        if not self._workers:
+            raise RuntimeError("worker pool is not started")
+
+    async def ingest(self, batch_blob: bytes) -> int:
+        """Forward one framed batch to the next worker (round-robin).
+
+        Returns the worker index the batch landed on.
+        """
+        self._require_started()
+        index = self._next
+        self._next = (self._next + 1) % len(self._workers)
+        await self._workers[index].ingest(batch_blob)
+        return index
+
+    async def close_epoch(self) -> List[bytes]:
+        """Drain every worker's epoch; one packed shard state each."""
+        self._require_started()
+        return list(
+            await asyncio.gather(
+                *(worker.close_epoch() for worker in self._workers)
+            )
+        )
+
+    async def stats(self) -> List[dict]:
+        self._require_started()
+        documents = await asyncio.gather(
+            *(worker.stats() for worker in self._workers),
+            return_exceptions=True,
+        )
+        results: List[dict] = []
+        for worker, document in zip(self._workers, documents):
+            if isinstance(document, BaseException):
+                results.append(
+                    {"worker": worker.index, "alive": worker.alive, "error": str(document)}
+                )
+            else:
+                results.append({"worker": worker.index, "alive": worker.alive, **document})
+        return results
+
+    async def shutdown(self, graceful: bool = True) -> None:
+        """Stop every worker; graceful quit first, terminate as fallback."""
+        if graceful:
+            results = await asyncio.gather(
+                *(worker.quit() for worker in self._workers),
+                return_exceptions=True,
+            )
+            del results  # best effort; terminate below covers stragglers
+        for worker in self._workers:
+            worker.terminate()
+        self._workers = []
+
+
+def ingest_batches_single_process(
+    spec: dict, batch_blobs, postprocess: Optional[str] = None
+):
+    """Reference single-process ingestion of framed batches.
+
+    Decodes and ingests every report of every batch into one fresh
+    server and returns it -- the ground truth the sharded service must
+    match bit-for-bit.  Used by tests and the service benchmark.
+    """
+    if postprocess is not None:
+        spec = {**spec, "postprocess": postprocess}
+    protocol = protocol_from_spec(spec)
+    server = protocol.server()
+    for blob in batch_blobs:
+        _, frames = unpack_report_batch(blob)
+        server.ingest([Report.from_bytes(frame) for frame in frames])
+    return server
+
+
+__all__ = [
+    "OP_CLOSE",
+    "OP_INGEST",
+    "OP_QUIT",
+    "OP_STATS",
+    "ShardWorker",
+    "WorkerPool",
+    "ingest_batches_single_process",
+    "shard_worker_main",
+]

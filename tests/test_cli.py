@@ -209,3 +209,97 @@ class TestCommands:
         )
         payload = json.loads(capsys.readouterr().out)
         assert len(payload["frequencies"]) == 32
+
+
+class TestStdinStdoutPipes:
+    """``encode`` / ``aggregate`` accept ``-`` for stdin/stdout."""
+
+    def _users(self, tmp_path):
+        path = tmp_path / "users.csv"
+        write_items(str(path), np.random.default_rng(3).integers(0, 32, size=400))
+        return str(path)
+
+    def _encode_args(self, source, output):
+        return [
+            "encode", "--input", source, "--domain-size", "32",
+            "--epsilon", "1.1", "--method", "flat", "--seed", "4",
+            "--output", output,
+        ]
+
+    def test_encode_to_stdout_emits_a_framed_batch(self, tmp_path, capsysbinary):
+        from repro.core.serialization import MAGIC_BATCH, unpack_report_batch
+
+        assert main(self._encode_args(self._users(tmp_path), "-")) == 0
+        blob = capsysbinary.readouterr().out
+        assert blob.startswith(MAGIC_BATCH)
+        header, frames = unpack_report_batch(blob)
+        assert header["count"] == len(frames) == 1
+        assert header["n_users"] == 400
+        assert header["protocol"]["name"] == "flat"
+
+    def test_encode_from_stdin_matches_the_file_path(self, tmp_path, monkeypatch, capsysbinary):
+        import io
+        import sys as _sys
+
+        users = self._users(tmp_path)
+        assert main(self._encode_args(users, "-")) == 0
+        from_file = capsysbinary.readouterr().out
+        with open(users, "rb") as handle:
+            monkeypatch.setattr(
+                _sys, "stdin", io.TextIOWrapper(io.BytesIO(handle.read()))
+            )
+        assert main(self._encode_args("-", "-")) == 0
+        assert capsysbinary.readouterr().out == from_file
+
+    def test_piped_aggregate_is_bit_identical_to_files(self, tmp_path, monkeypatch, capsysbinary):
+        import io
+        import sys as _sys
+
+        users = self._users(tmp_path)
+        # classic file pipeline
+        report_path = str(tmp_path / "r.bin")
+        state_path = tmp_path / "s.state"
+        assert main(self._encode_args(users, report_path)) == 0
+        assert main(
+            ["aggregate", "--reports", report_path, "--output", str(state_path)]
+        ) == 0
+        # piped pipeline: encode -> framed batch -> aggregate stdin/stdout
+        capsysbinary.readouterr()  # drop the file pipeline's status lines
+        assert main(self._encode_args(users, "-")) == 0
+        batch = capsysbinary.readouterr().out
+        monkeypatch.setattr(_sys, "stdin", _FakeStdin(batch))
+        assert main(["aggregate", "--reports", "-", "--output", "-"]) == 0
+        piped_state = capsysbinary.readouterr().out
+        assert piped_state == state_path.read_bytes()
+
+    def test_aggregate_accepts_a_report_file_blob_on_stdin(self, tmp_path, monkeypatch):
+        import sys as _sys
+
+        users = self._users(tmp_path)
+        report_path = str(tmp_path / "r.bin")
+        assert main(self._encode_args(users, report_path)) == 0
+        with open(report_path, "rb") as handle:
+            monkeypatch.setattr(_sys, "stdin", _FakeStdin(handle.read()))
+        out_path = tmp_path / "stdin.state"
+        assert main(["aggregate", "--reports", "-", "--output", str(out_path)]) == 0
+        state_path = tmp_path / "file.state"
+        assert main(
+            ["aggregate", "--reports", report_path, "--output", str(state_path)]
+        ) == 0
+        assert out_path.read_bytes() == state_path.read_bytes()
+
+    def test_garbage_on_stdin_fails_loudly(self, monkeypatch):
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdin", _FakeStdin(b"not a report"))
+        with pytest.raises(SystemExit, match="could not load"):
+            main(["aggregate", "--reports", "-", "--output", "x.state"])
+
+
+class _FakeStdin:
+    """A stand-in for ``sys.stdin`` exposing only the binary ``buffer``."""
+
+    def __init__(self, data: bytes) -> None:
+        import io
+
+        self.buffer = io.BytesIO(data)

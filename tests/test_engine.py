@@ -402,3 +402,119 @@ class TestEngineCli:
             server = server or protocol.server()
             server.ingest(report)
         assert (tmp_path / "merged.state").read_bytes() == server.to_bytes()
+
+
+class TestConcurrentShardAdoption:
+    """The engine's concurrency contract: the epoch map is thread-safe.
+
+    Shard workers (or service threads) may adopt and absorb states from
+    many threads at once; the engine must neither lose a shard, corrupt
+    an epoch, nor double-assign an epoch key.  These are regression tests
+    for the internal lock -- without it, ``_next_epoch`` races hand two
+    threads the same fresh key and one shard silently vanishes (or
+    ``adopt_state`` raises on a key it was never given).
+    """
+
+    N_THREADS = 8
+    SHARDS_PER_THREAD = 6
+
+    def _shard_states(self, protocol, seed):
+        rng = np.random.default_rng(seed)
+        states = []
+        for index in range(self.N_THREADS * self.SHARDS_PER_THREAD):
+            server = protocol.server()
+            items = rng.integers(0, protocol.domain_size, size=20)
+            server.ingest(
+                protocol.client().encode_batch(items, rng=np.random.default_rng(index))
+            )
+            states.append(server.state.copy())
+        return states
+
+    def test_threaded_adopt_state_assigns_unique_epochs(self):
+        import threading
+
+        protocol = make_protocol("flat", 32, 1.0)
+        states = self._shard_states(protocol, seed=21)
+        engine = Engine.open(protocol)
+        failures = []
+
+        def adopt(thread_index):
+            try:
+                for state in states[thread_index :: self.N_THREADS]:
+                    engine.adopt_state(state.to_bytes())
+            except Exception as exc:  # noqa: BLE001 - surfaced via assert
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=adopt, args=(index,))
+            for index in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert len(engine.epochs) == len(states)
+        assert engine.epochs == tuple(range(len(states)))
+        assert engine.n_reports() == 20 * len(states)
+
+    def test_threaded_absorb_shard_merges_exactly(self):
+        import threading
+
+        protocol = make_protocol("hh", 32, 1.0, branching=4)
+        states = self._shard_states(protocol, seed=22)
+        engine = Engine.open(protocol)
+        failures = []
+
+        def absorb(thread_index):
+            try:
+                for state in states[thread_index :: self.N_THREADS]:
+                    engine.absorb_shard(state.to_bytes(), epoch=7)
+            except Exception as exc:  # noqa: BLE001 - surfaced via assert
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=absorb, args=(index,))
+            for index in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert engine.epochs == (7,)
+        # merge is associative + commutative: any interleaving of the
+        # threaded absorption reproduces the sequential fold exactly
+        reference = states[0].copy()
+        for state in states[1:]:
+            reference.merge(state)
+        merged = engine.window_state("all")
+        merged.meta = {}
+        reference.meta = {}
+        assert merged.to_bytes() == reference.to_bytes()
+
+    def test_threaded_sessions_share_one_epoch_safely(self):
+        import threading
+
+        protocol = make_protocol("flat", 16, 1.0)
+        engine = Engine.open(protocol)
+        barrier = threading.Barrier(self.N_THREADS)
+        sessions = []
+        lock = threading.Lock()
+
+        def open_session():
+            barrier.wait()
+            session = engine.session(epoch=3)
+            with lock:
+                sessions.append(session)
+
+        threads = [
+            threading.Thread(target=open_session) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # every thread got a view of the SAME shard, not racing fresh ones
+        assert engine.epochs == (3,)
+        assert len({id(session.server) for session in sessions}) == 1
