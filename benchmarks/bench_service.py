@@ -13,6 +13,12 @@ deployment-facing numbers the engine benchmark cannot see:
 * **recovery time** -- wall clock from "checkpoint on disk" to "service
   restarted, all epochs restored, queries answering", i.e. the crash
   recovery budget;
+* **WAL overhead** -- the same ingest workload with the durable ingest
+  log on, reported as a ratio against the WAL-off rate (the price of
+  exactly-once acknowledgements);
+* **WAL replay** -- wall clock to replay a crash-orphaned open epoch
+  from the log into fresh workers on restart (the un-checkpointed
+  crash-window recovery budget);
 * **bit-identity check** -- the sharded service's frequency estimates
   are asserted equal to a single-process ingest of the same batches
   before any number is recorded (a fast benchmark that answers wrongly
@@ -56,6 +62,7 @@ PRESETS = {
         "workers": 2,
         "concurrency": 4,
         "epochs": 2,
+        "replay_users": 20_000,
     },
     "default": {
         "domain": 2**10,
@@ -64,6 +71,7 @@ PRESETS = {
         "workers": 4,
         "concurrency": 8,
         "epochs": 3,
+        "replay_users": 100_000,
     },
 }
 
@@ -146,6 +154,81 @@ def run(preset: str, output: Path) -> dict:
         f"({epochs} epochs, {users_per_epoch * epochs:,} reports restored)"
     )
 
+    # WAL overhead: re-run the workload durably.  Epoch 0 is an
+    # unmeasured warm-up (fresh worker processes run the first epoch
+    # several times slower than warm ones, WAL or not); the comparison
+    # is warm-epoch against warm-epoch.
+    wal_root = Path(tempfile.mkdtemp(prefix="bench-service-wal-"))
+    wal_service = AggregationService(
+        spec, num_workers=config["workers"], wal_dir=str(wal_root / "ingest")
+    )
+    with ServiceThread(wal_service) as handle:
+        request_json(handle.url + "/stats")
+        warmup = run_loadgen(
+            handle.url,
+            epoch_blobs[0],
+            n_users=users_per_epoch,
+            concurrency=config["concurrency"],
+        )
+        assert warmup.errors == 0
+        wal_result = run_loadgen(
+            handle.url,
+            epoch_blobs[1],
+            n_users=users_per_epoch,
+            concurrency=config["concurrency"],
+        )
+        assert wal_result.errors == 0
+        wal_frequencies = request_json(
+            handle.url + "/query?frequencies=1&window=0"
+        )["frequencies"]
+    assert wal_frequencies == service_frequencies, (
+        "WAL-on service drifted from the WAL-off answers"
+    )
+    wal_off_rate = epoch_results[-1].reports_per_s
+    overhead = wal_off_rate / wal_result.reports_per_s
+    print(
+        f"WAL-on ingest: {wal_result.reports_per_s:12,.0f} reports/sec "
+        f"({overhead:.2f}x slower than the warm WAL-off epoch)"
+    )
+
+    # WAL replay: crash mid-epoch, restart, replay the open segment
+    replay_users = config["replay_users"]
+    _, replay_blobs = generate_batches(
+        spec,
+        n_users=replay_users,
+        batch_size=config["batch_size"],
+        distribution="zipf",
+        seed=99,
+    )
+    crash_dir = str(wal_root / "crash")
+    victim = AggregationService(
+        spec, num_workers=config["workers"], wal_dir=crash_dir
+    )
+    handle = ServiceThread(victim).start()
+    try:
+        run_loadgen(
+            handle.url,
+            replay_blobs,
+            n_users=replay_users,
+            concurrency=config["concurrency"],
+            close_epoch=False,
+        )
+    finally:
+        handle.stop(flush=False)  # crash: the epoch lives only in the WAL
+    survivor = AggregationService(
+        spec, num_workers=config["workers"], wal_dir=crash_dir
+    )
+    with ServiceThread(survivor) as handle:
+        stats = request_json(handle.url + "/stats")
+        replay_ms = stats["wal"]["recovery_ms"]
+        assert stats["replayed_batches"] == len(replay_blobs)
+        closed = request_json(handle.url + "/close", method="POST")
+        assert closed["reports"] == replay_users
+    print(
+        f"WAL replay after crash: {replay_ms:,.0f} ms "
+        f"({replay_users:,} reports, {len(replay_blobs)} batches)"
+    )
+
     all_latencies = [
         sample for result in epoch_results for sample in result.latencies_ms
     ]
@@ -177,6 +260,15 @@ def run(preset: str, output: Path) -> dict:
             "from_checkpoint_ms": recovery_seconds * 1e3,
             "checkpoint_bytes": Path(checkpoint).stat().st_size,
             "epochs_restored": epochs,
+        },
+        "wal": {
+            "ingest_reports_per_s": wal_result.reports_per_s,
+            "overhead_ratio": overhead,
+            "replay_reports": replay_users,
+            "replay_ms": replay_ms,
+            "replay_reports_per_s": replay_users / (replay_ms / 1e3)
+            if replay_ms > 0
+            else 0.0,
         },
         "bit_identical_to_single_process": True,
     }

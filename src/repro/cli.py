@@ -778,6 +778,10 @@ def command_serve(args: argparse.Namespace) -> int:
         "host": args.host,
         "port": args.port,
         "checkpoint_every": args.checkpoint_every,
+        "wal_dir": args.wal_dir,
+        "wal_sync": args.wal_sync,
+        "request_timeout": args.request_timeout,
+        "max_inflight": args.max_inflight,
     }
     if args.checkpoint and os.path.exists(args.checkpoint):
         service = AggregationService.from_checkpoint(args.checkpoint, **options)
@@ -796,9 +800,10 @@ def command_serve(args: argparse.Namespace) -> int:
     async def run() -> None:
         await service.start()
         epochs = list(service.engine.epochs)
+        wal = f"wal={args.wal_dir}" if args.wal_dir else "wal=off"
         print(
             f"serving {service.spec.get('name')} on {service.url} "
-            f"({args.workers} workers, {origin}, epochs={epochs}); "
+            f"({args.workers} workers, {origin}, {wal}, epochs={epochs}); "
             "Ctrl-C for graceful shutdown",
             flush=True,
         )
@@ -847,6 +852,7 @@ def command_loadgen(args: argparse.Namespace) -> int:
         dataset.n_users,
         concurrency=args.concurrency,
         close_epoch=not args.no_close,
+        max_retries=args.max_retries,
     )
     document = {"url": url, "spec": spec, **result.to_document()}
     text = json.dumps(document, indent=2, sort_keys=True)
@@ -1058,6 +1064,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="write the checkpoint every K-th epoch close",
     )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help=(
+            "durable ingest log directory: every accepted batch is logged "
+            "before its ack, so crashes and restarts are exactly-once"
+        ),
+    )
+    serve.add_argument(
+        "--wal-sync",
+        action="store_true",
+        help="fsync each WAL append (power-loss safe; much slower)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for a request before closing the connection (408)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="per-worker in-flight batch bound; beyond it ingest gets 429",
+    )
     serve.add_argument("--method", choices=PROTOCOL_CHOICES, default="hh")
     serve.add_argument(
         "--domain-size",
@@ -1090,6 +1121,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--distribution", choices=sorted(DISTRIBUTIONS), default="zipf"
     )
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per batch on connection failures and 429/503",
+    )
     loadgen.add_argument(
         "--no-close",
         action="store_true",

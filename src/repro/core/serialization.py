@@ -36,6 +36,15 @@ gateway in :mod:`repro.service` -- a pure container over the v1 report
 layout, so the gateway can route frames to shard workers without
 decoding any arrays.
 
+A fourth magic, ``REPROWAL\\x01``, frames the gateway's durable ingest
+write-ahead log (:mod:`repro.service.wal`): a segment header naming the
+epoch, then CRC-protected records each carrying a small JSON meta
+document (idempotency key, shard assignment) plus one framed report
+batch.  Unlike every other format here, a WAL segment is expected to be
+*torn*: the gateway may die mid-append, so :func:`scan_wal_segment`
+recovers every intact prefix record and reports -- rather than raises
+on -- a truncated or corrupt tail.
+
 Malformed input of any kind -- wrong magic, truncation, garbage JSON,
 corrupt array blocks -- raises :class:`SerializationError` with the byte
 offset where decoding failed, never a raw ``struct.error`` / ``KeyError``.
@@ -46,7 +55,8 @@ from __future__ import annotations
 import io
 import json
 import struct
-from typing import Dict, List, Mapping, Tuple
+import zlib
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -60,6 +70,10 @@ MAGIC_V2 = b"REPROACC\x02"
 #: Report-batch framing tag: the network wire format of the ingest
 #: gateway (:mod:`repro.service`) and of ``encode --output -``.
 MAGIC_BATCH = b"REPROBAT\x01"
+
+#: WAL segment framing tag: the gateway's durable ingest log
+#: (:mod:`repro.service.wal`), one segment file per epoch.
+MAGIC_WAL = b"REPROWAL\x01"
 
 #: The newest format version this build reads and writes.
 FORMAT_VERSION = 2
@@ -364,6 +378,132 @@ def unpack_report_batch(data) -> Tuple[dict, List[bytes]]:
             f"{len(data) - offset} unexpected bytes at offset {offset}"
         )
     return header, frames
+
+
+# --------------------------------------------------------------------- #
+# WAL segments: the durable ingest log of the gateway
+# --------------------------------------------------------------------- #
+#: ``wal_kind`` tag every WAL segment declares in its header.
+WAL_SEGMENT_KIND = "ingest-wal"
+
+_CRC = struct.Struct("<I")
+
+
+def pack_wal_segment_header(epoch: int, extra: Optional[dict] = None) -> bytes:
+    """The on-disk prefix of one WAL segment file.
+
+    ``MAGIC_WAL | u64 header length | JSON header`` -- the header names
+    the epoch the segment belongs to, so recovery never depends on file
+    names alone.
+    """
+    header = {"wal_kind": WAL_SEGMENT_KIND, "epoch": int(epoch)}
+    if extra:
+        header.update(extra)
+    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    return MAGIC_WAL + _LENGTH.pack(len(encoded)) + encoded
+
+
+def read_wal_segment_header(data) -> Tuple[dict, int]:
+    """Decode a segment's header; return ``(header, records_offset)``.
+
+    Unlike record scanning, a segment whose *header* is damaged is
+    unusable and raises :class:`SerializationError` -- the header is
+    written in one small atomic-in-practice append before any record, so
+    a torn header means the file is not a WAL segment at all.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise SerializationError(f"expected bytes, got {type(data).__name__}")
+    data = bytes(data)
+    if not data.startswith(MAGIC_WAL):
+        preview = bytes(data[: len(MAGIC_WAL)])
+        raise SerializationError(
+            f"bad magic at offset 0: {preview!r} is not a WAL segment "
+            f"(expected {MAGIC_WAL!r})"
+        )
+    offset = len(MAGIC_WAL)
+    if len(data) < offset + _LENGTH.size:
+        raise SerializationError(
+            f"truncated WAL segment at offset {len(data)}: need "
+            f"{offset + _LENGTH.size} bytes for the header length"
+        )
+    (header_length,) = _LENGTH.unpack_from(data, offset)
+    offset += _LENGTH.size
+    if header_length > len(data) - offset:
+        raise SerializationError(
+            f"truncated WAL segment at offset {len(data)}: header declares "
+            f"{header_length} bytes but only {len(data) - offset} remain"
+        )
+    try:
+        header = json.loads(data[offset : offset + header_length].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"corrupt WAL segment header in bytes "
+            f"[{offset}, {offset + header_length}): {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("wal_kind") != WAL_SEGMENT_KIND:
+        kind = header.get("wal_kind") if isinstance(header, dict) else None
+        raise SerializationError(
+            f"corrupt WAL segment header: wal_kind {kind!r} is not "
+            f"{WAL_SEGMENT_KIND!r}"
+        )
+    return header, offset + header_length
+
+
+def pack_wal_record(meta: dict, blob: bytes) -> bytes:
+    """Frame one WAL record: CRC + length + (JSON meta, payload blob).
+
+    ``u32 crc32(payload) | u64 payload length | payload`` where the
+    payload is ``u64 meta length | meta JSON | blob``.  The CRC covers
+    the whole payload so a torn or bit-flipped tail is detected by
+    :func:`scan_wal_segment` instead of being replayed as garbage.
+    """
+    encoded = json.dumps(dict(meta or {}), sort_keys=True).encode("utf-8")
+    payload = _LENGTH.pack(len(encoded)) + encoded + bytes(blob)
+    return _CRC.pack(zlib.crc32(payload)) + _LENGTH.pack(len(payload)) + payload
+
+
+def scan_wal_segment(data) -> Tuple[dict, List[Tuple[dict, bytes]], Optional[int]]:
+    """Decode every intact record of a WAL segment, tolerating a torn tail.
+
+    Returns ``(header, records, torn_offset)``: ``records`` is the list
+    of ``(meta, blob)`` pairs that passed their CRC, in append order, and
+    ``torn_offset`` is the byte offset of the first truncated/corrupt
+    record (``None`` for a clean segment).  Everything *after* a bad
+    record is discarded -- the log is append-only, so a damaged record
+    means the process died mid-append and nothing beyond it was ever
+    acknowledged.
+    """
+    header, offset = read_wal_segment_header(data)
+    data = bytes(data)
+    records: List[Tuple[dict, bytes]] = []
+    while offset < len(data):
+        start = offset
+        if len(data) - offset < _CRC.size + _LENGTH.size:
+            return header, records, start
+        (crc,) = _CRC.unpack_from(data, offset)
+        (payload_length,) = _LENGTH.unpack_from(data, offset + _CRC.size)
+        offset += _CRC.size + _LENGTH.size
+        if payload_length > len(data) - offset:
+            return header, records, start
+        payload = data[offset : offset + payload_length]
+        offset += payload_length
+        if zlib.crc32(payload) != crc:
+            return header, records, start
+        if payload_length < _LENGTH.size:
+            return header, records, start
+        (meta_length,) = _LENGTH.unpack_from(payload, 0)
+        if meta_length > payload_length - _LENGTH.size:
+            return header, records, start
+        try:
+            meta = json.loads(
+                payload[_LENGTH.size : _LENGTH.size + meta_length].decode("utf-8")
+            )
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return header, records, start
+        if not isinstance(meta, dict):
+            return header, records, start
+        records.append((meta, payload[_LENGTH.size + meta_length :]))
+    return header, records, None
 
 
 def pack_child(child_bytes: bytes) -> np.ndarray:

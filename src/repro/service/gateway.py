@@ -40,15 +40,38 @@ epoch close rewrites the checkpoint (atomic rename, v2 envelope), and a
 graceful :meth:`AggregationService.stop` flushes the in-progress epoch
 and checkpoints before the workers exit.  Restarting on the same path
 resumes with every checkpointed epoch intact.
+
+Fault tolerance (``wal_dir`` + supervision):
+
+* every accepted ingest batch is appended to a per-epoch write-ahead
+  log (:mod:`repro.service.wal`) *before* the 200 goes out, keyed by a
+  client-supplied ``Idempotency-Key`` header (duplicates are dropped,
+  so at-least-once clients get exactly-once ingestion);
+* a supervisor task respawns crashed shard workers under bounded
+  exponential backoff and re-ingests their WAL'd batches into the
+  replacement -- a worker crash costs availability of one shard for a
+  moment, never a single report;
+* on restart, sealed-but-uncheckpointed epochs are rebuilt from their
+  WAL segments and the open epoch's batches are replayed into fresh
+  workers, so a SIGKILL between ``/ingest`` ack and ``/close`` loses
+  nothing: recovered query answers are bit-identical to a no-fault run;
+* bounded per-worker in-flight queues surface ``429 Retry-After`` when
+  the pool is saturated, and slow/stuck clients are disconnected by a
+  request read timeout.
+
+Without a WAL the service still survives worker crashes (supervision
+respawns them and ingest is re-routed), but the dead shard's
+un-closed reports are lost -- durability needs the log.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import threading
 import time
-from typing import Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.exceptions import InvalidWindowError, ProtocolUsageError
 from repro.core.serialization import (
@@ -67,7 +90,14 @@ from repro.service.http import (
     json_response,
     read_request,
 )
-from repro.service.workers import WorkerPool
+from repro.service.wal import IngestWAL, SegmentScan
+from repro.service.workers import (
+    NoAliveWorkersError,
+    PoolSaturatedError,
+    WorkerCrashError,
+    WorkerPool,
+    ingest_batches_single_process,
+)
 
 
 def _spec_sans_postprocess(spec: Optional[dict]) -> Optional[dict]:
@@ -107,6 +137,13 @@ class AggregationService:
         checkpoint_every: int = 1,
         max_body: int = DEFAULT_MAX_BODY,
         start_method: str = "spawn",
+        wal_dir: Optional[str] = None,
+        wal_sync: bool = False,
+        max_inflight: int = 64,
+        request_timeout: Optional[float] = 30.0,
+        supervise_interval: Optional[float] = 0.25,
+        restart_backoff_s: float = 0.1,
+        restart_backoff_max_s: float = 5.0,
     ) -> None:
         if not isinstance(engine, Engine):
             engine = Engine.open(engine)
@@ -120,16 +157,52 @@ class AggregationService:
         self._checkpoint_every = int(checkpoint_every)
         self._max_body = int(max_body)
         self._pool = WorkerPool(
-            self._spec, num_workers=num_workers, start_method=start_method
+            self._spec,
+            num_workers=num_workers,
+            start_method=start_method,
+            max_inflight=max_inflight,
+            restart_backoff_s=restart_backoff_s,
+            restart_backoff_max_s=restart_backoff_max_s,
         )
+        self._wal = IngestWAL(wal_dir, sync=wal_sync) if wal_dir else None
+        self._wal_lock = asyncio.Lock()
+        self._request_timeout = (
+            float(request_timeout) if request_timeout else None
+        )
+        self._supervise_interval = (
+            float(supervise_interval) if supervise_interval else None
+        )
+        self._supervisor: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._port: Optional[int] = None
         self._close_lock = asyncio.Lock()
+        # Makes a deferred batch's {shard assignment + WAL append} atomic
+        # with respect to the supervisor's {respawn + replay}: without it
+        # a replay could scan the log between the two and miss a record
+        # assigned to the worker it just revived.
+        self._repair_lock = asyncio.Lock()
+        # Epoch barrier: /close waits for in-flight ingests to land and
+        # holds back new ones, so a batch's WAL epoch always matches the
+        # epoch its reports are counted in.
+        self._closing = False
+        self._ingest_inflight = 0
+        self._ingest_idle = asyncio.Event()
+        self._close_done = asyncio.Event()
+        self._close_done.set()
+        # Idempotency keys seen in the current and previous epoch.
+        self._seen_keys: Dict[str, int] = {}
+        self._auto_keys = itertools.count()
         epochs = engine.epochs
         self._current_epoch = (max(epochs) + 1) if epochs else 0
         self._started_at = time.monotonic()
         self._batches_accepted = 0
         self._reports_accepted = 0
+        self._duplicates_dropped = 0
+        self._rejected_busy = 0
+        self._deferred_batches = 0
+        self._replayed_batches = 0
+        self._timed_out_connections = 0
+        self._wal_recovery_ms = 0.0
         self._checkpoints_written = 0
         self._closes_since_checkpoint = 0
         self._stopping = False
@@ -171,9 +244,29 @@ class AggregationService:
         """The epoch key in-flight reports belong to."""
         return self._current_epoch
 
+    @property
+    def wal(self) -> Optional[IngestWAL]:
+        """The durable ingest log (``None`` when started without one)."""
+        return self._wal
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The shard worker pool (exposed for fault injection and tests)."""
+        return self._pool
+
+    @property
+    def restart_count(self) -> int:
+        return self._pool.restart_count
+
     async def start(self) -> "AggregationService":
-        """Spawn the shard workers and start accepting connections."""
+        """Spawn the shard workers, recover the WAL, start accepting."""
         self._pool.start()
+        if self._wal is not None:
+            recovery_started = time.perf_counter()
+            await self._recover_from_wal()
+            self._wal_recovery_ms = (
+                time.perf_counter() - recovery_started
+            ) * 1e3
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self._host,
@@ -182,6 +275,8 @@ class AggregationService:
         )
         self._port = self._server.sockets[0].getsockname()[1]
         self._started_at = time.monotonic()
+        if self._supervise_interval:
+            self._supervisor = asyncio.create_task(self._supervise())
         return self
 
     async def serve_forever(self) -> None:
@@ -196,9 +291,17 @@ class AggregationService:
         close the in-progress epoch (so no accepted report is lost),
         write a final checkpoint, and let the workers exit cleanly.
         ``flush=False`` simulates a crash: the current epoch's
-        un-checkpointed shards are dropped on the floor.
+        un-checkpointed shards are dropped on the floor (recoverable
+        from the WAL, when one is configured).
         """
         self._stopping = True
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._supervisor = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -210,6 +313,149 @@ class AggregationService:
             await self._pool.shutdown(graceful=True)
         else:
             await self._pool.shutdown(graceful=False)
+        if self._wal is not None:
+            self._wal.close()
+
+    # ------------------------------------------------------------------ #
+    # fault tolerance: WAL recovery + worker supervision
+    # ------------------------------------------------------------------ #
+    def _rebuild_segment_state(self, segment: SegmentScan):
+        """Single-process re-ingestion of one WAL segment (exact)."""
+        seen = set()
+        blobs = []
+        for meta, blob in segment.records:
+            key = meta.get("key")
+            if key in seen:
+                continue
+            seen.add(key)
+            blobs.append(blob)
+        return ingest_batches_single_process(self._spec, blobs)
+
+    async def _recover_from_wal(self) -> None:
+        """Replay surviving WAL segments after a restart.
+
+        Sealed segments whose epoch a checkpoint already covers are
+        discarded; sealed segments the crash orphaned (closed into the
+        engine but never checkpointed) are rebuilt by single-process
+        re-ingestion -- bit-identical to the sharded original.  The open
+        segment, if any, is the epoch that was in flight when the
+        process died: its batches are replayed into the fresh workers
+        and the segment keeps accepting appends.
+        """
+        scan = self._wal.scan()
+        loop = asyncio.get_running_loop()
+        known = set(self._engine.epochs)
+        open_segments = sorted(scan.open, key=lambda segment: segment.epoch)
+        # Any open segment that is not the newest belongs to an epoch a
+        # later epoch superseded mid-crash; rebuild it like a sealed one.
+        to_rebuild = scan.sealed + open_segments[:-1]
+        for segment in sorted(to_rebuild, key=lambda segment: segment.epoch):
+            if segment.epoch in known:
+                self._wal.discard(segment.epoch)
+                continue
+            if not segment.records:
+                self._wal.discard(segment.epoch)
+                continue
+            server = await loop.run_in_executor(
+                None, self._rebuild_segment_state, segment
+            )
+            if server.n_reports > 0:
+                server.state.meta.clear()
+                self._engine.absorb_shard(server.state, epoch=segment.epoch)
+                known.add(segment.epoch)
+            self._wal.seal(segment.epoch)
+        if known:
+            self._current_epoch = max(known) + 1
+        if open_segments:
+            live = open_segments[-1]
+            self._current_epoch = live.epoch
+            seen = set()
+            buckets: Dict[int, List[bytes]] = {}
+            for meta, blob in live.records:
+                key = str(meta.get("key"))
+                if key in seen:
+                    continue
+                seen.add(key)
+                self._seen_keys[key] = live.epoch
+                index = int(meta.get("worker", 0)) % len(self._pool)
+                buckets.setdefault(index, []).append(blob)
+                self._batches_accepted += 1
+                self._reports_accepted += int(meta.get("n_users", 0))
+            counts = await asyncio.gather(
+                *(
+                    self._replay_into(index, blobs)
+                    for index, blobs in buckets.items()
+                )
+            )
+            self._replayed_batches += sum(counts)
+
+    async def _replay_into(self, index: int, blobs: List[bytes]) -> int:
+        """Sequentially re-ingest one shard's batches; stop on a crash.
+
+        A record that cannot be delivered (the shard -- or its fresh
+        replacement -- died) stays in the log; the next repair pass
+        respawns the shard and runs the full replay again.  Shards
+        replay concurrently with each other: each worker's decode loop
+        is the bottleneck, so per-shard fan-out cuts recovery time by
+        roughly the worker count.
+        """
+        replayed = 0
+        for blob in blobs:
+            try:
+                await self._pool.ingest_on(index, blob)
+            except WorkerCrashError:
+                break
+            replayed += 1
+        return replayed
+
+    async def _replay_for_workers(self, indices: List[int], epoch: int) -> int:
+        """Re-ingest the current epoch's WAL batches owned by ``indices``.
+
+        Called after respawning dead workers: the replacements start
+        empty, and every batch the dead shard ever accepted this epoch
+        is in the log.  Without a WAL this is a no-op (the shard's
+        reports are lost, availability is all supervision can save).
+        """
+        if self._wal is None or not indices:
+            return 0
+        wanted = {int(index) % len(self._pool) for index in indices}
+        loop = asyncio.get_running_loop()
+        records = await loop.run_in_executor(None, self._wal.read_epoch, epoch)
+        buckets: Dict[int, List[bytes]] = {}
+        for meta, blob in records:
+            index = int(meta.get("worker", 0)) % len(self._pool)
+            if index in wanted:
+                buckets.setdefault(index, []).append(blob)
+        counts = await asyncio.gather(
+            *(self._replay_into(index, blobs) for index, blobs in buckets.items())
+        )
+        replayed = sum(counts)
+        self._replayed_batches += replayed
+        return replayed
+
+    async def _supervise(self) -> None:
+        """Detect dead workers, respawn them, replay their batches.
+
+        Runs forever on ``supervise_interval``; holds the close lock so
+        a replay never interleaves with an epoch drain (which would
+        mis-attribute the replayed reports to the next epoch).
+        """
+        while not self._stopping:
+            await asyncio.sleep(self._supervise_interval)
+            try:
+                if self._pool.alive_count == len(self._pool):
+                    continue
+                async with self._close_lock:
+                    async with self._repair_lock:
+                        respawned = await self._pool.ensure_alive()
+                        await self._replay_for_workers(
+                            respawned, self._current_epoch
+                        )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - supervision must outlive any
+                # transient repair failure; the next tick tries again.
+                continue
 
     # ------------------------------------------------------------------ #
     # epoch lifecycle
@@ -222,45 +468,98 @@ class AggregationService:
         self._checkpoints_written += 1
         self._closes_since_checkpoint = 0
 
+    async def _drain_workers(self, epoch: int) -> Dict[int, bytes]:
+        """Drain every shard for ``epoch``, repairing crashes as needed.
+
+        A worker that dies mid-drain is respawned, its WAL'd batches are
+        replayed into the replacement, and only then is the shard drained
+        again -- so the merged epoch holds exactly the accepted batches
+        even when shards crash during the close itself.
+        """
+        pending = set(range(len(self._pool)))
+        states: Dict[int, bytes] = {}
+        for _attempt in range(4):
+            respawned = await self._pool.ensure_alive(force=True)
+            await self._replay_for_workers(
+                [index for index in respawned if index in pending], epoch
+            )
+            drained, failures = await self._pool.close_workers(sorted(pending))
+            states.update(drained)
+            pending -= set(drained)
+            if not pending:
+                return states
+            if self._wal is None:
+                # No log to replay from: the dead shards' reports are
+                # gone; deliver what survived rather than spin forever.
+                await self._pool.ensure_alive(force=True)
+                return states
+        raise HttpError(
+            503,
+            f"could not drain shard(s) {sorted(pending)} after repeated "
+            "worker respawns",
+        )
+
     async def _close_epoch(self) -> dict:
         """Drain every worker and merge the shard states into the engine.
 
-        Merging runs under the engine's lock via
-        :meth:`~repro.engine.Engine.absorb_shard`; empty shards are
+        Holds the epoch barrier (in-flight ingests land first, new ones
+        wait) so the WAL segment and the merged epoch agree on exactly
+        which batches belong to it; merging runs under the engine's lock
+        via :meth:`~repro.engine.Engine.absorb_shard`; empty shards are
         skipped so a traffic-free close never creates an unfinalizable
         zero-report epoch.
         """
         async with self._close_lock:
-            epoch = self._current_epoch
-            shard_blobs = await self._pool.close_epoch()
-            total = 0
-            for blob in shard_blobs:
-                state = AccumulatorState.from_bytes(blob)
-                if state.n_reports <= 0:
-                    continue
-                # Worker states carry no epoch stamp; absorb_shard merges
-                # them (exactly) into the closing epoch under the lock.
-                state.meta.clear()
-                self._engine.absorb_shard(state, epoch=epoch)
-                total += state.n_reports
-            if total == 0:
-                return {"closed": False, "reports": 0, "epoch": None}
-            self._current_epoch = epoch + 1
-            self._closes_since_checkpoint += 1
-            checkpointed = False
-            if (
-                self._checkpoint_path is not None
-                and self._closes_since_checkpoint >= self._checkpoint_every
-            ):
-                await self._write_checkpoint()
-                checkpointed = True
-            return {
-                "closed": True,
-                "epoch": epoch,
-                "reports": total,
-                "checkpointed": checkpointed,
-                "epochs": list(self._engine.epochs),
-            }
+            self._closing = True
+            self._close_done.clear()
+            try:
+                if self._ingest_inflight > 0:
+                    self._ingest_idle.clear()
+                    await self._ingest_idle.wait()
+                epoch = self._current_epoch
+                shard_states = await self._drain_workers(epoch)
+                total = 0
+                for index in sorted(shard_states):
+                    state = AccumulatorState.from_bytes(shard_states[index])
+                    if state.n_reports <= 0:
+                        continue
+                    # Worker states carry no epoch stamp; absorb_shard merges
+                    # them (exactly) into the closing epoch under the lock.
+                    state.meta.clear()
+                    self._engine.absorb_shard(state, epoch=epoch)
+                    total += state.n_reports
+                if total == 0:
+                    return {"closed": False, "reports": 0, "epoch": None}
+                self._current_epoch = epoch + 1
+                self._pool.note_epoch_closed()
+                # Keys from two epochs ago can no longer race a retry.
+                self._seen_keys = {
+                    key: seen_epoch
+                    for key, seen_epoch in self._seen_keys.items()
+                    if seen_epoch >= epoch
+                }
+                if self._wal is not None:
+                    self._wal.seal(epoch)
+                self._closes_since_checkpoint += 1
+                checkpointed = False
+                if (
+                    self._checkpoint_path is not None
+                    and self._closes_since_checkpoint >= self._checkpoint_every
+                ):
+                    await self._write_checkpoint()
+                    checkpointed = True
+                if checkpointed and self._wal is not None:
+                    self._wal.discard_checkpointed(self._engine.epochs)
+                return {
+                    "closed": True,
+                    "epoch": epoch,
+                    "reports": total,
+                    "checkpointed": checkpointed,
+                    "epochs": list(self._engine.epochs),
+                }
+            finally:
+                self._closing = False
+                self._close_done.set()
 
     # ------------------------------------------------------------------ #
     # request handling
@@ -271,7 +570,23 @@ class AggregationService:
         try:
             while True:
                 try:
-                    request = await read_request(reader, max_body=self._max_body)
+                    request = await asyncio.wait_for(
+                        read_request(reader, max_body=self._max_body),
+                        timeout=self._request_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    # A stuck or idle-beyond-budget client: free the
+                    # connection instead of holding the slot forever.
+                    self._timed_out_connections += 1
+                    writer.write(
+                        error_response(
+                            408,
+                            f"request not received within "
+                            f"{self._request_timeout:g}s",
+                        )
+                    )
+                    await writer.drain()
+                    break
                 except HttpError as exc:
                     writer.write(error_response(exc.status, exc.message))
                     await writer.drain()
@@ -282,7 +597,10 @@ class AggregationService:
                     response = await self._dispatch(request)
                 except HttpError as exc:
                     response = error_response(
-                        exc.status, exc.message, keep_alive=request.keep_alive
+                        exc.status,
+                        exc.message,
+                        keep_alive=request.keep_alive,
+                        extra_headers=exc.headers,
                     )
                 except Exception as exc:  # noqa: BLE001 - boundary: a handler
                     # bug must produce a 500, never kill the connection loop.
@@ -326,14 +644,28 @@ class AggregationService:
 
     async def _handle_healthz(self, request: HttpRequest) -> bytes:
         alive = self._pool.alive_count
-        healthy = alive == len(self._pool) and not self._stopping
+        configured = len(self._pool)
+        if self._stopping:
+            status, code = "stopping", 503
+        elif alive == configured:
+            status, code = "ok", 200
+        elif alive > 0 or self._wal is not None:
+            # Some shards are respawning, but ingest still lands (alive
+            # workers take it; with a WAL even an all-dead window is
+            # only a deferral) -- degraded, not down.
+            status, code = "degraded", 200
+        else:
+            status, code = "down", 503
         payload = {
-            "status": "ok" if healthy else "degraded",
-            "workers": {"alive": alive, "configured": len(self._pool)},
+            "status": status,
+            "workers": {
+                "alive": alive,
+                "configured": configured,
+                "restarts": self._pool.restart_count,
+            },
+            "wal": self._wal is not None,
         }
-        return json_response(
-            200 if healthy else 503, payload, keep_alive=request.keep_alive
-        )
+        return json_response(code, payload, keep_alive=request.keep_alive)
 
     async def _handle_stats(self, request: HttpRequest) -> bytes:
         worker_stats = await self._pool.stats()
@@ -355,8 +687,19 @@ class AggregationService:
             "accepted": {
                 "batches": self._batches_accepted,
                 "reports": self._reports_accepted,
+                "duplicates_dropped": self._duplicates_dropped,
+                "rejected_busy": self._rejected_busy,
+                "deferred_batches": self._deferred_batches,
             },
             "workers": worker_stats,
+            "restart_count": self._pool.restart_count,
+            "replayed_batches": self._replayed_batches,
+            "timed_out_connections": self._timed_out_connections,
+            "wal": (
+                {**self._wal.stats(), "recovery_ms": self._wal_recovery_ms}
+                if self._wal is not None
+                else None
+            ),
             "checkpoint": {
                 "path": self._checkpoint_path,
                 "every": self._checkpoint_every,
@@ -395,18 +738,150 @@ class AggregationService:
                 {"queued": 0, "epoch": self._current_epoch},
                 keep_alive=request.keep_alive,
             )
+
+        # Epoch barrier: wait out an in-progress close, then reserve our
+        # slot synchronously (no awaits between the checks below) so the
+        # epoch we stamp is the epoch our reports are merged into.
+        while self._closing:
+            await self._close_done.wait()
+        key = request.headers.get("idempotency-key")
+        if key is None:
+            key = f"auto:{next(self._auto_keys)}"
+        elif key in self._seen_keys:
+            # An at-least-once client retried a batch we already own
+            # (possibly acknowledged into the just-closed epoch).
+            self._duplicates_dropped += 1
+            return json_response(
+                200,
+                {
+                    "queued": 0,
+                    "duplicate": True,
+                    "key": key,
+                    "epoch": self._seen_keys[key],
+                },
+                keep_alive=request.keep_alive,
+            )
         epoch = self._current_epoch
+        self._seen_keys[key] = epoch
+        self._ingest_inflight += 1
         try:
-            worker = await self._pool.ingest(blob)
-        except (BrokenPipeError, OSError) as exc:
-            raise HttpError(503, f"shard worker unavailable: {exc}") from exc
-        self._batches_accepted += 1
-        self._reports_accepted += n_users
-        return json_response(
-            200,
-            {"queued": n_users, "epoch": epoch, "worker": worker},
-            keep_alive=request.keep_alive,
-        )
+            deferred = False
+            try:
+                worker = self._pool.pick_worker()
+            except PoolSaturatedError as exc:
+                del self._seen_keys[key]
+                self._rejected_busy += 1
+                raise HttpError(
+                    429,
+                    f"ingest queue saturated ({self._pool.max_inflight} "
+                    "in-flight batches per worker); retry shortly",
+                    headers={"Retry-After": "0.1"},
+                ) from exc
+            except NoAliveWorkersError as exc:
+                if self._wal is None:
+                    del self._seen_keys[key]
+                    raise HttpError(
+                        503, f"shard workers unavailable: {exc}"
+                    ) from exc
+                # With a WAL the batch is durable the moment it is
+                # logged; the supervisor's respawn replay delivers it.
+                worker = -1
+                deferred = True
+            try:
+                if deferred:
+                    # Under the repair lock a respawn replay cannot scan
+                    # the log between the shard assignment and the append
+                    # landing (it would miss this record and nothing
+                    # would ever deliver it).  Re-check the pool first: a
+                    # shard that just came back takes the batch directly.
+                    async with self._repair_lock:
+                        try:
+                            worker = self._pool.pick_worker()
+                            deferred = False
+                        except PoolSaturatedError:
+                            # Workers revived mid-request but are full;
+                            # the inflight bound is advisory backpressure
+                            # -- deliver anyway rather than strand the
+                            # batch behind a dead shard.
+                            worker = next(
+                                w.index for w in self._pool.workers if w.alive
+                            )
+                            deferred = False
+                        except NoAliveWorkersError:
+                            worker = self._batches_accepted % len(self._pool)
+                        await self._append_wal(epoch, blob, key, worker, n_users)
+                else:
+                    await self._append_wal(epoch, blob, key, worker, n_users)
+            except OSError as exc:
+                del self._seen_keys[key]
+                raise HttpError(503, f"ingest log write failed: {exc}") from exc
+            if not deferred:
+                try:
+                    await self._pool.ingest_on(worker, blob)
+                except WorkerCrashError as exc:
+                    if self._wal is not None:
+                        # Logged before the crash: the respawn replay
+                        # re-ingests it, so the ack stands.
+                        deferred = True
+                    else:
+                        delivered = await self._reroute(blob)
+                        if delivered is None:
+                            del self._seen_keys[key]
+                            raise HttpError(
+                                503, f"shard worker crashed mid-ingest: {exc}"
+                            ) from exc
+                        worker = delivered
+            if deferred:
+                self._deferred_batches += 1
+            self._batches_accepted += 1
+            self._reports_accepted += n_users
+            return json_response(
+                200,
+                {
+                    "queued": n_users,
+                    "epoch": epoch,
+                    "worker": worker,
+                    "key": key,
+                    "deferred": deferred,
+                },
+                keep_alive=request.keep_alive,
+            )
+        finally:
+            self._ingest_inflight -= 1
+            if self._ingest_inflight == 0:
+                self._ingest_idle.set()
+
+    async def _append_wal(
+        self, epoch: int, blob: bytes, key: str, worker: int, n_users: int
+    ) -> None:
+        if self._wal is None:
+            return
+        if self._wal.sync:
+            # fsync can block for milliseconds: keep it off the loop,
+            # serialized so records never interleave mid-write.
+            loop = asyncio.get_running_loop()
+            async with self._wal_lock:
+                await loop.run_in_executor(
+                    None,
+                    lambda: self._wal.append(
+                        epoch, blob, key=key, worker=worker, n_users=n_users
+                    ),
+                )
+        else:
+            # A buffered write + flush is page-cache fast; doing it
+            # inline keeps record order identical to ack order.
+            self._wal.append(epoch, blob, key=key, worker=worker, n_users=n_users)
+
+    async def _reroute(self, blob: bytes) -> Optional[int]:
+        """Best-effort re-send after a mid-ingest crash (no WAL only)."""
+        for _ in range(len(self._pool)):
+            try:
+                index = self._pool.pick_worker()
+                await self._pool.ingest_on(index, blob)
+                return index
+            except (NoAliveWorkersError, PoolSaturatedError, WorkerCrashError):
+                continue
+        return None
 
     async def _handle_close(self, request: HttpRequest) -> bytes:
         result = await self._close_epoch()
@@ -591,37 +1066,101 @@ class ServiceThread:
         self.stop(flush=exc_type is None)
 
 
-def request_json(url: str, method: str = "GET", body: Optional[bytes] = None) -> dict:
+#: HTTP statuses that signal "try again shortly", not "you are wrong".
+RETRYABLE_STATUSES = (429, 503)
+
+
+def retry_delay_s(
+    attempt: int,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+    retry_after: Optional[str] = None,
+) -> float:
+    """Jittered exponential backoff, honoring a server ``Retry-After``.
+
+    Shared by :func:`request_json` and the load generator so every
+    client in the repository backs off the same way: the server's hint
+    is a floor, the exponential schedule a ceiling-capped escalation,
+    and the jitter keeps a fleet of retrying clients from stampeding in
+    lockstep.
+    """
+    import random
+
+    delay = min(cap_s, base_s * (2 ** max(0, attempt)))
+    if retry_after:
+        try:
+            delay = max(delay, float(retry_after))
+        except ValueError:
+            pass
+    return delay * (0.5 + random.random())
+
+
+def request_json(
+    url: str,
+    method: str = "GET",
+    body: Optional[bytes] = None,
+    *,
+    max_retries: int = 2,
+    headers: Optional[dict] = None,
+    timeout: float = 60.0,
+) -> dict:
     """One blocking JSON round trip against a gateway (stdlib only).
 
     Convenience for scripts and tests; raises ``RuntimeError`` on any
-    non-200 status with the server's error message.
+    non-200 status with the server's error message.  Transport failures
+    (connection reset, refused, incomplete read) and retryable statuses
+    (429/503, honoring ``Retry-After``) are retried up to
+    ``max_retries`` times with jittered exponential backoff -- pass an
+    ``Idempotency-Key`` header when retrying ``/ingest`` so a retry of
+    an already-accepted batch is deduplicated, not double-counted.
     """
     import http.client
+    import time as _time
     from urllib.parse import urlsplit
 
     parts = urlsplit(url)
     path = parts.path or "/"
     if parts.query:
         path = f"{path}?{parts.query}"
-    connection = http.client.HTTPConnection(
-        parts.hostname, parts.port or 80, timeout=60
-    )
-    try:
-        connection.request(
-            method,
-            path,
-            body=body,
-            headers={"Content-Type": "application/octet-stream"} if body else {},
+    request_headers = dict(headers or {})
+    if body and "Content-Type" not in request_headers:
+        request_headers["Content-Type"] = "application/octet-stream"
+
+    last_error: Optional[str] = None
+    for attempt in range(int(max_retries) + 1):
+        connection = http.client.HTTPConnection(
+            parts.hostname, parts.port or 80, timeout=timeout
         )
-        response = connection.getresponse()
-        payload = response.read()
-        document = json.loads(payload.decode("utf-8"))
-        if response.status != 200:
-            raise RuntimeError(
-                f"{method} {path} -> {response.status}: "
-                f"{document.get('error', payload[:200])}"
-            )
-        return document
-    finally:
-        connection.close()
+        try:
+            try:
+                connection.request(method, path, body=body, headers=request_headers)
+                response = connection.getresponse()
+                payload = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                if attempt < max_retries:
+                    _time.sleep(retry_delay_s(attempt))
+                    continue
+                raise RuntimeError(
+                    f"{method} {path} failed after {attempt + 1} attempts: "
+                    f"{last_error}"
+                ) from exc
+            document = json.loads(payload.decode("utf-8"))
+            if response.status in RETRYABLE_STATUSES and attempt < max_retries:
+                _time.sleep(
+                    retry_delay_s(
+                        attempt, retry_after=response.getheader("Retry-After")
+                    )
+                )
+                continue
+            if response.status != 200:
+                raise RuntimeError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{document.get('error', payload[:200])}"
+                )
+            return document
+        finally:
+            connection.close()
+    raise RuntimeError(
+        f"{method} {path} failed after {max_retries + 1} attempts: {last_error}"
+    )  # pragma: no cover - loop always returns or raises above

@@ -37,9 +37,11 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     411: "Length Required",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     501: "Not Implemented",
@@ -48,12 +50,20 @@ _REASONS = {
 
 
 class HttpError(Exception):
-    """A request failure that maps onto one HTTP error response."""
+    """A request failure that maps onto one HTTP error response.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` lets a handler attach response headers to the error --
+    the gateway uses it for ``Retry-After`` on 429/503 so well-behaved
+    clients know how long to back off.
+    """
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
         super().__init__(message)
         self.status = int(status)
         self.message = str(message)
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -152,31 +162,49 @@ def render_response(
     body: bytes,
     content_type: str = "application/json",
     keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Serialize one complete HTTP/1.1 response."""
     reason = _REASONS.get(status, "Unknown")
+    extras = "".join(
+        f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extras}"
         "\r\n"
     )
     return head.encode("latin-1") + body
 
 
 def json_response(
-    status: int, payload: dict, keep_alive: bool = True
+    status: int,
+    payload: dict,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
     """Render a JSON document as a complete response."""
     body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
-    return render_response(status, body, keep_alive=keep_alive)
+    return render_response(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )
 
 
-def error_response(status: int, message: str, keep_alive: bool = False) -> bytes:
+def error_response(
+    status: int,
+    message: str,
+    keep_alive: bool = False,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     """The uniform JSON error body every failure path uses."""
     return json_response(
-        status, {"error": message, "status": status}, keep_alive=keep_alive
+        status,
+        {"error": message, "status": status},
+        keep_alive=keep_alive,
+        extra_headers=extra_headers,
     )
 
 

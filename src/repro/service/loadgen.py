@@ -19,6 +19,7 @@ from __future__ import annotations
 import http.client
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import List, Optional
 from urllib.parse import urlsplit
@@ -57,6 +58,7 @@ class LoadgenResult:
     latency_max_ms: float
     closed_epoch: Optional[int] = None
     errors: int = 0
+    retries: int = 0
     latencies_ms: List[float] = field(default_factory=list, repr=False)
 
     def to_document(self) -> dict:
@@ -72,6 +74,7 @@ class LoadgenResult:
             "latency_max_ms": self.latency_max_ms,
             "closed_epoch": self.closed_epoch,
             "errors": self.errors,
+            "retries": self.retries,
         }
 
 
@@ -110,29 +113,80 @@ def generate_batches(
 
 
 class _GatewayClient:
-    """One keep-alive connection to the gateway (thread-confined)."""
+    """One keep-alive connection to the gateway (thread-confined).
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    Retries the way a well-behaved device should: transport failures
+    (connection reset, refused, incomplete read -- all expected while
+    the gateway restarts a crashed shard worker) get a fresh connection
+    and a jittered backoff; 429/503 honor the server's ``Retry-After``.
+    Every attempt of a batch carries the same idempotency key, so a
+    retry of an already-acknowledged batch is deduplicated server-side
+    rather than double-counted.
+    """
+
+    def __init__(self, url: str, timeout: float = 60.0,
+                 max_retries: int = 2) -> None:
         parts = urlsplit(url if "//" in url else "http://" + url)
         if parts.scheme not in ("http", ""):
             raise ValueError(f"unsupported URL scheme {parts.scheme!r}")
-        self._conn = http.client.HTTPConnection(
-            parts.hostname, parts.port or 80, timeout=timeout
-        )
+        self._host = parts.hostname
+        self._port = parts.port or 80
+        self._timeout = timeout
+        self._max_retries = int(max_retries)
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self.retries = 0
 
-    def post_batch(self, blob: bytes) -> int:
-        self._conn.request(
-            "POST",
-            "/ingest",
-            body=blob,
-            headers={"Content-Type": "application/octet-stream"},
-        )
-        response = self._conn.getresponse()
-        response.read()
-        return response.status
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._conn
+
+    def _reset(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def post_batch(self, blob: bytes, key: str) -> int:
+        from repro.service.gateway import retry_delay_s
+
+        status = -1
+        for attempt in range(self._max_retries + 1):
+            try:
+                conn = self._connection()
+                conn.request(
+                    "POST",
+                    "/ingest",
+                    body=blob,
+                    headers={
+                        "Content-Type": "application/octet-stream",
+                        "Idempotency-Key": key,
+                    },
+                )
+                response = conn.getresponse()
+                response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException):
+                self._reset()
+                if attempt < self._max_retries:
+                    self.retries += 1
+                    time.sleep(retry_delay_s(attempt))
+                    continue
+                raise
+            if status in (429, 503) and attempt < self._max_retries:
+                self.retries += 1
+                time.sleep(
+                    retry_delay_s(
+                        attempt, retry_after=response.getheader("Retry-After")
+                    )
+                )
+                continue
+            return status
+        return status
 
     def close(self) -> None:
-        self._conn.close()
+        self._reset()
 
 
 def run_loadgen(
@@ -141,25 +195,35 @@ def run_loadgen(
     n_users: int,
     concurrency: int = 4,
     close_epoch: bool = True,
+    max_retries: int = 2,
+    key_prefix: Optional[str] = None,
 ) -> LoadgenResult:
     """Post every batch from ``concurrency`` threads and time it.
 
     Batches are pulled from a shared cursor so threads stay busy until
-    the work runs dry; each thread owns one keep-alive connection.  With
-    ``close_epoch`` the run ends with ``POST /close`` (included in the
-    throughput clock -- a report is not "ingested" until its epoch is
-    queryable).
+    the work runs dry; each thread owns one keep-alive connection and
+    retries transient failures (connection resets, 429/503) up to
+    ``max_retries`` times per batch under a stable idempotency key --
+    ``{key_prefix}:{batch_index}`` -- so retries never double-count.
+    ``key_prefix`` defaults to a fresh random prefix per call: the
+    gateway's duplicate window spans the previous epoch, so two runs
+    against the same service must not share keys.  With ``close_epoch``
+    the run ends with ``POST /close`` (included in the throughput clock
+    -- a report is not "ingested" until its epoch is queryable).
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if key_prefix is None:
+        key_prefix = f"loadgen-{uuid.uuid4().hex[:12]}"
     concurrency = min(concurrency, max(1, len(batch_blobs)))
     cursor_lock = threading.Lock()
     cursor = [0]
     latencies: List[List[float]] = [[] for _ in range(concurrency)]
     errors = [0] * concurrency
+    retries = [0] * concurrency
 
     def drive(slot: int) -> None:
-        client = _GatewayClient(url)
+        client = _GatewayClient(url, max_retries=max_retries)
         try:
             while True:
                 with cursor_lock:
@@ -169,14 +233,17 @@ def run_loadgen(
                     cursor[0] = index + 1
                 started = time.perf_counter()
                 try:
-                    status = client.post_batch(batch_blobs[index])
-                except OSError:
+                    status = client.post_batch(
+                        batch_blobs[index], key=f"{key_prefix}:{index}"
+                    )
+                except (OSError, http.client.HTTPException):
                     errors[slot] += 1
                     continue
                 latencies[slot].append((time.perf_counter() - started) * 1000.0)
                 if status != 200:
                     errors[slot] += 1
         finally:
+            retries[slot] = client.retries
             client.close()
 
     started = time.perf_counter()
@@ -209,6 +276,7 @@ def run_loadgen(
         latency_max_ms=max(samples) if samples else 0.0,
         closed_epoch=closed_epoch,
         errors=sum(errors),
+        retries=sum(retries),
         latencies_ms=samples,
     )
 

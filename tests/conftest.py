@@ -13,6 +13,13 @@ import pytest
 from repro.data.synthetic import cauchy_population, zipf_population
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection tests that kill processes (slower; run in CI)",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator for tests."""

@@ -17,6 +17,7 @@ Three guarantees anchor the service layer:
 """
 
 import json
+import socket
 import threading
 
 import numpy as np
@@ -38,6 +39,13 @@ from repro.service import (
     generate_batches,
     ingest_batches_single_process,
     request_json,
+)
+from repro.service.faults import (
+    ServiceProcess,
+    chaos_stream,
+    delivered_indices,
+    kill_worker,
+    truncate_wal_tail,
 )
 from repro.service.http import split_url
 from repro.service.loadgen import percentile, run_loadgen
@@ -388,3 +396,250 @@ class TestLoadgen:
                 n_users=10,
                 batch_size=5,
             )
+
+
+def make_blobs(spec, n_users, seed, chunks):
+    """Framed one-report batches plus their single-process reference."""
+    protocol, reports = encode_reports(spec, n_users, seed=seed, chunks=chunks)
+    blobs = [pack_report_batch(protocol.spec(), [report]) for report in reports]
+    reference = ingest_batches_single_process(protocol.spec(), blobs).finalize()
+    return blobs, [float(v) for v in reference.estimated_frequencies()]
+
+
+def assert_matches_reference(url, reference_frequencies):
+    """The strongest claim the service makes: answers are bit-identical."""
+    answer = request_json(url + "/query?frequencies=1&window=all")
+    assert answer["frequencies"] == reference_frequencies
+
+
+class TestFaultTolerance:
+    """Chaos tests: inject a fault, recover, demand bit-identity."""
+
+    @pytest.mark.chaos
+    def test_worker_kill_mid_ingest_is_exactly_once(self, tmp_path):
+        blobs, reference = make_blobs(SPEC, 240, seed=20, chunks=8)
+        service = AggregationService(
+            SPEC, num_workers=2, wal_dir=str(tmp_path / "wal"),
+            supervise_interval=0.05,
+        )
+        with ServiceThread(service) as handle:
+            url = handle.url
+            for index, blob in enumerate(blobs[:4]):
+                request_json(
+                    url + "/ingest", method="POST", body=blob,
+                    headers={"Idempotency-Key": f"wk:{index}"},
+                )
+            kill_worker(handle, 0)
+            assert request_json(url + "/healthz")["status"] in ("ok", "degraded")
+            for index, blob in enumerate(blobs[4:], start=4):
+                request_json(
+                    url + "/ingest", method="POST", body=blob,
+                    headers={"Idempotency-Key": f"wk:{index}"},
+                )
+            closed = request_json(url + "/close", method="POST")
+            assert closed["closed"] and closed["reports"] == 240
+            assert_matches_reference(url, reference)
+            stats = request_json(url + "/stats")
+            assert stats["restart_count"] >= 1
+            assert stats["replayed_batches"] >= 1
+
+    @pytest.mark.chaos
+    def test_all_workers_dead_defers_to_wal_and_recovers(self, tmp_path):
+        blobs, reference = make_blobs(SPEC, 120, seed=21, chunks=4)
+        service = AggregationService(
+            SPEC, num_workers=2, wal_dir=str(tmp_path / "wal"),
+            supervise_interval=None,  # force the close-time repair path
+        )
+        with ServiceThread(service) as handle:
+            url = handle.url
+            request_json(
+                url + "/ingest", method="POST", body=blobs[0],
+                headers={"Idempotency-Key": "dead:0"},
+            )
+            kill_worker(handle, 0)
+            kill_worker(handle, 1)
+            # every shard is dead: with a WAL the ingest is still
+            # acknowledged (deferred), not 503'd
+            for index, blob in enumerate(blobs[1:], start=1):
+                reply = request_json(
+                    url + "/ingest", method="POST", body=blob,
+                    headers={"Idempotency-Key": f"dead:{index}"},
+                )
+                assert reply["queued"] == 30
+            assert request_json(url + "/healthz")["status"] == "degraded"
+            closed = request_json(url + "/close", method="POST")
+            assert closed["reports"] == 120
+            assert_matches_reference(url, reference)
+            stats = request_json(url + "/stats")
+            assert stats["accepted"]["deferred_batches"] >= 1
+            assert stats["restart_count"] >= 2
+
+    @pytest.mark.chaos
+    def test_gateway_sigkill_mid_epoch_replays_from_wal(self, tmp_path):
+        blobs, reference = make_blobs(SPEC, 250, seed=22, chunks=5)
+        wal_dir = str(tmp_path / "wal")
+        ckpt = str(tmp_path / "service.ckpt")
+        with ServiceProcess(
+            SPEC, checkpoint_path=ckpt, wal_dir=wal_dir,
+            num_workers=2, checkpoint_every=1,
+        ) as victim:
+            url = victim.url
+            for index, blob in enumerate(blobs[:3]):
+                request_json(
+                    url + "/ingest", method="POST", body=blob,
+                    headers={"Idempotency-Key": f"gw:{index}"},
+                )
+            request_json(url + "/close", method="POST")
+            # epoch 1 in flight: these two are acknowledged, then the
+            # gateway dies before any close or checkpoint sees them
+            for index, blob in enumerate(blobs[3:], start=3):
+                request_json(
+                    url + "/ingest", method="POST", body=blob,
+                    headers={"Idempotency-Key": f"gw:{index}"},
+                )
+            victim.kill()
+
+        restored = AggregationService.from_checkpoint(
+            ckpt, num_workers=2, wal_dir=wal_dir
+        )
+        with ServiceThread(restored) as handle:
+            url = handle.url
+            stats = request_json(url + "/stats")
+            assert stats["replayed_batches"] == 2
+            assert stats["current_epoch"] == 1
+            # a client retry of an already-recovered batch is a duplicate
+            reply = request_json(
+                url + "/ingest", method="POST", body=blobs[4],
+                headers={"Idempotency-Key": "gw:4"},
+            )
+            assert reply.get("duplicate") is True
+            closed = request_json(url + "/close", method="POST")
+            assert closed["epoch"] == 1 and closed["reports"] == 100
+            assert_matches_reference(url, reference)
+
+    def test_chaos_stream_duplicates_reorders_dedup_exactly(self, tmp_path):
+        blobs, reference = make_blobs(SPEC, 180, seed=23, chunks=6)
+        schedule = chaos_stream(blobs, seed=7, drop=0.3, duplicate=0.5)
+        assert delivered_indices(schedule) == list(range(len(blobs)))
+        assert len(schedule) > len(blobs)  # seed 7 produces duplicates
+        service = AggregationService(
+            SPEC, num_workers=2, wal_dir=str(tmp_path / "wal")
+        )
+        with ServiceThread(service) as handle:
+            url = handle.url
+            for index, blob in schedule:
+                request_json(
+                    url + "/ingest", method="POST", body=blob,
+                    headers={"Idempotency-Key": f"chaos:{index}"},
+                )
+            closed = request_json(url + "/close", method="POST")
+            assert closed["reports"] == 180
+            assert_matches_reference(url, reference)
+            stats = request_json(url + "/stats")
+            assert stats["accepted"]["duplicates_dropped"] == len(schedule) - len(
+                blobs
+            )
+
+    def test_torn_wal_tail_loses_only_the_unacked_record(self, tmp_path):
+        blobs, _ = make_blobs(SPEC, 90, seed=24, chunks=3)
+        wal_dir = str(tmp_path / "wal")
+        service = AggregationService(SPEC, num_workers=2, wal_dir=wal_dir)
+        handle = ServiceThread(service).start()
+        try:
+            for index, blob in enumerate(blobs):
+                request_json(
+                    handle.url + "/ingest", method="POST", body=blob,
+                    headers={"Idempotency-Key": f"torn:{index}"},
+                )
+        finally:
+            handle.stop(flush=False)  # crash: epoch 0 lives only in the WAL
+        # tear the tail of the open segment: the last record's append was
+        # cut short, so its ack never went out -- recovery must keep the
+        # first two batches and drop the torn one
+        truncate_wal_tail(service.wal.segment_path(0), 4)
+
+        reference = ingest_batches_single_process(SPEC, blobs[:2]).finalize()
+        restored = AggregationService(SPEC, num_workers=2, wal_dir=wal_dir)
+        with ServiceThread(restored) as handle2:
+            closed = request_json(handle2.url + "/close", method="POST")
+            assert closed["reports"] == 60
+            answer = request_json(handle2.url + "/query?frequencies=1&window=all")
+            assert answer["frequencies"] == [
+                float(v) for v in reference.estimated_frequencies()
+            ]
+
+    def test_saturated_pool_rejects_with_429_and_retry_after(self):
+        blobs, _ = make_blobs(SPEC, 60, seed=25, chunks=2)
+        service = AggregationService(SPEC, num_workers=2, max_inflight=4)
+        with ServiceThread(service) as handle:
+            for worker in handle.service.pool.workers:
+                worker.pending = 99  # every queue artificially at its bound
+            with pytest.raises(RuntimeError, match="429"):
+                request_json(
+                    handle.url + "/ingest", method="POST", body=blobs[0],
+                    max_retries=0,
+                )
+            # the rejection carries a Retry-After hint
+            import http.client
+
+            host, port, _ = split_url(handle.url)
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                conn.request(
+                    "POST", "/ingest", body=blobs[0],
+                    headers={"Content-Type": "application/octet-stream"},
+                )
+                response = conn.getresponse()
+                response.read()
+                assert response.status == 429
+                assert float(response.getheader("Retry-After")) > 0
+            finally:
+                conn.close()
+            for worker in handle.service.pool.workers:
+                worker.pending = 0
+            # with retries the client rides out the saturation window
+            reply = request_json(
+                handle.url + "/ingest", method="POST", body=blobs[0]
+            )
+            assert reply["queued"] == 30
+            stats = request_json(handle.url + "/stats")
+            assert stats["accepted"]["rejected_busy"] >= 2
+
+    def test_stuck_connection_gets_408_not_a_held_slot(self):
+        service = AggregationService(SPEC, num_workers=1, request_timeout=0.3)
+        with ServiceThread(service) as handle:
+            host, port, _ = split_url(handle.url)
+            with socket.create_connection((host, port), timeout=30) as sock:
+                sock.sendall(b"POST /ingest HTTP/1.1\r\n")  # never finishes
+                data = sock.recv(65536)
+            assert b"408" in data.split(b"\r\n", 1)[0]
+            # the service is fine afterwards
+            assert request_json(handle.url + "/healthz")["status"] == "ok"
+            stats = request_json(handle.url + "/stats")
+            assert stats["timed_out_connections"] == 1
+
+    @pytest.mark.chaos
+    def test_pool_reaps_killed_workers_without_zombies(self):
+        import asyncio
+        import multiprocessing
+
+        blobs, _ = make_blobs(SPEC, 60, seed=26, chunks=2)
+
+        async def run():
+            pool = WorkerPool(SPEC, num_workers=2, restart_backoff_s=0.01).start()
+            try:
+                await pool.ingest(blobs[0])
+                kill_worker(pool, 0)
+                assert pool.dead_indices() == [0]
+                respawned = await pool.ensure_alive(force=True)
+                assert respawned == [0]
+                assert pool.restart_count == 1
+                await pool.ingest_on(0, blobs[1])  # replacement works
+                stats = await pool.stats()
+                assert all(stat["alive"] for stat in stats)
+            finally:
+                await pool.shutdown(graceful=True)
+
+        asyncio.run(run())
+        # shutdown reaped everything: no zombie children survive
+        assert multiprocessing.active_children() == []
