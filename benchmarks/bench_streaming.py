@@ -21,6 +21,10 @@ from repro.multidim import HierarchicalGrid2D
 from repro.wavelet import HaarHRR
 
 DOMAIN = 1024
+# OLH decodes supports over the whole domain per report batch (O(N * D));
+# a smaller domain keeps its benchmark rounds short without changing what
+# the kernel backends have to prove.
+OLH_DOMAIN = 256
 N_USERS = 50_000
 EPSILON = 1.1
 CLIENT_BATCH = 2_500
@@ -34,14 +38,12 @@ def population():
 def _encoded_stream(protocol, items):
     client = protocol.client()
     rng = np.random.default_rng(1)
-    return [
-        client.encode_batch(batch, rng=rng)
-        for batch in np.array_split(items, N_USERS // CLIENT_BATCH)
-    ]
+    return client.encode_batches(np.asarray(items), CLIENT_BATCH, rng=rng)
 
 
 def _bench_ingest(benchmark, protocol, items):
     reports = _encoded_stream(protocol, items)
+    backend = protocol.server().kernel_backend
 
     def ingest_all():
         return protocol.server().ingest(reports)
@@ -50,9 +52,30 @@ def _bench_ingest(benchmark, protocol, items):
     assert server.n_reports == N_USERS
     mean_seconds = benchmark.stats.stats.mean
     benchmark.extra_info["reports_per_sec"] = round(N_USERS / mean_seconds)
+    benchmark.extra_info["kernel_backend"] = backend
     print(
         f"\n    {protocol.name}: ingest {N_USERS / mean_seconds:,.0f} reports/sec "
-        f"({len(reports)} batches of {CLIENT_BATCH})"
+        f"({len(reports)} batches of {CLIENT_BATCH}, backend={backend})"
+    )
+
+
+def _bench_encode(benchmark, protocol, items):
+    """Client-side privatization throughput, timed apart from ingest."""
+    items = np.asarray(items)
+    client = protocol.client()
+    backend = client.kernel_backend
+
+    def encode_all():
+        return client.encode_batches(items, CLIENT_BATCH, rng=np.random.default_rng(1))
+
+    reports = benchmark(encode_all)
+    assert len(reports) == -(-len(items) // CLIENT_BATCH)
+    mean_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["encode_reports_per_sec"] = round(N_USERS / mean_seconds)
+    benchmark.extra_info["kernel_backend"] = backend
+    print(
+        f"\n    {protocol.name}: encode {N_USERS / mean_seconds:,.0f} reports/sec "
+        f"(batches of {CLIENT_BATCH}, backend={backend})"
     )
 
 
@@ -75,12 +98,51 @@ def test_bench_ingest_haar(benchmark, population):
     _bench_ingest(benchmark, HaarHRR(DOMAIN, EPSILON), population.items)
 
 
+def test_bench_ingest_flat_olh(benchmark, population):
+    """Flat OLH ingestion: per-report hash-support decode over the domain."""
+    _bench_ingest(
+        benchmark,
+        FlatRangeQuery(OLH_DOMAIN, EPSILON, oracle="olh"),
+        population.items % OLH_DOMAIN,
+    )
+
+
 def test_bench_ingest_grid2d(benchmark, population):
     """Grid2D ingestion: per-level-pair accumulators on the generic engine."""
     items_y = np.random.default_rng(2).integers(0, 64, size=N_USERS)
     pairs = np.stack([population.items % 64, items_y], axis=1)
     _bench_ingest(
         benchmark, HierarchicalGrid2D(64, 64, EPSILON, oracle="hrr"), pairs
+    )
+
+
+def test_bench_encode_flat_oue(benchmark, population):
+    """Flat OUE encoding: perturbed one-hot matrix construction."""
+    _bench_encode(
+        benchmark, FlatRangeQuery(DOMAIN, EPSILON, oracle="oue"), population.items
+    )
+
+
+def test_bench_encode_hh_oue(benchmark, population):
+    """TreeOUE encoding: level sampling plus per-level OUE matrices."""
+    _bench_encode(
+        benchmark,
+        HierarchicalHistogram(DOMAIN, EPSILON, branching=4, oracle="oue"),
+        population.items,
+    )
+
+
+def test_bench_encode_haar(benchmark, population):
+    """HaarHRR encoding: signed Hadamard coefficient sampling per height."""
+    _bench_encode(benchmark, HaarHRR(DOMAIN, EPSILON), population.items)
+
+
+def test_bench_encode_flat_olh(benchmark, population):
+    """Flat OLH encoding: fused universal hash + GRR perturbation."""
+    _bench_encode(
+        benchmark,
+        FlatRangeQuery(OLH_DOMAIN, EPSILON, oracle="olh"),
+        population.items % OLH_DOMAIN,
     )
 
 

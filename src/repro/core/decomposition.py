@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.exceptions import ProtocolUsageError
+from repro.core.kernels import multinomial_level_split
 from repro.core.postprocess import (
     FREQUENCIES,
     GRID,
@@ -58,34 +59,9 @@ from repro.core.rng import RngLike, ensure_rng
 from repro.core.types import Domain
 
 
-def multinomial_level_split(
-    counts: np.ndarray,
-    probabilities: np.ndarray,
-    rng: np.random.Generator,
-) -> List[np.ndarray]:
-    """Split each item's user count multinomially across the levels.
-
-    Implemented as the standard sequence of Binomial draws so it vectorises
-    over the domain.  This is the aggregate-simulation counterpart of the
-    per-user level sampling: ``counts[v]`` users holding item ``v`` are
-    distributed over ``len(probabilities)`` levels.
-    """
-    num_levels = len(probabilities)
-    remaining = counts.copy()
-    remaining_prob = 1.0
-    per_level: List[np.ndarray] = []
-    for level in range(num_levels):
-        prob = probabilities[level]
-        if remaining_prob <= 0:
-            take = np.zeros_like(remaining)
-        elif level == num_levels - 1:
-            take = remaining.copy()
-        else:
-            take = rng.binomial(remaining, min(1.0, prob / remaining_prob))
-        per_level.append(take.astype(np.int64))
-        remaining = remaining - take
-        remaining_prob -= prob
-    return per_level
+# ``multinomial_level_split`` is imported above for use and for back-compat
+# re-export: the split is an RNG-bound shared kernel and now lives in
+# repro.core.kernels (every backend uses the same numpy draws).
 
 
 class Decomposition(abc.ABC):

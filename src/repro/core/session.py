@@ -573,6 +573,38 @@ class ProtocolClient(abc.ABC):
         """Randomize a single user's item (convenience over a 1-batch)."""
         return self.encode_batch(np.asarray([item]), rng=rng)
 
+    def encode_batches(
+        self, items: np.ndarray, batch_size: int, rng: RngLike = None
+    ) -> List[Report]:
+        """Encode ``items`` as consecutive chunks of ``batch_size`` users.
+
+        The chunking is the transport framing (one :class:`Report` per
+        chunk -- what a device fleet uploads and what
+        :meth:`ProtocolServer.ingest` consumes); inside each chunk the
+        encoding is fully vectorised.  Chunks are encoded sequentially
+        against one generator, so the report stream is exactly what the
+        equivalent sequence of :meth:`encode_batch` calls would produce
+        for the same seed.
+        """
+        if int(batch_size) < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        batch_size = int(batch_size)
+        rng = ensure_rng(rng)
+        items = np.asarray(items)
+        return [
+            self.encode_batch(items[start : start + batch_size], rng=rng)
+            for start in range(0, len(items), batch_size)
+        ]
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend the client's oracles compute with."""
+        for oracle in getattr(self, "_oracles", {}).values():
+            backend = getattr(oracle, "kernel_backend", None)
+            if backend:
+                return str(backend)
+        return "numpy"
+
 
 class ProtocolServer(abc.ABC):
     """Incremental, mergeable aggregator of one range-query protocol.
@@ -616,6 +648,20 @@ class ProtocolServer(abc.ABC):
     def n_reports(self) -> int:
         """Total number of user reports ingested or merged so far."""
         return self._state.n_reports
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the kernel backend the server's oracles compute with.
+
+        Purely an execution property -- it is never part of the protocol
+        spec or the accumulator state, so shards running different
+        backends merge freely.
+        """
+        for oracle in getattr(self, "_oracles", {}).values():
+            backend = getattr(oracle, "kernel_backend", None)
+            if backend:
+                return str(backend)
+        return "numpy"
 
     @abc.abstractmethod
     def _empty_state(self) -> CompositeAccumulator:
@@ -735,14 +781,30 @@ class DecompositionClient(ProtocolClient):
         if n_users == 0:
             return LevelReport(decomposition.label, payloads, level_user_counts, 0)
         assignments = decomposition.assign_levels(items, rng)
+        if assignments is None:
+            for level in decomposition.levels:
+                level_user_counts[decomposition.counts_slot(level)] = n_users
+                payloads[level] = decomposition.encode_level(
+                    items, level, self._oracles[level], rng
+                )
+            return LevelReport(decomposition.label, payloads, level_user_counts, n_users)
+        # Single-pass level split: one stable argsort groups the users of
+        # every level instead of one O(N) boolean mask per level.  Stable
+        # ordering preserves each level's original user order, so the
+        # grouped items -- and therefore every downstream rng draw -- are
+        # bit-identical to the per-level masking this replaces.
+        order = np.argsort(assignments, kind="stable")
+        sorted_assignments = assignments[order]
+        sorted_items = items[order]
         for level in decomposition.levels:
-            level_items = items if assignments is None else items[assignments == level]
-            count = len(level_items)
+            start = np.searchsorted(sorted_assignments, level, side="left")
+            stop = np.searchsorted(sorted_assignments, level, side="right")
+            count = int(stop - start)
             level_user_counts[decomposition.counts_slot(level)] = count
-            if count == 0 and assignments is not None:
+            if count == 0:
                 continue
             payloads[level] = decomposition.encode_level(
-                level_items, level, self._oracles[level], rng
+                sorted_items[start:stop], level, self._oracles[level], rng
             )
         return LevelReport(decomposition.label, payloads, level_user_counts, n_users)
 

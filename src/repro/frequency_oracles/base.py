@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.core.kernels import KernelBackend, resolve_backend
 from repro.core.rng import RngLike, ensure_rng
 from repro.core.serialization import pack_blob
 from repro.core.session import AccumulatorState, register_state_decoder
@@ -201,9 +202,19 @@ class FrequencyOracle(abc.ABC):
     #: Registry/handle name, e.g. ``"oue"``; set by subclasses.
     name: str = "abstract"
 
-    def __init__(self, domain_size: int, epsilon: float) -> None:
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        kernel_backend: Optional[object] = None,
+    ) -> None:
         self._domain = Domain(int(domain_size))
         self._privacy = PrivacyParams(float(epsilon))
+        # A pure execution knob (like OLH's aggregation_chunk): it selects
+        # who runs the deterministic arithmetic, never what it computes,
+        # so it is excluded from the accumulator compatibility config and
+        # from protocol specs.  None consults REPRO_KERNEL_BACKEND.
+        self._kernels = resolve_backend(kernel_backend)
 
     # ------------------------------------------------------------------ #
     # configuration accessors
@@ -227,6 +238,16 @@ class FrequencyOracle(abc.ABC):
     def epsilon(self) -> float:
         """The epsilon budget each report satisfies."""
         return self._privacy.epsilon
+
+    @property
+    def kernels(self) -> KernelBackend:
+        """The resolved compute-kernel backend (see :mod:`repro.core.kernels`)."""
+        return self._kernels
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the active kernel backend (``"numpy"`` or ``"numba"``)."""
+        return self._kernels.name
 
     # ------------------------------------------------------------------ #
     # protocol steps
@@ -349,19 +370,27 @@ class FrequencyOracle(abc.ABC):
         return f"{type(self).__name__}(D={self.domain_size}, eps={self.epsilon:g})"
 
 
-def unary_bit_sums(reports: np.ndarray, domain_size: int) -> np.ndarray:
-    """Validated per-item column sums of an ``(N, D)`` unary report matrix.
-
-    The returned ``int64`` vector is the sufficient statistic shared by all
-    unary-encoding oracles (OUE, SUE, THE): only bit totals matter, never
-    the individual report rows.
-    """
+def validate_unary_reports(reports: np.ndarray, domain_size: int) -> np.ndarray:
+    """Shape-check one ``(N, D)`` unary report matrix and return it."""
     reports = np.asarray(reports)
     if reports.ndim != 2 or reports.shape[1] != domain_size:
         raise ValueError(
             f"reports must have shape (N, {domain_size}), got {reports.shape}"
         )
-    return reports.sum(axis=0).astype(np.int64)
+    return reports
+
+
+def unary_bit_sums(reports: np.ndarray, domain_size: int) -> np.ndarray:
+    """Validated per-item column sums of an ``(N, D)`` unary report matrix.
+
+    The returned ``int64`` vector is the sufficient statistic shared by all
+    unary-encoding oracles (OUE, SUE, THE): only bit totals matter, never
+    the individual report rows.  This is the reference path; oracles call
+    the equivalent ``unary_sums`` kernel of their resolved backend.
+    """
+    from repro.core.kernels.reference import unary_sums
+
+    return unary_sums(validate_unary_reports(reports, domain_size))
 
 
 def standard_oracle_variance(epsilon: float) -> float:

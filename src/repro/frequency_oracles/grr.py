@@ -19,16 +19,14 @@ from repro.frequency_oracles.base import FrequencyOracle, OracleAccumulator
 
 
 def _categorical_report_counts(reports: np.ndarray, domain_size: int) -> np.ndarray:
-    """Integer histogram of categorical reports, validated against ``D``."""
-    reports = np.asarray(reports, dtype=np.int64)
-    if reports.ndim != 1:
-        raise ValueError(f"reports must be a 1-D array, got shape {reports.shape}")
-    counts = np.bincount(reports, minlength=domain_size)
-    if len(counts) > domain_size:
-        raise ValueError(
-            f"reports contain values outside the domain of size {domain_size}"
-        )
-    return counts
+    """Integer histogram of categorical reports, validated against ``D``.
+
+    Back-compat alias of the reference ``categorical_counts`` kernel;
+    oracles call the kernel of their resolved backend instead.
+    """
+    from repro.core.kernels.reference import categorical_counts
+
+    return categorical_counts(reports, domain_size)
 
 
 class GeneralizedRandomizedResponse(FrequencyOracle):
@@ -46,8 +44,13 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
 
     name = "grr"
 
-    def __init__(self, domain_size: int, epsilon: float) -> None:
-        super().__init__(domain_size, epsilon)
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        kernel_backend: Optional[object] = None,
+    ) -> None:
+        super().__init__(domain_size, epsilon, kernel_backend=kernel_backend)
         if self.domain_size < 2:
             raise ValueError("GRR requires a domain of at least 2 items")
         e_eps = self.privacy.e_eps
@@ -69,11 +72,10 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
         items = self.domain.validate_items(np.asarray(items))
         n = len(items)
         keep = rng.random(n) < self._p
-        # Sample a uniformly random item different from the true one by
-        # drawing from [0, D-1) and skipping over the true value.
         noise = rng.integers(0, self.domain_size - 1, size=n)
-        noise = np.where(noise >= items, noise + 1, noise)
-        return np.where(keep, items, noise).astype(np.int64)
+        # The kernel maps noise ~ U[0, D-1) to a uniformly random *other*
+        # item by skipping over the true value, then applies the keep mask.
+        return self._kernels.grr_perturb(items, keep, noise)
 
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
@@ -95,7 +97,7 @@ class GeneralizedRandomizedResponse(FrequencyOracle):
         n_users: Optional[int] = None,
     ) -> OracleAccumulator:
         self._check_accumulator(accumulator)
-        counts = _categorical_report_counts(reports, self.domain_size)
+        counts = self._kernels.categorical_counts(reports, self.domain_size)
         accumulator.vectors["report_counts"] += counts
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator
@@ -141,8 +143,10 @@ class BinaryRandomizedResponse(FrequencyOracle):
 
     name = "rr"
 
-    def __init__(self, epsilon: float) -> None:
-        super().__init__(2, epsilon)
+    def __init__(
+        self, epsilon: float, kernel_backend: Optional[object] = None
+    ) -> None:
+        super().__init__(2, epsilon, kernel_backend=kernel_backend)
         self._p = self.privacy.keep_probability
 
     @property
@@ -194,7 +198,7 @@ class BinaryRandomizedResponse(FrequencyOracle):
         n_users: Optional[int] = None,
     ) -> OracleAccumulator:
         self._check_accumulator(accumulator)
-        counts = _categorical_report_counts(reports, 2)
+        counts = self._kernels.categorical_counts(reports, 2)
         accumulator.vectors["report_counts"] += counts
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator

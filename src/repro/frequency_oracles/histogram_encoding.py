@@ -30,7 +30,7 @@ from repro.frequency_oracles.base import (
     ExactSumAccumulator,
     FrequencyOracle,
     OracleAccumulator,
-    unary_bit_sums,
+    validate_unary_reports,
 )
 
 
@@ -45,8 +45,13 @@ class SummationHistogramEncoding(FrequencyOracle):
 
     name = "she"
 
-    def __init__(self, domain_size: int, epsilon: float) -> None:
-        super().__init__(domain_size, epsilon)
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        kernel_backend: Optional[object] = None,
+    ) -> None:
+        super().__init__(domain_size, epsilon, kernel_backend=kernel_backend)
         self._scale = 2.0 / self.privacy.epsilon
 
     @property
@@ -123,9 +128,13 @@ class ThresholdHistogramEncoding(FrequencyOracle):
     name = "the"
 
     def __init__(
-        self, domain_size: int, epsilon: float, threshold: Optional[float] = None
+        self,
+        domain_size: int,
+        epsilon: float,
+        threshold: Optional[float] = None,
+        kernel_backend: Optional[object] = None,
     ) -> None:
-        super().__init__(domain_size, epsilon)
+        super().__init__(domain_size, epsilon, kernel_backend=kernel_backend)
         self._scale = 2.0 / self.privacy.epsilon
         if threshold is None:
             # Wang et al. show the optimum lies in (0.5, 1); theta = 0.67 is
@@ -182,7 +191,8 @@ class ThresholdHistogramEncoding(FrequencyOracle):
         n_users: Optional[int] = None,
     ) -> OracleAccumulator:
         self._check_accumulator(accumulator)
-        accumulator.vectors["hit_sums"] += unary_bit_sums(reports, self.domain_size)
+        reports = validate_unary_reports(reports, self.domain_size)
+        accumulator.vectors["hit_sums"] += self._kernels.unary_sums(reports)
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator
 

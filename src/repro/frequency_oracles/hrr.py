@@ -32,11 +32,7 @@ from repro.frequency_oracles.base import (
     OracleAccumulator,
     standard_oracle_variance,
 )
-from repro.frequency_oracles.hadamard import (
-    fwht,
-    hadamard_entry,
-    pad_to_power_of_two,
-)
+from repro.frequency_oracles.hadamard import fwht, pad_to_power_of_two
 
 
 @dataclass
@@ -66,8 +62,13 @@ class HadamardRandomizedResponse(FrequencyOracle):
 
     name = "hrr"
 
-    def __init__(self, domain_size: int, epsilon: float) -> None:
-        super().__init__(domain_size, epsilon)
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        kernel_backend: Optional[object] = None,
+    ) -> None:
+        super().__init__(domain_size, epsilon, kernel_backend=kernel_backend)
         self._padded = pad_to_power_of_two(self.domain_size)
         self._p = self.privacy.keep_probability
 
@@ -105,9 +106,10 @@ class HadamardRandomizedResponse(FrequencyOracle):
             raise ValueError("signs must be +1 or -1")
         n = len(items)
         indices = rng.integers(0, self._padded, size=n)
-        true_values = signs * hadamard_entry(items, indices)
         keep = rng.random(n) < self._p
-        reported = np.where(keep, true_values, -true_values)
+        # Fused Hadamard-entry evaluation + sign application + randomized
+        # response flip; the two draws above are the only generator use.
+        reported = self._kernels.hrr_encode(items, signs, indices, keep)
         return HadamardReports(indices=indices, values=reported, padded_size=self._padded)
 
     def aggregate(
@@ -179,12 +181,9 @@ class HadamardRandomizedResponse(FrequencyOracle):
                 "reports were produced for a different transform length "
                 f"({reports.padded_size} != {self._padded})"
             )
-        sums = np.bincount(
-            np.asarray(reports.indices, dtype=np.int64),
-            weights=np.asarray(reports.values, dtype=np.float64),
-            minlength=self._padded,
+        accumulator.vectors["value_sums"] += self._kernels.hrr_value_sums(
+            reports.indices, reports.values, self._padded
         )
-        accumulator.vectors["value_sums"] += np.rint(sums).astype(np.int64)
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator
 

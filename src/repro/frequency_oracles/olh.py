@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.kernels.reference import HASH_PRIME
 from repro.core.rng import RngLike, ensure_rng
 from repro.frequency_oracles.base import (
     FrequencyOracle,
@@ -32,7 +33,7 @@ from repro.frequency_oracles.base import (
 
 #: A Mersenne prime comfortably larger than any domain we hash from, small
 #: enough that ``a * x`` never overflows an int64 (a < 2^31, x < 2^31).
-_HASH_PRIME = (1 << 31) - 1
+_HASH_PRIME = HASH_PRIME
 
 
 @dataclass
@@ -70,8 +71,9 @@ class OptimalLocalHashing(FrequencyOracle):
         epsilon: float,
         num_buckets: Optional[int] = None,
         aggregation_chunk: int = 4096,
+        kernel_backend: Optional[object] = None,
     ) -> None:
-        super().__init__(domain_size, epsilon)
+        super().__init__(domain_size, epsilon, kernel_backend=kernel_backend)
         if num_buckets is None:
             num_buckets = max(2, int(round(self.privacy.e_eps)) + 1)
         if num_buckets < 2:
@@ -134,15 +136,18 @@ class OptimalLocalHashing(FrequencyOracle):
         items = self.domain.validate_items(np.asarray(items))
         n = len(items)
         multipliers, offsets = self._sample_hash_functions(n, rng)
-        true_buckets = self._hash(multipliers, offsets, items)
         keep = rng.random(n) < self._p
         noise = rng.integers(0, self._g - 1, size=n)
-        noise = np.where(noise >= true_buckets, noise + 1, noise)
-        reported = np.where(keep, true_buckets, noise)
+        # Fused hash + GRR perturbation over the g buckets; only the three
+        # rng draws above touch the generator, so every backend produces
+        # the same reports for the same seed.
+        reported = self._kernels.olh_encode(
+            multipliers, offsets, items, self._g, keep, noise
+        )
         return LocalHashReports(
             multipliers=multipliers,
             offsets=offsets,
-            buckets=reported.astype(np.int64),
+            buckets=reported,
             num_buckets=self._g,
         )
 
@@ -175,30 +180,17 @@ class OptimalLocalHashing(FrequencyOracle):
             raise ValueError(
                 f"reports use g={reports.num_buckets}, oracle expects g={self._g}"
             )
-        num_reports = len(reports)
-        # Cast the report arrays to int64 once, outside the chunk loop (the
-        # per-chunk np.asarray slices of the original code re-checked and
-        # potentially re-copied them on every iteration).
+        # Cast the report arrays to int64 once; the O(N * D) decode runs in
+        # the resolved kernel backend (chunked numpy with a reused work
+        # buffer, or a fused compiled loop).  The decoded support counts
+        # are the (integer) sufficient statistic, so only O(D) state
+        # survives the batch.
         multipliers = np.ascontiguousarray(reports.multipliers, dtype=np.int64)
         offsets = np.ascontiguousarray(reports.offsets, dtype=np.int64)
         buckets = np.ascontiguousarray(reports.buckets, dtype=np.int64)
-        domain_items = np.arange(self.domain_size, dtype=np.int64)
-        support = np.zeros(self.domain_size, dtype=np.int64)
-        # O(N * D) decoding, chunked over users to bound memory.  The
-        # decoded support counts are the (integer) sufficient statistic, so
-        # only O(D) state survives the batch.  One (chunk, D) work buffer is
-        # reused across iterations with in-place arithmetic -- same hash
-        # ((a * x + b) mod P) mod g, a fraction of the allocation churn.
-        chunk = min(self._chunk, max(num_reports, 1))
-        work = np.empty((chunk, self.domain_size), dtype=np.int64)
-        for start in range(0, num_reports, chunk):
-            stop = min(start + chunk, num_reports)
-            rows = work[: stop - start]
-            np.multiply(multipliers[start:stop, None], domain_items[None, :], out=rows)
-            rows += offsets[start:stop, None]
-            rows %= _HASH_PRIME
-            rows %= self._g
-            support += np.count_nonzero(rows == buckets[start:stop, None], axis=0)
+        support = self._kernels.olh_support(
+            multipliers, offsets, buckets, self.domain_size, self._g, self._chunk
+        )
         accumulator.vectors["support"] += support
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator

@@ -29,7 +29,7 @@ from repro.frequency_oracles.base import (
     FrequencyOracle,
     OracleAccumulator,
     standard_oracle_variance,
-    unary_bit_sums,
+    validate_unary_reports,
 )
 
 
@@ -38,8 +38,13 @@ class OptimizedUnaryEncoding(FrequencyOracle):
 
     name = "oue"
 
-    def __init__(self, domain_size: int, epsilon: float) -> None:
-        super().__init__(domain_size, epsilon)
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        kernel_backend: Optional[object] = None,
+    ) -> None:
+        super().__init__(domain_size, epsilon, kernel_backend=kernel_backend)
         # Probability that a true 1-bit is reported as 1.
         self._p_one = 0.5
         # Probability that a true 0-bit is reported as 1.
@@ -63,12 +68,14 @@ class OptimizedUnaryEncoding(FrequencyOracle):
         rng = ensure_rng(rng)
         items = self.domain.validate_items(np.asarray(items))
         n = len(items)
-        # Start from the "all bits are zero" perturbation and then resample
-        # the single true bit of each user at its own probability.
-        reports = (rng.random((n, self.domain_size)) < self._p_zero).astype(np.uint8)
-        true_bits = (rng.random(n) < self._p_one).astype(np.uint8)
-        reports[np.arange(n), items] = true_bits
-        return reports
+        # The two draws below are the only generator activity; the bit
+        # perturbation itself (zero-bit thresholding plus resampling each
+        # user's true bit) runs in the kernel backend.
+        uniforms = rng.random((n, self.domain_size))
+        true_uniforms = rng.random(n)
+        return self._kernels.unary_perturb(
+            uniforms, self._p_zero, items, true_uniforms, self._p_one
+        )
 
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
@@ -90,7 +97,8 @@ class OptimizedUnaryEncoding(FrequencyOracle):
         n_users: Optional[int] = None,
     ) -> OracleAccumulator:
         self._check_accumulator(accumulator)
-        accumulator.vectors["bit_sums"] += unary_bit_sums(reports, self.domain_size)
+        reports = validate_unary_reports(reports, self.domain_size)
+        accumulator.vectors["bit_sums"] += self._kernels.unary_sums(reports)
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator
 

@@ -25,7 +25,7 @@ from repro.core.rng import RngLike, ensure_rng
 from repro.frequency_oracles.base import (
     FrequencyOracle,
     OracleAccumulator,
-    unary_bit_sums,
+    validate_unary_reports,
 )
 
 
@@ -34,8 +34,13 @@ class SymmetricUnaryEncoding(FrequencyOracle):
 
     name = "sue"
 
-    def __init__(self, domain_size: int, epsilon: float) -> None:
-        super().__init__(domain_size, epsilon)
+    def __init__(
+        self,
+        domain_size: int,
+        epsilon: float,
+        kernel_backend: Optional[object] = None,
+    ) -> None:
+        super().__init__(domain_size, epsilon, kernel_backend=kernel_backend)
         # Each bit individually gets half the budget (two bits can change
         # between neighbouring inputs), giving the e^{eps/2} form.
         half = math.exp(self.privacy.epsilon / 2.0)
@@ -54,10 +59,11 @@ class SymmetricUnaryEncoding(FrequencyOracle):
         rng = ensure_rng(rng)
         items = self.domain.validate_items(np.asarray(items))
         n = len(items)
-        reports = (rng.random((n, self.domain_size)) < self._q).astype(np.uint8)
-        true_bits = (rng.random(n) < self._p).astype(np.uint8)
-        reports[np.arange(n), items] = true_bits
-        return reports
+        uniforms = rng.random((n, self.domain_size))
+        true_uniforms = rng.random(n)
+        return self._kernels.unary_perturb(
+            uniforms, self._q, items, true_uniforms, self._p
+        )
 
     def aggregate(
         self, reports: np.ndarray, n_users: Optional[int] = None
@@ -79,7 +85,8 @@ class SymmetricUnaryEncoding(FrequencyOracle):
         n_users: Optional[int] = None,
     ) -> OracleAccumulator:
         self._check_accumulator(accumulator)
-        accumulator.vectors["bit_sums"] += unary_bit_sums(reports, self.domain_size)
+        reports = validate_unary_reports(reports, self.domain_size)
+        accumulator.vectors["bit_sums"] += self._kernels.unary_sums(reports)
         accumulator.add_reports(self._batch_size(reports, n_users))
         return accumulator
 

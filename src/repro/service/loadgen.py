@@ -104,11 +104,8 @@ def generate_batches(
     )
     client = protocol.client()
     rng = ensure_rng(None if seed is None else seed + 1)
-    blobs = []
-    for start in range(0, dataset.n_users, batch_size):
-        chunk = dataset.items[start : start + batch_size]
-        report = client.encode_batch(np.asarray(chunk), rng=rng)
-        blobs.append(pack_report_batch(protocol, [report]))
+    reports = client.encode_batches(np.asarray(dataset.items), batch_size, rng=rng)
+    blobs = [pack_report_batch(protocol, [report]) for report in reports]
     return dataset, blobs
 
 

@@ -110,6 +110,7 @@ def shard_worker_main(conn: Connection, spec: dict) -> None:
                 "batches": batches,
                 "errors": errors,
                 "last_error": last_error,
+                "kernel_backend": getattr(server, "kernel_backend", "numpy"),
             }
             conn.send_bytes(OP_STATS + json.dumps(document).encode("utf-8"))
         elif opcode == OP_QUIT:
