@@ -79,6 +79,24 @@ client/server session path, and pre-engine v1 state files restore as
 single-epoch engines.  The CLI mirrors the façade with
 ``engine checkpoint`` / ``engine query`` / ``engine info`` subcommands.
 
+For histories too large for RAM, ``Engine.open(..., store_dir=...)``
+attaches the *out-of-core epoch store*: sealed epochs spill into
+per-epoch memory-mapped segment files under a versioned manifest,
+``checkpoint()`` becomes incremental (only dirty epochs rewrite), and
+windowed queries over sealed epochs sum each segment's pre-aggregated
+integer vectors instead of rebuilding full accumulators -- bit-identical
+to the in-RAM merge, at O(window) memory::
+
+    engine = Engine.open("hh", domain_size=1024, epsilon=1.1,
+                         branching=4, store_dir="epochstore")
+    for day, batch in enumerate(daily_batches):
+        engine.session(epoch=day).absorb(batch, rng=rng)
+        engine.seal_epoch(day)                      # spill + evict
+    engine = Engine.restore("epochstore")           # manifest-only restart
+    weekly = engine.estimator(window=last(7))       # segment pushdown
+
+The CLI accepts ``--store-dir`` wherever it accepts ``--checkpoint``.
+
 The network-facing service
 --------------------------
 
@@ -212,7 +230,7 @@ from repro.hierarchy import HierarchicalHistogram
 from repro.multidim import HierarchicalGrid2D
 from repro.wavelet import HaarHRR
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: Protocol registry used by the experiment harness and the CLI.  Classes
 #: may expose a ``from_registry(domain_size, epsilon, **kwargs)`` adapter

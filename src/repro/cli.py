@@ -614,11 +614,31 @@ def command_merge(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------- #
 # engine subcommands: the epoch-aware aggregation-service façade on files
 # --------------------------------------------------------------------- #
-def _restore_engine(path: str) -> Engine:
+def _restore_engine(path: Optional[str] = None, store_dir: Optional[str] = None) -> Engine:
+    """Restore an engine from a checkpoint file or an epoch store directory."""
+    if store_dir is not None:
+        try:
+            return Engine.open(None, store_dir=store_dir)
+        except (OSError, SerializationError) as exc:
+            raise SystemExit(f"could not open epoch store {store_dir}: {exc}")
     try:
         return Engine.restore(path)
     except (OSError, SerializationError) as exc:
         raise SystemExit(f"could not restore engine checkpoint {path}: {exc}")
+
+
+def _checkpoint_source(args: argparse.Namespace) -> Tuple[Optional[str], Optional[str]]:
+    """Validate the ``--checkpoint`` / ``--store-dir`` pair of a subcommand."""
+    checkpoint = getattr(args, "checkpoint", None)
+    store_dir = getattr(args, "store_dir", None)
+    if checkpoint is None and store_dir is None:
+        raise SystemExit("one of --checkpoint or --store-dir is required")
+    if checkpoint is not None and store_dir is not None:
+        raise SystemExit(
+            "--checkpoint and --store-dir are mutually exclusive: a store "
+            "directory replaces the monolithic checkpoint file"
+        )
+    return checkpoint, store_dir
 
 
 def _parse_window_arg(args: argparse.Namespace):
@@ -631,20 +651,29 @@ def _parse_window_arg(args: argparse.Namespace):
 def command_engine_checkpoint(args: argparse.Namespace) -> int:
     """Fold report files into one epoch of a durable engine checkpoint.
 
-    The checkpoint file is created on first use and extended on every
-    subsequent run; ``--epoch`` selects the epoch (default: the next
-    fresh one), and re-using an epoch key appends to that epoch's shard.
+    The checkpoint (file or epoch store directory) is created on first
+    use and extended on every subsequent run; ``--epoch`` selects the
+    epoch (default: the next fresh one), and re-using an epoch key
+    appends to that epoch's shard.  With ``--store-dir`` the write is
+    *incremental*: only the touched epoch's segment is rewritten, and
+    every other epoch's segment stays byte-identical on disk.
     """
+    checkpoint, store_dir = _checkpoint_source(args)
     engine = None
     spec = None
-    if os.path.exists(args.checkpoint):
-        engine = _restore_engine(args.checkpoint)
+    if store_dir is not None and os.path.exists(
+        os.path.join(store_dir, "MANIFEST.json")
+    ):
+        engine = _restore_engine(store_dir=store_dir)
+        spec = engine.spec()
+    elif checkpoint is not None and os.path.exists(checkpoint):
+        engine = _restore_engine(checkpoint)
         spec = engine.spec()
     session = None
     if engine is not None:
         try:
             session = engine.session(epoch=args.epoch)
-        except ProtocolUsageError as exc:
+        except (ProtocolUsageError, SerializationError) as exc:
             raise SystemExit(str(exc))
     session, spec, folded = _ingest_report_files(
         args.reports, session, spec, epoch=args.epoch
@@ -652,30 +681,54 @@ def command_engine_checkpoint(args: argparse.Namespace) -> int:
     if session is None:
         raise SystemExit("no report files given")
     engine = session.engine
-    engine.checkpoint(args.checkpoint)
+    try:
+        if store_dir is not None:
+            if engine.store is None:
+                engine.attach_store(store_dir)
+            engine.checkpoint()
+            engine.seal_epoch(session.epoch)
+            destination = store_dir
+        else:
+            engine.checkpoint(checkpoint)
+            destination = checkpoint
+    except (OSError, SerializationError, ProtocolUsageError) as exc:
+        raise SystemExit(f"could not write checkpoint: {exc}")
     print(
         f"epoch {session.epoch}: folded {folded} reports from "
-        f"{len(args.reports)} file(s); checkpoint {args.checkpoint} now holds "
+        f"{len(args.reports)} file(s); checkpoint {destination} now holds "
         f"epochs {list(engine.epochs)} ({engine.n_reports()} reports total)"
     )
     return 0
 
 
 def command_engine_info(args: argparse.Namespace) -> int:
-    """Inspect a checkpoint; optionally export a window as a state file."""
-    engine = _restore_engine(args.checkpoint)
+    """Inspect a checkpoint; optionally export a window as a state file.
+
+    Reports per-epoch report counts and serialized sizes (plus on-disk
+    segment sizes and seal/dirty status when store-backed), without
+    materializing a single sealed epoch.
+    """
+    checkpoint, store_dir = _checkpoint_source(args)
+    engine = _restore_engine(checkpoint, store_dir=store_dir)
     window = _parse_window_arg(args)
+    epoch_stats = engine.epoch_stats()
     output = {
-        "checkpoint": args.checkpoint,
+        "checkpoint": checkpoint if store_dir is None else store_dir,
         "method": getattr(engine.protocol, "name", type(engine.protocol).__name__),
         "spec": engine.spec(),
         "epochs": list(engine.epochs),
         "epoch_reports": {
-            str(epoch): engine.session(epoch=epoch).n_reports
-            for epoch in engine.epochs
+            str(epoch): stats["n_reports"] for epoch, stats in epoch_stats.items()
         },
+        "epoch_stats": {str(epoch): stats for epoch, stats in epoch_stats.items()},
         "n_users": engine.n_reports(),
     }
+    if engine.store is not None:
+        output["store"] = {
+            "dir": engine.store.directory,
+            "sealed_epochs": list(engine.sealed_epochs),
+            "on_disk_bytes": engine.store.total_bytes(),
+        }
     if args.output_state:
         try:
             merged = engine.window_state(window)
@@ -693,9 +746,13 @@ def command_engine_query(args: argparse.Namespace) -> int:
 
     ``--postprocess`` re-finalizes the checkpointed statistics under a
     different pipeline (post-processing never touches the accumulated
-    state, so no re-ingestion is needed).
+    state, so no re-ingestion is needed).  With ``--store-dir`` the
+    window is answered out-of-core: only the selected epochs' segments
+    are read (via pushdown when available), bit-identically to the
+    in-RAM merge path.
     """
-    engine = _restore_engine(args.checkpoint)
+    checkpoint, store_dir = _checkpoint_source(args)
+    engine = _restore_engine(checkpoint, store_dir=store_dir)
     window = _parse_window_arg(args)
     postprocess = getattr(args, "postprocess", None)
     if postprocess is not None:
@@ -706,7 +763,7 @@ def command_engine_query(args: argparse.Namespace) -> int:
     try:
         selected = resolve_window(window, engine.epochs)
         estimator = engine.estimator(window)
-    except ProtocolUsageError as exc:
+    except (ProtocolUsageError, SerializationError) as exc:
         raise SystemExit(str(exc))
     output = _window_output(engine, window, estimator, args)
     output["window"] = getattr(args, "window", "all")
@@ -783,19 +840,33 @@ def command_serve(args: argparse.Namespace) -> int:
         "request_timeout": args.request_timeout,
         "max_inflight": args.max_inflight,
     }
-    if args.checkpoint and os.path.exists(args.checkpoint):
-        service = AggregationService.from_checkpoint(args.checkpoint, **options)
-        origin = f"restored from {args.checkpoint}"
-    else:
-        if args.domain_size is None:
-            raise SystemExit(
-                "--domain-size is required unless --checkpoint names an "
-                "existing checkpoint to restore"
+    store_dir = getattr(args, "store_dir", None)
+    try:
+        if store_dir and os.path.exists(os.path.join(store_dir, "MANIFEST.json")):
+            service = AggregationService.from_store(
+                store_dir, checkpoint_path=args.checkpoint, **options
             )
-        service = AggregationService(
-            _build_protocol(args), checkpoint_path=args.checkpoint, **options
-        )
-        origin = "fresh engine"
+            origin = f"restored from store {store_dir}"
+        elif args.checkpoint and os.path.exists(args.checkpoint):
+            service = AggregationService.from_checkpoint(
+                args.checkpoint, store_dir=store_dir, **options
+            )
+            origin = f"restored from {args.checkpoint}"
+        else:
+            if args.domain_size is None:
+                raise SystemExit(
+                    "--domain-size is required unless --checkpoint or "
+                    "--store-dir names an existing checkpoint to restore"
+                )
+            service = AggregationService(
+                _build_protocol(args),
+                checkpoint_path=args.checkpoint,
+                store_dir=store_dir,
+                **options,
+            )
+            origin = "fresh engine"
+    except SerializationError as exc:
+        raise SystemExit(str(exc))
 
     async def run() -> None:
         await service.start()
@@ -992,7 +1063,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fold report files into one epoch of a durable checkpoint",
     )
     checkpoint.add_argument(
-        "--checkpoint", required=True, help="checkpoint file (created or extended)"
+        "--checkpoint",
+        default=None,
+        help="monolithic checkpoint file (created or extended)",
+    )
+    checkpoint.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "epoch store directory: per-epoch mmap segments + incremental "
+            "checkpoints (replaces --checkpoint)"
+        ),
     )
     checkpoint.add_argument(
         "--reports", nargs="+", required=True, help="report files from encode"
@@ -1008,7 +1089,12 @@ def build_parser() -> argparse.ArgumentParser:
     info = engine_sub.add_parser(
         "info", help="inspect a checkpoint (spec, epochs, report counts)"
     )
-    info.add_argument("--checkpoint", required=True)
+    info.add_argument("--checkpoint", default=None)
+    info.add_argument(
+        "--store-dir",
+        default=None,
+        help="epoch store directory to inspect (replaces --checkpoint)",
+    )
     info.add_argument(
         "--window",
         default="all",
@@ -1024,7 +1110,12 @@ def build_parser() -> argparse.ArgumentParser:
     query = engine_sub.add_parser(
         "query", help="answer queries over a window of checkpointed epochs"
     )
-    query.add_argument("--checkpoint", required=True)
+    query.add_argument("--checkpoint", default=None)
+    query.add_argument(
+        "--store-dir",
+        default=None,
+        help="epoch store directory to query (replaces --checkpoint)",
+    )
     query.add_argument(
         "--window",
         default="all",
@@ -1057,6 +1148,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         default=None,
         help="checkpoint file: restored if it exists, written on epoch close",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        help=(
+            "epoch store directory: sealed epochs spill to per-epoch mmap "
+            "segments and checkpoints become incremental (restored if the "
+            "directory already holds a manifest)"
+        ),
     )
     serve.add_argument(
         "--checkpoint-every",

@@ -45,6 +45,14 @@ batch.  Unlike every other format here, a WAL segment is expected to be
 recovers every intact prefix record and reports -- rather than raises
 on -- a truncated or corrupt tail.
 
+A fifth magic, ``REPROSEG\\x01``, frames one *epoch segment* of the
+out-of-core store (:mod:`repro.engine.store`): a JSON header describing
+the epoch, its protocol spec hash and the byte layout of the body, the
+body itself (the epoch's packed v1 accumulator state plus optional
+8-byte-aligned int64 *pushdown* vectors, mapped zero-copy at query
+time), and a trailing CRC32 over everything before it, so a torn or
+bit-flipped segment is detected before a single array is trusted.
+
 Malformed input of any kind -- wrong magic, truncation, garbage JSON,
 corrupt array blocks -- raises :class:`SerializationError` with the byte
 offset where decoding failed, never a raw ``struct.error`` / ``KeyError``.
@@ -74,6 +82,10 @@ MAGIC_BATCH = b"REPROBAT\x01"
 #: WAL segment framing tag: the gateway's durable ingest log
 #: (:mod:`repro.service.wal`), one segment file per epoch.
 MAGIC_WAL = b"REPROWAL\x01"
+
+#: Epoch-segment framing tag: one sealed epoch of the out-of-core store
+#: (:mod:`repro.engine.store`), CRC-framed and memory-mappable.
+MAGIC_SEG = b"REPROSEG\x01"
 
 #: The newest format version this build reads and writes.
 FORMAT_VERSION = 2
@@ -504,6 +516,229 @@ def scan_wal_segment(data) -> Tuple[dict, List[Tuple[dict, bytes]], Optional[int
             return header, records, start
         records.append((meta, payload[_LENGTH.size + meta_length :]))
     return header, records, None
+
+
+# --------------------------------------------------------------------- #
+# epoch segments: the out-of-core store's per-epoch files
+# --------------------------------------------------------------------- #
+#: ``seg_kind`` tag every epoch segment declares in its header.
+EPOCH_SEGMENT_KIND = "epoch-segment"
+
+#: Layout version of the epoch-segment contents.
+EPOCH_SEGMENT_FORMAT = 1
+
+_SEG_ALIGN = 8
+
+
+def _pad_to(length: int, align: int = _SEG_ALIGN) -> int:
+    """Bytes of padding needed to advance ``length`` to a multiple of ``align``."""
+    return (-length) % align
+
+
+def pack_epoch_segment(
+    epoch: int,
+    spec_hash: str,
+    state_blob: bytes,
+    *,
+    n_reports: int = 0,
+    pushdown: Optional[dict] = None,
+) -> bytes:
+    """Frame one sealed epoch for the out-of-core store.
+
+    ``MAGIC_SEG | u64 header length | JSON header | body | u32 crc32``
+    where the CRC covers every byte before it, so torn tails and bit
+    flips are detected before any content is trusted.  The body holds
+    the epoch's packed v1 accumulator ``state_blob`` followed by the
+    optional *pushdown* region: the raw little-endian int64 sufficient
+    statistic vectors of each oracle child, 8-byte aligned so a reader
+    can view them zero-copy straight out of a memory map.  All offsets
+    in the header are relative to the body start; the header JSON is
+    space-padded so the body itself starts 8-byte aligned.
+
+    ``pushdown`` (optional) is a plain-data description of the state::
+
+        {"label": ..., "config": {...}, "n_users": N,
+         "children": [{"oracle_kind": ..., "config": {...},
+                       "n_reports": N, "vectors": {name: int64 array}}]}
+
+    Summing the pushdown vectors of many segments elementwise is exactly
+    the accumulator merge (integer addition is associative and
+    commutative), which is what makes store-backed windowed queries
+    bit-identical to the in-RAM merge path.
+    """
+    state_blob = bytes(state_blob)
+    body = bytearray(state_blob)
+    header: dict = {
+        "seg_kind": EPOCH_SEGMENT_KIND,
+        "format": EPOCH_SEGMENT_FORMAT,
+        "epoch": int(epoch),
+        "spec_hash": str(spec_hash),
+        "n_reports": int(n_reports),
+        "state": {"offset": 0, "length": len(state_blob)},
+    }
+    if pushdown is not None:
+        body += b"\x00" * _pad_to(len(body))
+        children = []
+        for child in pushdown.get("children", []):
+            vectors = []
+            for name, vector in child["vectors"].items():
+                vector = np.ascontiguousarray(vector, dtype="<i8")
+                offset = len(body)
+                body += vector.tobytes()
+                vectors.append(
+                    {"name": str(name), "shape": list(vector.shape), "offset": offset}
+                )
+            children.append(
+                {
+                    "oracle_kind": child["oracle_kind"],
+                    "config": child["config"],
+                    "n_reports": int(child["n_reports"]),
+                    "vectors": vectors,
+                }
+            )
+        header["pushdown"] = {
+            "label": pushdown["label"],
+            "config": pushdown["config"],
+            "n_users": int(pushdown["n_users"]),
+            "children": children,
+        }
+    encoded = json.dumps(header, sort_keys=True).encode("utf-8")
+    # Pad the header (JSON tolerates trailing spaces) so the body -- and
+    # with it every vector offset -- lands 8-byte aligned in the file.
+    prefix = len(MAGIC_SEG) + _LENGTH.size
+    encoded += b" " * _pad_to(prefix + len(encoded))
+    out = bytearray(MAGIC_SEG)
+    out += _LENGTH.pack(len(encoded))
+    out += encoded
+    out += body
+    out += _CRC.pack(zlib.crc32(out))
+    return bytes(out)
+
+
+def read_epoch_segment(data) -> Tuple[dict, int]:
+    """Validate one epoch segment; return ``(header, body_offset)``.
+
+    ``data`` may be bytes or a memory map; the whole-file CRC is checked
+    here, once, so subsequent zero-copy views over the body need no
+    further validation.  A short file, a bad magic, garbage JSON, or a
+    CRC mismatch (torn or bit-flipped tail) each raise
+    :class:`SerializationError` naming what went wrong.
+    """
+    try:
+        view = memoryview(data)
+    except TypeError:
+        raise SerializationError(
+            f"expected bytes or a buffer, got {type(data).__name__}"
+        ) from None
+    try:
+        return _read_epoch_segment(view)
+    except SerializationError:
+        # Release the view before the exception propagates: a traceback
+        # frame keeps locals alive, and a still-exported view would stop
+        # the caller from closing a memory map it is validating.
+        view.release()
+        raise
+
+
+def _read_epoch_segment(view: memoryview) -> Tuple[dict, int]:
+    if len(view) < len(MAGIC_SEG) or bytes(view[: len(MAGIC_SEG)]) != MAGIC_SEG:
+        preview = bytes(view[: len(MAGIC_SEG)])
+        raise SerializationError(
+            f"bad magic at offset 0: {preview!r} is not an epoch segment "
+            f"(expected {MAGIC_SEG!r})"
+        )
+    offset = len(MAGIC_SEG)
+    if len(view) < offset + _LENGTH.size + _CRC.size:
+        raise SerializationError(
+            f"truncated epoch segment: {len(view)} bytes is too short to "
+            "hold the header length and trailing CRC (torn tail?)"
+        )
+    (header_length,) = _LENGTH.unpack_from(view, offset)
+    offset += _LENGTH.size
+    if header_length > len(view) - offset - _CRC.size:
+        raise SerializationError(
+            f"truncated epoch segment: header declares {header_length} bytes "
+            f"but only {len(view) - offset - _CRC.size} remain before the CRC "
+            "(torn tail?)"
+        )
+    (stored_crc,) = _CRC.unpack_from(view, len(view) - _CRC.size)
+    actual_crc = zlib.crc32(view[: len(view) - _CRC.size])
+    if actual_crc != stored_crc:
+        raise SerializationError(
+            f"epoch segment failed its CRC check (stored {stored_crc:#010x}, "
+            f"computed {actual_crc:#010x}): torn or corrupt segment tail"
+        )
+    try:
+        header = json.loads(bytes(view[offset : offset + header_length]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"corrupt epoch segment header in bytes "
+            f"[{offset}, {offset + header_length}): {exc}"
+        ) from exc
+    if not isinstance(header, dict) or header.get("seg_kind") != EPOCH_SEGMENT_KIND:
+        kind = header.get("seg_kind") if isinstance(header, dict) else None
+        raise SerializationError(
+            f"corrupt epoch segment header: seg_kind {kind!r} is not "
+            f"{EPOCH_SEGMENT_KIND!r}"
+        )
+    if int(header.get("format", 0)) != EPOCH_SEGMENT_FORMAT:
+        raise SerializationError(
+            f"epoch segment format {header.get('format')!r} is not supported "
+            f"by this build (expected {EPOCH_SEGMENT_FORMAT})"
+        )
+    return header, offset + header_length
+
+
+def segment_state_bytes(data, header: dict, body_offset: int) -> bytes:
+    """The packed v1 accumulator state embedded in a validated segment."""
+    view = memoryview(data)
+    state = header.get("state", {})
+    start = body_offset + int(state.get("offset", 0))
+    length = int(state.get("length", -1))
+    if length < 0 or start + length > len(view) - _CRC.size:
+        raise SerializationError(
+            f"epoch segment state descriptor {state!r} points outside the body"
+        )
+    return bytes(view[start : start + length])
+
+
+def segment_pushdown_children(data, header: dict, body_offset: int) -> List[dict]:
+    """Zero-copy views of a validated segment's pushdown vectors.
+
+    Returns one dict per oracle child -- ``oracle_kind``, ``config``,
+    ``n_reports`` and ``vectors`` (name -> read-only int64 array viewing
+    the underlying buffer) -- or raises if the segment carries no
+    pushdown region or a descriptor points outside the body.
+    """
+    pushdown = header.get("pushdown")
+    if not isinstance(pushdown, dict):
+        raise SerializationError("epoch segment carries no pushdown region")
+    view = memoryview(data)
+    limit = len(view) - _CRC.size
+    children: List[dict] = []
+    for child in pushdown.get("children", []):
+        vectors: Dict[str, np.ndarray] = {}
+        for descriptor in child.get("vectors", []):
+            shape = tuple(int(size) for size in descriptor["shape"])
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            start = body_offset + int(descriptor["offset"])
+            if start + 8 * count > limit:
+                raise SerializationError(
+                    f"epoch segment pushdown vector {descriptor!r} points "
+                    "outside the body"
+                )
+            vectors[descriptor["name"]] = np.frombuffer(
+                view, dtype="<i8", count=count, offset=start
+            ).reshape(shape)
+        children.append(
+            {
+                "oracle_kind": child["oracle_kind"],
+                "config": child["config"],
+                "n_reports": int(child["n_reports"]),
+                "vectors": vectors,
+            }
+        )
+    return children
 
 
 def pack_child(child_bytes: bytes) -> np.ndarray:

@@ -2,8 +2,13 @@
 
 ``Engine.open(spec)`` turns any protocol configuration into a managed
 aggregation service with epoch-partitioned state, windowed queries,
-and durable checkpoint/restore.  See :mod:`repro.engine.engine` for the
-model and ``examples/engine_windows.py`` for a runnable sliding-window
+and durable checkpoint/restore.  ``Engine.open(..., store_dir=...)``
+adds the out-of-core epoch store (:mod:`repro.engine.store`): sealed
+epochs spill to per-epoch memory-mapped segment files, checkpoints
+become incremental, and windowed queries over sealed epochs run via
+pushdown over pre-aggregated integer vectors.  See
+:mod:`repro.engine.engine` for the model and
+``examples/engine_windows.py`` for a runnable sliding-window
 walkthrough.
 """
 
@@ -14,7 +19,16 @@ from repro.engine.engine import (
     Engine,
     EpochSession,
 )
-from repro.engine.windows import ALL, LastK, WindowLike, last, parse_window, resolve_window
+from repro.engine.store import EpochStore, spec_fingerprint
+from repro.engine.windows import (
+    ALL,
+    LastK,
+    WindowLike,
+    last,
+    parse_window,
+    resolve_window,
+    split_window,
+)
 
 __all__ = [
     "ALL",
@@ -22,10 +36,13 @@ __all__ = [
     "CHECKPOINT_KIND",
     "Engine",
     "EpochSession",
+    "EpochStore",
     "InvalidWindowError",
     "LastK",
     "WindowLike",
     "last",
     "parse_window",
     "resolve_window",
+    "spec_fingerprint",
+    "split_window",
 ]

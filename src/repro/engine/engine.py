@@ -22,6 +22,15 @@ client/server objects into managed, durable, epoch-partitioned state:
   :meth:`Engine.restore` rebuilds the engine from it.  A bare v1 server
   state (``server.to_bytes()`` / ``repro-cli aggregate`` output) restores
   too, as a single-epoch engine, so pre-engine files keep working.
+* **Out-of-core storage.**  ``Engine.open(..., store_dir=...)`` attaches
+  an :class:`~repro.engine.store.EpochStore`: live epochs stay in RAM,
+  :meth:`Engine.seal_epoch` writes a finished epoch to its own
+  memory-mapped segment file and evicts it, ``checkpoint()`` (no path)
+  becomes *incremental* -- only dirty epochs are rewritten, manifest
+  fsync'd last -- and restore maps segments lazily, so RSS scales with
+  the queried window instead of the total epoch count.  Windowed queries
+  over sealed epochs sum the segments' pre-aggregated integer vectors
+  (query pushdown) and remain bit-identical to the in-RAM merge path.
 
 Example::
 
@@ -62,7 +71,8 @@ from repro.core.session import (
     load_server,
     protocol_from_spec,
 )
-from repro.engine.windows import ALL, WindowLike, resolve_window
+from repro.engine.store import EpochStore
+from repro.engine.windows import ALL, WindowLike, resolve_window, split_window
 
 #: ``file_kind`` tag of a checkpoint envelope.
 CHECKPOINT_KIND = "engine-checkpoint"
@@ -117,6 +127,7 @@ class EpochSession:
     def ingest(self, reports: Union[Report, Iterable[Report]]) -> "EpochSession":
         """Fold pre-encoded privatized reports into this epoch's shard."""
         self._server.ingest(reports)
+        self._engine._note_mutation(self._epoch)
         return self
 
     def absorb(self, items: np.ndarray, rng: RngLike = None) -> "EpochSession":
@@ -128,6 +139,7 @@ class EpochSession:
         bit-for-bit.
         """
         self._server.ingest(self._engine.client().encode_batch(items, rng=rng))
+        self._engine._note_mutation(self._epoch)
         return self
 
     def snapshot(self) -> CompositeAccumulator:
@@ -170,6 +182,11 @@ class Engine:
         self._protocol = protocol
         self._servers: Dict[int, ProtocolServer] = {}
         self._client = None
+        # Out-of-core backing (attach_store): sealed epochs live only in
+        # the store; _dirty tracks live epochs whose state has outrun
+        # their last written segment.
+        self._store: Optional[EpochStore] = None
+        self._dirty: set = set()
         # Guards the epoch map (see the concurrency contract above).
         # Re-entrant because compound operations (from_bytes, absorb_shard,
         # with_postprocess) call the locked primitives while holding it.
@@ -181,9 +198,10 @@ class Engine:
     @classmethod
     def open(
         cls,
-        spec,
+        spec=None,
         domain_size: Optional[int] = None,
         epsilon: Optional[float] = None,
+        store_dir: Optional[str] = None,
         **kwargs,
     ) -> "Engine":
         """Open an engine for one protocol configuration.
@@ -192,7 +210,25 @@ class Engine:
         ``protocol.spec()``), or a registry handle string -- the latter
         requires ``domain_size`` and ``epsilon`` (plus any constructor
         keywords), mirroring :func:`repro.make_protocol`.
+
+        ``store_dir`` attaches an out-of-core
+        :class:`~repro.engine.store.EpochStore` (created on first use):
+        sealed epochs live on disk as lazily mapped segments and
+        ``checkpoint()`` becomes incremental.  With ``spec=None`` the
+        store must already exist and the protocol configuration is taken
+        from its manifest -- this is the restore path.
         """
+        if spec is None:
+            if store_dir is None:
+                raise ProtocolUsageError(
+                    "Engine.open() needs a protocol (handle, spec dict, or "
+                    "protocol object) or a store_dir holding an existing "
+                    "epoch store"
+                )
+            store = EpochStore(store_dir, create=False)
+            engine = cls(protocol_from_spec(store.spec))
+            engine._store = store
+            return engine
         if isinstance(spec, str):
             from repro import make_protocol  # deferred: repro imports engine
 
@@ -200,10 +236,46 @@ class Engine:
                 raise ProtocolUsageError(
                     "Engine.open(handle, ...) requires domain_size and epsilon"
                 )
-            return cls(make_protocol(spec, domain_size, epsilon, **kwargs))
-        if isinstance(spec, dict):
-            return cls(protocol_from_spec(spec))
-        return cls(spec)
+            engine = cls(make_protocol(spec, domain_size, epsilon, **kwargs))
+        elif isinstance(spec, dict):
+            engine = cls(protocol_from_spec(spec))
+        else:
+            engine = cls(spec)
+        if store_dir is not None:
+            engine.attach_store(store_dir)
+        return engine
+
+    def attach_store(self, store_dir: str) -> "Engine":
+        """Attach (opening or creating) an out-of-core epoch store.
+
+        An existing store must have been written for an identically
+        configured protocol (assembly-only spec keys ignored).  Epochs
+        already sealed in the store become queryable immediately -- they
+        are mapped lazily, never materialized wholesale.  A live epoch
+        that collides with a sealed one is refused: restore *from* the
+        store first, then ingest.
+        """
+        with self._lock:
+            if self._store is not None:
+                raise ProtocolUsageError(
+                    f"engine is already backed by the store at "
+                    f"{self._store.directory}"
+                )
+            store = EpochStore(store_dir, spec=self.spec())
+            collisions = sorted(set(self._servers) & set(store.epochs()))
+            if collisions:
+                raise ProtocolUsageError(
+                    f"live epoch(s) {collisions} collide with sealed epochs "
+                    f"in the store at {store_dir}; restore from the store "
+                    "first (Engine.open(None, store_dir=...)), then ingest"
+                )
+            self._store = store
+        return self
+
+    @property
+    def store(self) -> Optional[EpochStore]:
+        """The attached out-of-core store (``None`` for in-RAM engines)."""
+        return self._store
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -219,23 +291,92 @@ class Engine:
 
     @property
     def epochs(self) -> Tuple[int, ...]:
-        """Epoch keys currently held, in ascending order."""
+        """Epoch keys currently held (live and sealed), in ascending order."""
+        with self._lock:
+            return tuple(sorted(self._known_epochs()))
+
+    def _known_epochs(self) -> set:
+        known = set(self._servers)
+        if self._store is not None:
+            known.update(self._store.epochs())
+        return known
+
+    @property
+    def live_epochs(self) -> Tuple[int, ...]:
+        """Epoch keys currently materialized in RAM, in ascending order."""
         with self._lock:
             return tuple(sorted(self._servers))
+
+    @property
+    def sealed_epochs(self) -> Tuple[int, ...]:
+        """Epoch keys held only by the store, in ascending order."""
+        with self._lock:
+            if self._store is None:
+                return ()
+            return tuple(
+                sorted(set(self._store.epochs()) - set(self._servers))
+            )
+
+    def _epoch_reports(self, epoch: int) -> int:
+        """One epoch's report count, live state winning over the manifest."""
+        server = self._servers.get(epoch)
+        if server is not None:
+            return server.n_reports
+        return self._store.n_reports(epoch)
 
     def n_reports(self, window: WindowLike = ALL) -> int:
         """Total reports across the selected window.
 
         A fresh engine reports 0 for *any* window -- an empty service has
         nothing in every window -- so monitoring can poll sliding windows
-        before the first epoch exists.
+        before the first epoch exists.  Sealed epochs are counted from
+        the store manifest without loading a single segment.
         """
         with self._lock:
-            if not self._servers:
+            if not self._known_epochs():
                 return 0
             return sum(
-                self._servers[epoch].n_reports for epoch in self._resolve(window)
+                self._epoch_reports(epoch) for epoch in self._resolve(window)
             )
+
+    def epoch_report_counts(self) -> Dict[int, int]:
+        """Per-epoch report counts, without materializing sealed epochs."""
+        with self._lock:
+            return {
+                epoch: self._epoch_reports(epoch)
+                for epoch in sorted(self._known_epochs())
+            }
+
+    def epoch_stats(self) -> Dict[int, dict]:
+        """Per-epoch accounting for monitoring and ``engine info``.
+
+        Each entry reports ``n_reports``, the serialized state size in
+        ``bytes`` (live epochs pay one in-memory serialization; sealed
+        epochs reuse the manifest's recorded segment size), whether the
+        epoch is ``sealed`` (on disk only), and -- when store-backed --
+        the ``on_disk`` segment size and ``dirty`` flag.
+        """
+        with self._lock:
+            stats: Dict[int, dict] = {}
+            for epoch in sorted(self._known_epochs()):
+                server = self._servers.get(epoch)
+                entry: dict = {"sealed": server is None}
+                if server is not None:
+                    entry["n_reports"] = server.n_reports
+                    entry["bytes"] = len(server.to_bytes())
+                else:
+                    entry["n_reports"] = self._store.n_reports(epoch)
+                    entry["bytes"] = self._store.on_disk_size(epoch)
+                if self._store is not None:
+                    in_store = epoch in self._store
+                    entry["on_disk"] = (
+                        self._store.on_disk_size(epoch) if in_store else 0
+                    )
+                    entry["dirty"] = epoch in self._dirty or (
+                        server is not None and not in_store
+                    )
+                stats[epoch] = entry
+            return stats
 
     def describe(self) -> str:
         """Single-line summary used by the CLI and logs."""
@@ -255,14 +396,33 @@ class Engine:
         return self._client
 
     def _next_epoch(self) -> int:
-        return max(self._servers) + 1 if self._servers else 0
+        known = self._known_epochs()
+        return max(known) + 1 if known else 0
+
+    def _note_mutation(self, epoch: int) -> None:
+        """Record that a live epoch's statistics changed (store dirtiness)."""
+        if self._store is None:
+            return
+        with self._lock:
+            self._dirty.add(int(epoch))
+            self._store.mark_dirty(int(epoch))
+
+    def _load_sealed(self, epoch: int) -> ProtocolServer:
+        """Materialize one sealed epoch back into RAM (clean until mutated)."""
+        state = self._store.load_state(epoch)
+        server = self._protocol.server(state=state)
+        server.state.meta.setdefault("epoch", epoch)
+        self._servers[epoch] = server
+        return server
 
     def session(self, epoch: Optional[int] = None) -> EpochSession:
         """Open a session on ``epoch`` (default: the next fresh epoch).
 
         Re-opening an existing epoch returns a session over the same
         shard; a new epoch key creates an empty shard stamped with
-        ``meta={"epoch": key}``.
+        ``meta={"epoch": key}``.  Opening a *sealed* epoch loads its
+        segment back into RAM (it stays clean -- and is not rewritten at
+        the next checkpoint -- until mutated).
         """
         with self._lock:
             if epoch is None:
@@ -270,9 +430,12 @@ class Engine:
             epoch = int(epoch)
             server = self._servers.get(epoch)
             if server is None:
-                server = self._protocol.server()
-                server.state.meta.setdefault("epoch", epoch)
-                self._servers[epoch] = server
+                if self._store is not None and epoch in self._store:
+                    server = self._load_sealed(epoch)
+                else:
+                    server = self._protocol.server()
+                    server.state.meta.setdefault("epoch", epoch)
+                    self._servers[epoch] = server
         return EpochSession(self, epoch, server)
 
     def adopt_state(
@@ -295,7 +458,7 @@ class Engine:
             if epoch is None:
                 epoch = self._next_epoch()
             epoch = int(epoch)
-            if epoch in self._servers:
+            if epoch in self._known_epochs():
                 raise ProtocolUsageError(
                     f"epoch {epoch} already exists in this engine; windows, not "
                     "adoption, combine existing epochs"
@@ -303,6 +466,7 @@ class Engine:
             server = self._protocol.server(state=state)
             server.state.meta.setdefault("epoch", epoch)
             self._servers[epoch] = server
+            self._note_mutation(epoch)
         return EpochSession(self, epoch, server)
 
     def absorb_shard(
@@ -328,16 +492,20 @@ class Engine:
                 epoch = self._next_epoch()
             epoch = int(epoch)
             server = self._servers.get(epoch)
+            if server is None and self._store is not None and epoch in self._store:
+                # Absorbing into a sealed epoch un-seals it first.
+                server = self._load_sealed(epoch)
             if server is None:
                 return self.adopt_state(state, epoch=epoch)
             server.merge(state)
+            self._note_mutation(epoch)
         return EpochSession(self, epoch, server)
 
     # ------------------------------------------------------------------ #
     # windowed queries
     # ------------------------------------------------------------------ #
     def _resolve(self, window: WindowLike) -> List[int]:
-        return resolve_window(window, sorted(self._servers))
+        return resolve_window(window, sorted(self._known_epochs()))
 
     def window_state(self, window: WindowLike = ALL) -> CompositeAccumulator:
         """The merged accumulator state of the selected epochs (a copy).
@@ -346,12 +514,32 @@ class Engine:
         associative, so any window materialises bit-identically regardless
         of how its epochs were sharded.  The returned state is independent
         of the live shards and records the window in ``meta["epochs"]``.
+
+        On a store-backed engine the sealed part of the window is
+        answered by *query pushdown* when every selected segment carries
+        pre-aggregated vectors: the store sums the mapped int64
+        statistics elementwise -- exactly the accumulator merge -- so no
+        sealed epoch is ever fully decoded.  Segments without a pushdown
+        region (e.g. SHE's exact-summation states) fall back to full
+        load-and-merge; either way the result is bit-identical to an
+        all-live merge, and no sealed epoch is re-materialized into the
+        engine's epoch map.
         """
         with self._lock:
             selected = self._resolve(window)
-            merged = self._servers[selected[0]].snapshot()
-            for epoch in selected[1:]:
-                merged.merge(self._servers[epoch].state)
+            live, sealed = split_window(selected, self._servers)
+            merged: Optional[CompositeAccumulator] = None
+            if sealed:
+                merged = self._store.pushdown_state(sealed)
+                if merged is None:
+                    for epoch in sealed:
+                        state = self._store.load_state(epoch)
+                        merged = state if merged is None else merged.merge(state)
+            for epoch in live:
+                if merged is None:
+                    merged = self._servers[epoch].snapshot()
+                else:
+                    merged.merge(self._servers[epoch].state)
         merged.meta = {"epochs": list(selected)}
         return merged
 
@@ -360,13 +548,13 @@ class Engine:
 
         The merge is lazy -- nothing is combined until an estimator is
         requested -- and feeds the family's existing estimator and batch
-        query kernels unchanged.  A single-epoch window finalizes the live
-        shard directly, which is bit-identical to the plain
+        query kernels unchanged.  A single-epoch window over a live shard
+        finalizes it directly, which is bit-identical to the plain
         client/server session path.
         """
         with self._lock:
             selected = self._resolve(window)
-            if len(selected) == 1:
+            if len(selected) == 1 and selected[0] in self._servers:
                 return self._servers[selected[0]].finalize()
             state = self.window_state(selected)
         finalize = getattr(self._protocol, "estimator_from_state", None)
@@ -391,11 +579,17 @@ class Engine:
         spec["postprocess"] = postprocess
         clone = Engine(protocol_from_spec(spec))
         with self._lock:
-            for epoch in self.epochs:
+            for epoch in self.live_epochs:
                 # Adopt the live shard itself (not a copy): states are
                 # exchangeable across postprocess settings because the
                 # pipeline never touches the sufficient statistics.
                 clone.adopt_state(self._servers[epoch].state, epoch=epoch)
+            # Sealed epochs stay sealed: the clone reads the same store
+            # (spec hashes ignore assembly-only keys, so the segments are
+            # exchangeable too).  The clone is a query view -- it borrows
+            # the store and must not checkpoint into it.
+            clone._store = self._store
+            clone._dirty = set(self._dirty)
         return clone
 
     def simulate(self, true_counts: np.ndarray, rng: RngLike = None):
@@ -418,24 +612,34 @@ class Engine:
     # checkpoint / restore
     # ------------------------------------------------------------------ #
     def to_bytes(self) -> bytes:
-        """Serialize every epoch shard into one versioned v2 envelope."""
+        """Serialize every epoch shard into one versioned v2 envelope.
+
+        On a store-backed engine sealed epochs are included too (their
+        packed states are read straight from the segment files), so a
+        monolithic checkpoint of an out-of-core engine is complete and
+        restorable anywhere -- the export path out of a store.
+        """
         from repro import __version__  # deferred: repro imports engine
 
         with self._lock:
-            epochs = sorted(self._servers)
+            epochs = sorted(self._known_epochs())
             header = {
                 "file_kind": CHECKPOINT_KIND,
                 "engine": {"format": CHECKPOINT_FORMAT, "version": __version__},
                 "protocol": self._protocol.spec(),
                 "epochs": epochs,
                 "epoch_reports": {
-                    str(epoch): self._servers[epoch].n_reports for epoch in epochs
+                    str(epoch): self._epoch_reports(epoch) for epoch in epochs
                 },
             }
-            arrays = {
-                f"epoch_{epoch}": pack_child(self._servers[epoch].to_bytes())
-                for epoch in epochs
-            }
+            arrays = {}
+            for epoch in epochs:
+                server = self._servers.get(epoch)
+                if server is not None:
+                    blob = server.to_bytes()
+                else:
+                    blob = self._store.read_state_bytes(epoch)
+                arrays[f"epoch_{epoch}"] = pack_child(blob)
         return pack_blob(header, arrays, version=2)
 
     @classmethod
@@ -463,22 +667,34 @@ class Engine:
                 )
             try:
                 engine = cls(protocol_from_spec(spec))
-                for epoch in epochs:
-                    key = f"epoch_{int(epoch)}"
-                    if key not in arrays:
-                        raise SerializationError(
-                            f"engine checkpoint is missing the shard for epoch {epoch}"
-                        )
-                    engine.adopt_state(unpack_child(arrays[key]), epoch=int(epoch))
-            except SerializationError:
-                raise
             except (ProtocolUsageError, KeyError, TypeError, ValueError) as exc:
-                # A corrupt-but-parseable checkpoint (e.g. a mutated spec
-                # or an epoch shard that no longer matches it) is a decode
-                # failure, not an internal error.
                 raise SerializationError(
                     f"corrupt engine checkpoint: {exc}"
                 ) from exc
+            for epoch in epochs:
+                key = f"epoch_{int(epoch)}"
+                if key not in arrays:
+                    raise SerializationError(
+                        f"engine checkpoint is missing the shard for epoch {epoch}"
+                    )
+                try:
+                    engine.adopt_state(unpack_child(arrays[key]), epoch=int(epoch))
+                except SerializationError as exc:
+                    # Name the failing epoch: a corrupt child's own error
+                    # reports byte offsets *within* the nested blob, which
+                    # is useless without knowing which shard it was.
+                    raise SerializationError(
+                        f"corrupt shard for epoch {epoch} in engine "
+                        f"checkpoint: {exc}"
+                    ) from exc
+                except (ProtocolUsageError, KeyError, TypeError, ValueError) as exc:
+                    # A corrupt-but-parseable checkpoint (e.g. a mutated
+                    # spec or an epoch shard that no longer matches it) is
+                    # a decode failure, not an internal error.
+                    raise SerializationError(
+                        f"corrupt shard for epoch {epoch} in engine "
+                        f"checkpoint: {exc}"
+                    ) from exc
             return engine
         if kind_header.get("state_kind") is not None:
             # A pre-engine v1 payload: a single server's accumulator state.
@@ -498,13 +714,65 @@ class Engine:
             f"{kind_header.get('file_kind')!r})"
         )
 
-    def checkpoint(self, path: str) -> "Engine":
-        """Write the full engine state to ``path``.
+    def seal_epoch(self, epoch: int) -> "Engine":
+        """Write one epoch to its own segment and evict it from RAM.
 
-        The write is atomic at the filesystem level: the envelope lands in
-        a temporary sibling file first and is renamed over ``path``, so a
-        crash mid-write never destroys the previous durable checkpoint.
+        The epoch stays fully queryable -- windows read it back through
+        the store's lazy memory maps (and, when eligible, through query
+        pushdown) -- but it no longer occupies RSS.  Sealing an
+        already-sealed epoch is a no-op; the segment is only rewritten
+        when the live state has outrun it.  Requires an attached store.
         """
+        with self._lock:
+            self._require_store("seal_epoch")
+            epoch = int(epoch)
+            server = self._servers.get(epoch)
+            if server is None:
+                if epoch in self._store:
+                    return self
+                raise ProtocolUsageError(
+                    f"cannot seal unknown epoch {epoch}; "
+                    f"available epochs: {list(self.epochs)}"
+                )
+            if epoch in self._dirty or not self._store.has_segment(epoch):
+                self._store.write_segment(epoch, server.state)
+                self._store.save_manifest()
+            del self._servers[epoch]
+            self._dirty.discard(epoch)
+        return self
+
+    def _require_store(self, operation: str) -> None:
+        if self._store is None:
+            raise ProtocolUsageError(
+                f"{operation} needs a store-backed engine; open with "
+                "Engine.open(..., store_dir=...) or attach_store()"
+            )
+
+    def checkpoint(self, path: Optional[str] = None) -> "Engine":
+        """Persist the engine state durably.
+
+        With ``path``, writes the full monolithic v2 envelope there
+        atomically (temporary sibling + rename), exactly as before --
+        including sealed epochs on a store-backed engine.
+
+        Without ``path`` (store-backed engines only), the checkpoint is
+        *incremental*: only live epochs whose statistics have changed
+        since their last segment write -- plus live epochs that never had
+        a segment -- are rewritten, then the manifest is rewritten and
+        fsync'd last.  Clean sealed epochs are never touched, which is
+        what makes the checkpoint cost O(dirty) instead of O(total).
+        """
+        if path is None:
+            with self._lock:
+                self._require_store("checkpoint() without a path")
+                for epoch in sorted(self._servers):
+                    if epoch in self._dirty or not self._store.has_segment(epoch):
+                        self._store.write_segment(
+                            epoch, self._servers[epoch].state
+                        )
+                self._store.save_manifest()
+                self._dirty.clear()
+            return self
         blob = self.to_bytes()
         temp_path = f"{path}.tmp.{os.getpid()}"
         try:
@@ -518,6 +786,13 @@ class Engine:
 
     @classmethod
     def restore(cls, path: str) -> "Engine":
-        """Rebuild an engine from a file written by :meth:`checkpoint`."""
+        """Rebuild an engine from a checkpoint file or a store directory.
+
+        A directory restores as a store-backed engine (lazy: the
+        manifest is read, segments are mapped only when queried); a file
+        restores the monolithic envelope as before.
+        """
+        if os.path.isdir(path):
+            return cls.open(None, store_dir=path)
         with open(path, "rb") as handle:
             return cls.from_bytes(handle.read())

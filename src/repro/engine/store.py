@@ -1,0 +1,568 @@
+"""Out-of-core epoch store: one mmap-backed segment file per sealed epoch.
+
+The :class:`~repro.engine.Engine` keeps every epoch's accumulator in RAM
+and rewrites one monolithic checkpoint envelope on every
+``checkpoint()``.  That is fine for a handful of epochs; a long-running
+service holding months of hourly epochs is memory-bound (RSS grows with
+*total* epochs, not the queried window) and checkpoint-bound (the whole
+envelope is rewritten even when one epoch changed).  :class:`EpochStore`
+is the out-of-core backend that fixes both:
+
+* **One segment per epoch.**  Each sealed epoch lives in its own
+  CRC-framed file (``epoch-%08d.seg``, see
+  :func:`~repro.core.serialization.pack_epoch_segment`) holding the
+  epoch's packed accumulator state plus an optional *pushdown* region.
+  Segments are written once (tmp + rename + fsync) and never mutated.
+* **A versioned manifest.**  ``MANIFEST.json`` records the store format,
+  the protocol spec and its hash, and one entry per epoch (file name,
+  report count, byte size, pushdown availability, dirty bit).  The
+  manifest is always rewritten *after* the segments it references and
+  fsync'd, so a crash mid-checkpoint leaves the previous consistent
+  manifest in place.
+* **Query pushdown.**  For states whose children are all plain integer
+  :class:`~repro.frequency_oracles.base.OracleAccumulator` vectors, the
+  segment stores those int64 vectors raw and 8-byte aligned.  A windowed
+  query then sums the mapped vectors of the selected segments
+  elementwise -- exactly the accumulator merge, because integer addition
+  is associative and commutative -- without decoding a single envelope,
+  so ``estimator(window=last(k))`` over sealed epochs is bit-identical
+  to the in-RAM merge path at a fraction of the work.  States with
+  non-integer children (SHE's exact-summation partials) fall back to a
+  full load-and-merge, which is still exact.
+
+Every structural failure -- a torn segment tail, a manifest/segment spec
+mismatch, a missing segment file, a monolithic checkpoint where a store
+directory was expected -- raises
+:class:`~repro.core.serialization.SerializationError` naming the epoch
+and file involved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.serialization import (
+    MAGIC,
+    MAGIC_V2,
+    SerializationError,
+    pack_epoch_segment,
+    read_epoch_segment,
+    segment_pushdown_children,
+    segment_state_bytes,
+)
+from repro.core.session import AccumulatorState, CompositeAccumulator
+from repro.frequency_oracles.base import OracleAccumulator
+
+#: ``manifest_kind`` tag of an epoch-store manifest.
+MANIFEST_KIND = "epoch-store"
+
+#: Layout version of the manifest contents.
+MANIFEST_FORMAT = 1
+
+#: File name of the store manifest inside the store directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Spec keys that never affect the accumulated statistics (see
+#: ``repro.core.session._ASSEMBLY_ONLY_SPEC_KEYS``): two stores whose
+#: specs differ only here hold exchangeable segments.
+_ASSEMBLY_ONLY_SPEC_KEYS = ("postprocess", "consistency")
+
+
+def spec_fingerprint(spec: dict) -> str:
+    """A stable hash of a protocol spec, ignoring assembly-only keys.
+
+    Post-processing runs at finalize time only, so segments written
+    under ``postprocess="none"`` are valid for a query under
+    ``"consistency+norm_sub"`` and vice versa -- the fingerprint treats
+    those specs as identical, mirroring the engine's merge rules.
+    """
+    comparable = {
+        key: value
+        for key, value in dict(spec).items()
+        if key not in _ASSEMBLY_ONLY_SPEC_KEYS
+    }
+    encoded = json.dumps(comparable, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def _fsync_directory(path: str) -> None:
+    """Force the directory entry updates (renames) themselves to disk."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def _pushdown_description(state: CompositeAccumulator) -> Optional[dict]:
+    """The plain-data pushdown region for ``state``, or ``None``.
+
+    Only states whose children are all *plain* integer oracle
+    accumulators are eligible: a subclass (e.g. SHE's float-partial
+    exact summation) has statistics a raw int64 vector sum cannot
+    reproduce, so those segments simply omit the region and queries fall
+    back to full state decoding.
+    """
+    if not isinstance(state, CompositeAccumulator):
+        return None
+    children = []
+    for child in state.children:
+        if type(child) is not OracleAccumulator:
+            return None
+        children.append(
+            {
+                "oracle_kind": child.oracle_kind,
+                "config": child.config,
+                "n_reports": child.n_reports,
+                "vectors": child.vectors,
+            }
+        )
+    return {
+        "label": state.label,
+        "config": state.config,
+        "n_users": state.n_users,
+        "children": children,
+    }
+
+
+class EpochStore:
+    """Directory of per-epoch segment files plus a versioned manifest.
+
+    Open with a ``spec`` to create the store on first use (and validate
+    on every later open); open with ``spec=None`` and ``create=False``
+    to attach to an existing store and take the protocol spec *from* the
+    manifest.  The store caches validated memory maps per epoch, so the
+    CRC of each segment is checked exactly once per attach.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        spec: Optional[dict] = None,
+        *,
+        create: bool = True,
+    ) -> None:
+        directory = str(directory)
+        if os.path.isfile(directory):
+            self._reject_regular_file(directory)
+        self.directory = directory
+        self._entries: Dict[int, dict] = {}
+        self._maps: Dict[int, Tuple[mmap.mmap, dict, int]] = {}
+        self._segments_written = 0
+        manifest_path = self.manifest_path
+        if os.path.exists(manifest_path):
+            self._load_manifest(manifest_path)
+            if spec is not None and spec_fingerprint(spec) != self._spec_hash:
+                raise SerializationError(
+                    f"epoch store {directory} was written for a different "
+                    f"protocol configuration: manifest spec hash "
+                    f"{self._spec_hash} != {spec_fingerprint(spec)} for "
+                    f"spec {spec}"
+                )
+        else:
+            if not create:
+                raise SerializationError(
+                    f"no epoch store at {directory}: {MANIFEST_NAME} is missing"
+                )
+            if spec is None:
+                raise SerializationError(
+                    f"creating a fresh epoch store at {directory} requires a "
+                    "protocol spec"
+                )
+            self._spec = dict(spec)
+            self._spec_hash = spec_fingerprint(spec)
+            os.makedirs(directory, exist_ok=True)
+            self.save_manifest()
+
+    @staticmethod
+    def _reject_regular_file(path: str) -> None:
+        """A store path that is a file is a usage error; name the likely fix."""
+        try:
+            with open(path, "rb") as handle:
+                magic = handle.read(len(MAGIC_V2))
+        except OSError:
+            magic = b""
+        if magic in (MAGIC, MAGIC_V2):
+            raise SerializationError(
+                f"{path} is a monolithic engine checkpoint, not an epoch "
+                "store directory; restore it with Engine.restore(path) and "
+                "attach a store directory to migrate it"
+            )
+        raise SerializationError(
+            f"{path} is a regular file, not an epoch store directory"
+        )
+
+    # ------------------------------------------------------------------ #
+    # manifest
+    # ------------------------------------------------------------------ #
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    @property
+    def spec(self) -> dict:
+        """The protocol spec recorded in the manifest."""
+        return dict(self._spec)
+
+    @property
+    def spec_hash(self) -> str:
+        """The manifest's fingerprint of the protocol spec."""
+        return self._spec_hash
+
+    @property
+    def segments_written(self) -> int:
+        """Segments written since this store object was opened."""
+        return self._segments_written
+
+    def _load_manifest(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"corrupt epoch store manifest {path}: {exc}"
+            ) from exc
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("manifest_kind") != MANIFEST_KIND
+        ):
+            raise SerializationError(
+                f"corrupt epoch store manifest {path}: manifest_kind "
+                f"{manifest.get('manifest_kind') if isinstance(manifest, dict) else None!r} "
+                f"is not {MANIFEST_KIND!r}"
+            )
+        if int(manifest.get("format", 0)) != MANIFEST_FORMAT:
+            raise SerializationError(
+                f"epoch store manifest format {manifest.get('format')!r} is "
+                f"not supported by this build (expected {MANIFEST_FORMAT})"
+            )
+        spec = manifest.get("protocol")
+        if not isinstance(spec, dict):
+            raise SerializationError(
+                f"corrupt epoch store manifest {path}: no protocol spec"
+            )
+        self._spec = spec
+        self._spec_hash = str(manifest.get("spec_hash", ""))
+        if self._spec_hash != spec_fingerprint(spec):
+            raise SerializationError(
+                f"corrupt epoch store manifest {path}: recorded spec hash "
+                f"{self._spec_hash} does not match its own protocol spec"
+            )
+        entries = manifest.get("epochs", {})
+        if not isinstance(entries, dict):
+            raise SerializationError(
+                f"corrupt epoch store manifest {path}: 'epochs' must be an object"
+            )
+        self._entries = {}
+        for key, entry in entries.items():
+            try:
+                epoch = int(key)
+            except (TypeError, ValueError):
+                raise SerializationError(
+                    f"corrupt epoch store manifest {path}: epoch key {key!r} "
+                    "is not an integer"
+                ) from None
+            if not isinstance(entry, dict) or "file" not in entry:
+                raise SerializationError(
+                    f"corrupt epoch store manifest {path}: entry for epoch "
+                    f"{epoch} does not name its segment file"
+                )
+            self._entries[epoch] = dict(entry)
+
+    def save_manifest(self) -> None:
+        """Atomically rewrite and fsync the manifest (always written last).
+
+        Segment writes happen first; only once every referenced segment
+        is durable does the manifest rename land, so a crash at any
+        point leaves a manifest whose entries all point at valid files.
+        """
+        from repro import __version__  # deferred: repro imports engine
+
+        manifest = {
+            "manifest_kind": MANIFEST_KIND,
+            "format": MANIFEST_FORMAT,
+            "version": __version__,
+            "protocol": self._spec,
+            "spec_hash": self._spec_hash,
+            "epochs": {
+                str(epoch): self._entries[epoch] for epoch in sorted(self._entries)
+            },
+        }
+        # Compact separators keep the C encoder engaged (indent= falls back
+        # to the pure-Python one), which matters at thousands of epochs.
+        encoded = json.dumps(
+            manifest, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        temp_path = f"{self.manifest_path}.tmp.{os.getpid()}"
+        try:
+            with open(temp_path, "wb") as handle:
+                handle.write(encoded)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.manifest_path)
+        finally:
+            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
+                os.unlink(temp_path)
+        _fsync_directory(self.directory)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def epochs(self) -> List[int]:
+        """Epoch keys with a manifest entry, in ascending order."""
+        return sorted(self._entries)
+
+    def __contains__(self, epoch: int) -> bool:
+        return int(epoch) in self._entries
+
+    def has_segment(self, epoch: int) -> bool:
+        """Whether ``epoch`` has a clean (non-dirty) manifest entry."""
+        entry = self._entries.get(int(epoch))
+        return entry is not None and not entry.get("dirty", False)
+
+    def n_reports(self, epoch: int) -> int:
+        """The report count the manifest records for ``epoch``."""
+        return int(self._entry(epoch).get("n_reports", 0))
+
+    def on_disk_size(self, epoch: int) -> int:
+        """The segment byte size the manifest records for ``epoch``."""
+        return int(self._entry(epoch).get("size", 0))
+
+    def total_bytes(self) -> int:
+        """Total on-disk segment bytes across every epoch."""
+        return sum(int(entry.get("size", 0)) for entry in self._entries.values())
+
+    def supports_pushdown(self, epoch: int) -> bool:
+        """Whether ``epoch``'s segment carries a pushdown region."""
+        return bool(self._entry(epoch).get("pushdown", False))
+
+    def _entry(self, epoch: int) -> dict:
+        entry = self._entries.get(int(epoch))
+        if entry is None:
+            raise SerializationError(
+                f"epoch {int(epoch)} is not in the store at {self.directory}; "
+                f"known epochs: {self.epochs()}"
+            )
+        return entry
+
+    def segment_path(self, epoch: int) -> str:
+        return os.path.join(self.directory, self._entry(epoch)["file"])
+
+    # ------------------------------------------------------------------ #
+    # segment I/O
+    # ------------------------------------------------------------------ #
+    def write_segment(self, epoch: int, state: CompositeAccumulator) -> str:
+        """Persist one epoch's accumulator as its own durable segment.
+
+        The segment is staged in a temporary sibling, fsync'd and
+        renamed into place, so a crash mid-write never damages an
+        existing segment.  The in-memory manifest entry is updated
+        (clean) but *not* saved -- callers batch segment writes and call
+        :meth:`save_manifest` once, after every segment is durable.
+        """
+        epoch = int(epoch)
+        pushdown = _pushdown_description(state)
+        blob = pack_epoch_segment(
+            epoch,
+            self._spec_hash,
+            state.to_bytes(),
+            n_reports=state.n_reports,
+            pushdown=pushdown,
+        )
+        name = f"epoch-{epoch:08d}.seg"
+        path = os.path.join(self.directory, name)
+        temp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temp_path, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        finally:
+            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
+                os.unlink(temp_path)
+        self._drop_map(epoch)
+        self._entries[epoch] = {
+            "file": name,
+            "n_reports": int(state.n_reports),
+            "size": len(blob),
+            "pushdown": pushdown is not None,
+            "dirty": False,
+        }
+        self._segments_written += 1
+        return path
+
+    def mark_dirty(self, epoch: int) -> None:
+        """Record that ``epoch``'s live state has outrun its segment."""
+        entry = self._entries.get(int(epoch))
+        if entry is not None:
+            entry["dirty"] = True
+
+    def _drop_map(self, epoch: int) -> None:
+        cached = self._maps.pop(int(epoch), None)
+        if cached is not None:
+            self._close_map(cached[0])
+
+    @staticmethod
+    def _close_map(mapped: mmap.mmap) -> None:
+        """Close a map, tolerating still-exported views (GC reclaims them)."""
+        try:
+            mapped.close()
+        except BufferError:  # pragma: no cover - depends on caller's refs
+            pass
+
+    def _map_segment(self, epoch: int) -> Tuple[mmap.mmap, dict, int]:
+        """Memory-map and validate one segment (cached after first use).
+
+        Validation -- magic, CRC over the whole file, spec hash, epoch
+        stamp -- happens exactly once per mapping; every later zero-copy
+        view rides on it.
+        """
+        epoch = int(epoch)
+        cached = self._maps.get(epoch)
+        if cached is not None:
+            return cached
+        path = self.segment_path(epoch)
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise SerializationError(
+                f"segment file for epoch {epoch} is missing from the store "
+                f"at {self.directory}: {exc}"
+            ) from exc
+        with handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (OSError, ValueError) as exc:
+                raise SerializationError(
+                    f"could not map segment {path} for epoch {epoch}: {exc}"
+                ) from exc
+        try:
+            header, body_offset = read_epoch_segment(mapped)
+            if int(header.get("epoch", -1)) != epoch:
+                raise SerializationError(
+                    f"segment {path} is stamped for epoch "
+                    f"{header.get('epoch')!r}, not epoch {epoch}"
+                )
+            if header.get("spec_hash") != self._spec_hash:
+                raise SerializationError(
+                    f"segment {path} for epoch {epoch} was written for a "
+                    f"different protocol configuration: segment spec hash "
+                    f"{header.get('spec_hash')!r} != manifest spec hash "
+                    f"{self._spec_hash!r}"
+                )
+        except SerializationError as exc:
+            self._close_map(mapped)
+            raise SerializationError(
+                f"corrupt segment for epoch {epoch} at {path}: {exc}"
+            ) from exc
+        except BaseException:  # pragma: no cover - resource hygiene
+            self._close_map(mapped)
+            raise
+        self._maps[epoch] = (mapped, header, body_offset)
+        return self._maps[epoch]
+
+    def read_state_bytes(self, epoch: int) -> bytes:
+        """The packed v1 accumulator bytes of one sealed epoch."""
+        mapped, header, body_offset = self._map_segment(epoch)
+        return segment_state_bytes(mapped, header, body_offset)
+
+    def load_state(self, epoch: int) -> CompositeAccumulator:
+        """Decode one sealed epoch's full accumulator state."""
+        epoch = int(epoch)
+        try:
+            state = AccumulatorState.from_bytes(self.read_state_bytes(epoch))
+        except SerializationError as exc:
+            raise SerializationError(
+                f"corrupt accumulator state in segment for epoch {epoch}: {exc}"
+            ) from exc
+        if not isinstance(state, CompositeAccumulator):
+            raise SerializationError(
+                f"segment for epoch {epoch} does not hold a composite "
+                f"accumulator (got {type(state).__name__})"
+            )
+        return state
+
+    def pushdown_state(self, epochs: Sequence[int]) -> Optional[CompositeAccumulator]:
+        """The exact merged state of ``epochs`` via pre-aggregated vectors.
+
+        Sums the mapped int64 sufficient-statistic vectors of every
+        selected segment elementwise -- bit-identical to merging the
+        full accumulators, since integer addition is associative and
+        commutative -- and rebuilds one
+        :class:`~repro.core.session.CompositeAccumulator` from the
+        totals.  Returns ``None`` when any selected segment lacks a
+        pushdown region (the caller falls back to full load-and-merge).
+        """
+        epochs = [int(epoch) for epoch in epochs]
+        if not epochs:
+            return None
+        if not all(self.supports_pushdown(epoch) for epoch in epochs):
+            return None
+        base: Optional[dict] = None
+        totals: List[Dict[str, np.ndarray]] = []
+        child_reports: List[int] = []
+        n_users = 0
+        for epoch in epochs:
+            mapped, header, body_offset = self._map_segment(epoch)
+            children = segment_pushdown_children(mapped, header, body_offset)
+            pushdown = header["pushdown"]
+            if base is None:
+                base = pushdown
+                for child in children:
+                    totals.append(
+                        {
+                            name: np.array(vector, dtype=np.int64, copy=True)
+                            for name, vector in child["vectors"].items()
+                        }
+                    )
+                    child_reports.append(child["n_reports"])
+            else:
+                if len(children) != len(totals):
+                    raise SerializationError(
+                        f"segment for epoch {epoch} has {len(children)} "
+                        f"pushdown children; the window's first segment has "
+                        f"{len(totals)}"
+                    )
+                for index, child in enumerate(children):
+                    for name, vector in child["vectors"].items():
+                        totals[index][name] += vector
+                    child_reports[index] += child["n_reports"]
+            n_users += int(pushdown["n_users"])
+        children_states: List[AccumulatorState] = [
+            OracleAccumulator(
+                oracle_kind=base["children"][index]["oracle_kind"],
+                config=base["children"][index]["config"],
+                vectors=totals[index],
+                n_reports=child_reports[index],
+            )
+            for index in range(len(totals))
+        ]
+        return CompositeAccumulator(
+            label=base["label"],
+            config=base["config"],
+            children=children_states,
+            n_users=n_users,
+        )
+
+    def close(self) -> None:
+        """Release every cached memory map."""
+        for epoch in list(self._maps):
+            self._drop_map(epoch)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EpochStore({self.directory!r}, epochs={self.epochs()}, "
+            f"bytes={self.total_bytes()})"
+        )

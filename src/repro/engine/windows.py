@@ -101,6 +101,22 @@ def resolve_window(window: WindowLike, epochs: Sequence[int]) -> List[int]:
     return [epoch for epoch in epochs if epoch in selected]
 
 
+def split_window(
+    selected: Sequence[int], live: Iterable[int]
+) -> "tuple[List[int], List[int]]":
+    """Partition resolved window keys into ``(live, sealed)`` halves.
+
+    ``selected`` is the output of :func:`resolve_window`; ``live`` names
+    the epochs materialized in RAM.  Everything else in the window must
+    come from the out-of-core store.  Both halves preserve the ascending
+    order of ``selected``, so the exact-merge plan stays deterministic.
+    """
+    live_set = set(live)
+    in_ram = [epoch for epoch in selected if epoch in live_set]
+    sealed = [epoch for epoch in selected if epoch not in live_set]
+    return in_ram, sealed
+
+
 def parse_window(text: str) -> WindowLike:
     """Parse a CLI window spelling: ``all``, ``last:K``, or ``0,2,5``."""
     text = (text or "").strip().lower()

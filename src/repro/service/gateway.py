@@ -41,6 +41,18 @@ graceful :meth:`AggregationService.stop` flushes the in-progress epoch
 and checkpoints before the workers exit.  Restarting on the same path
 resumes with every checkpointed epoch intact.
 
+Out-of-core mode (``store_dir``): the engine is backed by an
+:class:`~repro.engine.store.EpochStore` instead of (or in addition to)
+one monolithic checkpoint file.  Every epoch close *seals* the finished
+epoch -- its accumulator is written once to its own CRC-framed segment
+file and evicted from RAM -- so the gateway's memory stays O(current
+epoch) no matter how many epochs it has served, and the
+``checkpoint_every``-cadence checkpoint is incremental (dirty segments
+plus a manifest rewrite, never the whole history).  Windowed ``/query``
+answers over sealed epochs run via the store's pushdown path and remain
+bit-identical to the all-in-RAM engine.  Restarting with the same
+``store_dir`` resumes from the manifest, mapping segments lazily.
+
 Fault tolerance (``wal_dir`` + supervision):
 
 * every accepted ingest batch is appended to a per-epoch write-ahead
@@ -135,6 +147,7 @@ class AggregationService:
         port: int = 0,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
+        store_dir: Optional[str] = None,
         max_body: int = DEFAULT_MAX_BODY,
         start_method: str = "spawn",
         wal_dir: Optional[str] = None,
@@ -147,9 +160,12 @@ class AggregationService:
     ) -> None:
         if not isinstance(engine, Engine):
             engine = Engine.open(engine)
+        if store_dir is not None and engine.store is None:
+            engine.attach_store(store_dir)
         if int(checkpoint_every) < 1:
             raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         self._engine = engine
+        self._store_backed = engine.store is not None
         self._spec = engine.spec()
         self._host = host
         self._requested_port = int(port)
@@ -218,6 +234,16 @@ class AggregationService:
         next fresh epoch key, so a crash-restart never rewrites history.
         """
         return cls(Engine.restore(path), checkpoint_path=path, **options)
+
+    @classmethod
+    def from_store(cls, store_dir: str, **options) -> "AggregationService":
+        """A service resuming from an out-of-core epoch store directory.
+
+        The manifest is read eagerly but every sealed epoch stays on
+        disk, mapped lazily on first query -- restart cost and RSS are
+        independent of how many epochs the store holds.
+        """
+        return cls(Engine.open(None, store_dir=store_dir), **options)
 
     @property
     def engine(self) -> Engine:
@@ -308,7 +334,7 @@ class AggregationService:
             self._server = None
         if flush:
             await self._close_epoch()
-            if self._checkpoint_path is not None:
+            if self._checkpoint_path is not None or self._store_backed:
                 await self._write_checkpoint()
             await self._pool.shutdown(graceful=True)
         else:
@@ -462,9 +488,14 @@ class AggregationService:
     # ------------------------------------------------------------------ #
     async def _write_checkpoint(self) -> None:
         loop = asyncio.get_running_loop()
-        await loop.run_in_executor(
-            None, self._engine.checkpoint, self._checkpoint_path
-        )
+        if self._checkpoint_path is not None:
+            await loop.run_in_executor(
+                None, self._engine.checkpoint, self._checkpoint_path
+            )
+        if self._store_backed:
+            # Incremental: only dirty live epochs hit the disk; clean
+            # sealed segments are untouched and the manifest lands last.
+            await loop.run_in_executor(None, self._engine.checkpoint)
         self._checkpoints_written += 1
         self._closes_since_checkpoint = 0
 
@@ -531,6 +562,14 @@ class AggregationService:
                 if total == 0:
                     return {"closed": False, "reports": 0, "epoch": None}
                 self._current_epoch = epoch + 1
+                if self._store_backed:
+                    # Seal the finished epoch: one segment write + manifest
+                    # fsync makes it durable, and eviction keeps the
+                    # gateway's RSS independent of the epoch count.
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(
+                        None, self._engine.seal_epoch, epoch
+                    )
                 self._pool.note_epoch_closed()
                 # Keys from two epochs ago can no longer race a retry.
                 self._seen_keys = {
@@ -543,10 +582,12 @@ class AggregationService:
                 self._closes_since_checkpoint += 1
                 checkpointed = False
                 if (
-                    self._checkpoint_path is not None
-                    and self._closes_since_checkpoint >= self._checkpoint_every
-                ):
+                    self._checkpoint_path is not None or self._store_backed
+                ) and self._closes_since_checkpoint >= self._checkpoint_every:
                     await self._write_checkpoint()
+                    checkpointed = True
+                elif self._store_backed:
+                    # The seal above already made this epoch durable.
                     checkpointed = True
                 if checkpointed and self._wal is not None:
                     self._wal.discard_checkpointed(self._engine.epochs)
@@ -676,9 +717,10 @@ class AggregationService:
             "method": self._spec.get("name"),
             "current_epoch": self._current_epoch,
             "epochs": epochs,
+            # Manifest-backed counts: never materializes a sealed epoch.
             "epoch_reports": {
-                str(epoch): engine.session(epoch=epoch).n_reports
-                for epoch in epochs
+                str(epoch): count
+                for epoch, count in engine.epoch_report_counts().items()
             },
             "closed_reports": engine.n_reports() if epochs else 0,
             "pending_reports": sum(
@@ -705,6 +747,16 @@ class AggregationService:
                 "every": self._checkpoint_every,
                 "written": self._checkpoints_written,
             },
+            "store": (
+                {
+                    "dir": engine.store.directory,
+                    "sealed_epochs": list(engine.sealed_epochs),
+                    "live_epochs": list(engine.live_epochs),
+                    "on_disk_bytes": engine.store.total_bytes(),
+                }
+                if engine.store is not None
+                else None
+            ),
         }
         return json_response(200, payload, keep_alive=request.keep_alive)
 
@@ -888,13 +940,17 @@ class AggregationService:
         return json_response(200, result, keep_alive=request.keep_alive)
 
     async def _handle_checkpoint(self, request: HttpRequest) -> bytes:
-        if self._checkpoint_path is None:
-            raise HttpError(409, "service was started without a checkpoint path")
+        if self._checkpoint_path is None and not self._store_backed:
+            raise HttpError(
+                409, "service was started without a checkpoint path or store"
+            )
         await self._write_checkpoint()
+        store = self._engine.store
         return json_response(
             200,
             {
                 "checkpoint": self._checkpoint_path,
+                "store_dir": store.directory if store is not None else None,
                 "epochs": list(self._engine.epochs),
                 "written": self._checkpoints_written,
             },

@@ -309,6 +309,19 @@ class TestEngineLifecycle:
         with pytest.raises(SerializationError, match="not an engine checkpoint"):
             Engine.from_bytes(pack_blob({"file_kind": "something-else"}))
 
+    def test_corrupt_epoch_child_names_the_failing_epoch(self):
+        from repro.core.serialization import unpack_blob
+
+        engine = Engine.open("flat", domain_size=8, epsilon=1.0)
+        for epoch in range(3):
+            engine.session(epoch=epoch).absorb(np.arange(8), rng=epoch)
+        header, arrays = unpack_blob(engine.to_bytes())
+        child = bytearray(arrays["epoch_1"])
+        child[len(child) // 2] ^= 0x40  # flip one bit inside epoch 1's shard
+        arrays["epoch_1"] = bytes(child)
+        with pytest.raises(SerializationError, match="epoch 1"):
+            Engine.from_bytes(pack_blob(header, arrays, version=2))
+
     def test_checkpoint_overwrites_atomically(self, tmp_path):
         engine = Engine.open("flat", domain_size=8, epsilon=1.0)
         engine.session().absorb(np.arange(8), rng=0)
