@@ -11,6 +11,10 @@ that trade against the in-RAM engine:
   process peak RSS after sealing every epoch (the O(window) claim);
 * **windowed query** -- ``estimator(last(k))`` against sealed segments
   vs the same window held fully in RAM (target: within 2x);
+* **wide windowed query** -- ``last:{window_wide}`` answered through the
+  power-of-two aggregate hierarchy vs the naive per-epoch pushdown sum
+  (``use_aggregates=False``); target: >= 3x at the default preset, with
+  a bit-identity check between the two plans;
 * **incremental vs monolithic checkpoint** -- with ~1% of epochs dirty,
   ``checkpoint()`` should beat a full ``checkpoint(path)`` rewrite by
   >= 10x at the default preset;
@@ -49,13 +53,15 @@ PRESETS = {
         "epochs": 64,
         "users_per_epoch": 100,
         "window": 7,
+        "window_wide": 16,
         "repeats": 3,
     },
     "default": {
         "domain": 2**8,
-        "epochs": 1000,
+        "epochs": 1024,
         "users_per_epoch": 200,
         "window": 7,
+        "window_wide": 64,
         "repeats": 5,
     },
 }
@@ -87,6 +93,7 @@ def run(preset: str, output: Path) -> dict:
     epochs = config["epochs"]
     users = config["users_per_epoch"]
     window = config["window"]
+    window_wide = config["window_wide"]
     repeats = config["repeats"]
 
     workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
@@ -138,6 +145,37 @@ def run(preset: str, output: Path) -> dict:
         print(
             f"  window last:{window}: store {store_seconds * 1e3:.2f} ms vs "
             f"in-RAM {ram_seconds * 1e3:.2f} ms ({ratio:.2f}x)"
+        )
+
+        # Wide window through the aggregate hierarchy: O(log k) segment
+        # reads vs the naive O(k) per-epoch pushdown sum over the same
+        # epochs.  Both paths must agree bit-for-bit.
+        store = engine.store
+        wide_keys = list(range(epochs - window_wide, epochs))
+        plan = store.plan_window(wide_keys)
+        planned_state = store.pushdown_state(wide_keys)
+        naive_state = store.pushdown_state(wide_keys, use_aggregates=False)
+        wide_identical = planned_state.n_reports == naive_state.n_reports and all(
+            np.array_equal(p.vectors[name], n.vectors[name])
+            for p, n in zip(planned_state.children, naive_state.children)
+            for name in p.vectors
+        )
+        assert wide_identical, "aggregate plan drifted from the per-epoch sum"
+        planned_seconds = _time_best(
+            lambda: store.pushdown_state(wide_keys), repeats
+        )
+        naive_seconds = _time_best(
+            lambda: store.pushdown_state(wide_keys, use_aggregates=False),
+            repeats,
+        )
+        wide_speedup = naive_seconds / planned_seconds
+        aggregate_stats = store.aggregate_stats()
+        print(
+            f"  wide window last:{window_wide}: planned "
+            f"{planned_seconds * 1e3:.2f} ms ({len(plan)} plan nodes) vs "
+            f"naive {naive_seconds * 1e3:.2f} ms over {window_wide} leaves "
+            f"({wide_speedup:.1f}x; {aggregate_stats['segments']} aggregate "
+            f"segments, {aggregate_stats['bytes'] / 1e6:.1f} MB)"
         )
 
         # The monolithic baseline is the pre-store deployment: every epoch
@@ -206,6 +244,7 @@ def run(preset: str, output: Path) -> dict:
                 "epochs": epochs,
                 "users_per_epoch": users,
                 "window": window,
+                "window_wide": window_wide,
                 "epsilon": EPSILON,
                 "dirty_epochs": dirty,
             },
@@ -222,6 +261,16 @@ def run(preset: str, output: Path) -> dict:
                 "in_ram_windows_per_s": 1.0 / ram_seconds,
                 "store_vs_in_ram_ratio": ratio,
                 "bit_identical": bit_identical,
+            },
+            "query_wide": {
+                "window": window_wide,
+                "planned_ms": planned_seconds * 1e3,
+                "naive_ms": naive_seconds * 1e3,
+                "speedup": wide_speedup,
+                "plan_nodes": len(plan),
+                "aggregate_segments": aggregate_stats["segments"],
+                "aggregate_bytes": aggregate_stats["bytes"],
+                "bit_identical": wide_identical,
             },
             "checkpoint": {
                 "incremental_per_s": 1.0 / incremental_seconds,

@@ -728,7 +728,20 @@ def command_engine_info(args: argparse.Namespace) -> int:
             "dir": engine.store.directory,
             "sealed_epochs": list(engine.sealed_epochs),
             "on_disk_bytes": engine.store.total_bytes(),
+            "aggregates": engine.store.aggregate_stats(),
         }
+        if getattr(args, "aggregates", False):
+            # Detailed listing: one row per materialized aggregate block,
+            # plus the cover plan the current window would use.
+            output["store"]["aggregate_segments"] = engine.store.aggregate_entries()
+            sealed = [
+                epoch
+                for epoch in resolve_window(window, list(engine.epochs))
+                if epoch in engine.store
+            ]
+            output["store"]["window_plan"] = [
+                list(node) for node in engine.store.plan_window(sealed)
+            ]
     if args.output_state:
         try:
             merged = engine.window_state(window)
@@ -924,6 +937,8 @@ def command_loadgen(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         close_epoch=not args.no_close,
         max_retries=args.max_retries,
+        query_mix=args.query_mix,
+        query_window=args.query_window,
     )
     document = {"url": url, "spec": spec, **result.to_document()}
     text = json.dumps(document, indent=2, sort_keys=True)
@@ -1105,6 +1120,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export the merged window as a classic state file",
     )
+    info.add_argument(
+        "--aggregates",
+        action="store_true",
+        help="list materialized aggregate segments and the window's cover plan",
+    )
     info.set_defaults(func=command_engine_info)
 
     query = engine_sub.add_parser(
@@ -1231,6 +1251,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-close",
         action="store_true",
         help="leave the epoch open after the run (default: POST /close)",
+    )
+    loadgen.add_argument(
+        "--query-mix",
+        type=int,
+        default=0,
+        help="number of threads hammering GET /query alongside ingest "
+        "(measures the query/ingest overlap; default 0 = ingest only)",
+    )
+    loadgen.add_argument(
+        "--query-window",
+        default="all",
+        help="window the query-mix threads ask for (default all)",
     )
     loadgen.add_argument(
         "--output", default=None, help="also write the JSON result here"

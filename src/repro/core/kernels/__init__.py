@@ -74,6 +74,7 @@ class KernelBackend:
         "hrr_encode",
         "hrr_value_sums",
         "categorical_counts",
+        "column_sums",
     )
 
     def __init__(self, name: str, kernels: Dict[str, Callable]) -> None:

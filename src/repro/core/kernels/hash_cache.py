@@ -1,0 +1,197 @@
+"""Cross-epoch cache of decoded OLH support vectors.
+
+The OLH aggregation hot spot is the ``O(N * D)`` support decode: for a
+batch of reports ``(multipliers, offsets, buckets)`` and a domain of
+size ``D``, count for every domain item how many users' reported bucket
+equals the item's hash.  The decode is a *pure function* of the report
+arrays plus two spec parameters (``domain_size``, ``num_buckets``) --
+no RNG, no accumulator state -- so when the same batch is replayed
+(WAL recovery re-delivering a batch, chaos tests re-ingesting for
+bit-identity checks, benchmarks timing repeated rounds, aggregate
+rebuilds re-reading sealed epochs), the support vector can be served
+from cache instead of recomputed.
+
+Keys are a SHA-256 over the spec parameters and the raw little-endian
+int64 report bytes, so two batches collide only if they are the same
+batch -- which is exactly when reuse is bit-identical by construction.
+The cache is byte-bounded LRU (``REPRO_OLH_CACHE_BYTES``, default 64
+MiB; ``0`` disables caching entirely) and thread-safe: gateway shard
+workers and the query executor share one process-wide instance, whose
+hit/miss/eviction counters surface through ``/stats``.
+
+Cached vectors are handed out as **readonly** views; callers accumulate
+them with ``+=`` into their own int64 state, never in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Environment variable bounding the default cache (bytes; 0 disables).
+OLH_CACHE_BYTES_ENV = "REPRO_OLH_CACHE_BYTES"
+
+#: Default byte bound of the process-wide cache.
+DEFAULT_OLH_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class OlhHashCache:
+    """Byte-bounded, thread-safe LRU of decoded OLH support vectors."""
+
+    def __init__(self, max_bytes: int = DEFAULT_OLH_CACHE_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether lookups and inserts do anything at all."""
+        return self.max_bytes > 0
+
+    @staticmethod
+    def key(
+        domain_size: int,
+        num_buckets: int,
+        multipliers: np.ndarray,
+        offsets: np.ndarray,
+        buckets: np.ndarray,
+    ) -> bytes:
+        """The content digest of one decode's inputs.
+
+        Hashes the spec parameters plus the canonical (contiguous
+        little-endian int64) bytes of every report array, so the key is
+        independent of how the caller happened to lay the arrays out.
+        """
+        digest = hashlib.sha256()
+        digest.update(b"olh-support\x00")
+        digest.update(np.int64(domain_size).tobytes())
+        digest.update(np.int64(num_buckets).tobytes())
+        for array in (multipliers, offsets, buckets):
+            data = np.ascontiguousarray(array, dtype="<i8")
+            digest.update(data.tobytes())
+        return digest.digest()
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        """The cached support vector for ``key``, or ``None`` (a miss)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+
+    def put(self, key: bytes, support: np.ndarray) -> np.ndarray:
+        """Insert a decoded vector; returns the readonly view to use.
+
+        Oversized vectors (bigger than the whole bound) are handed back
+        untouched without being stored, so a single giant domain cannot
+        flush the cache.
+        """
+        support = np.ascontiguousarray(support, dtype=np.int64)
+        view = support.view()
+        view.flags.writeable = False
+        if not self.enabled or view.nbytes > self.max_bytes:
+            return view
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._entries[key] = view
+            self._bytes += view.nbytes
+            while self._bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+        return view
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for observability endpoints (`/stats`, CLI)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OlhHashCache({self.stats()})"
+
+
+_default_cache: Optional[OlhHashCache] = None
+_default_lock = threading.Lock()
+
+
+def _bound_from_env() -> int:
+    raw = os.environ.get(OLH_CACHE_BYTES_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_OLH_CACHE_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_OLH_CACHE_BYTES
+
+
+def default_hash_cache() -> OlhHashCache:
+    """The process-wide cache (created lazily, bound taken from the env)."""
+    global _default_cache
+    cache = _default_cache
+    if cache is None:
+        with _default_lock:
+            cache = _default_cache
+            if cache is None:
+                cache = OlhHashCache(_bound_from_env())
+                _default_cache = cache
+    return cache
+
+
+def configure_hash_cache(max_bytes: int) -> OlhHashCache:
+    """Replace the process-wide cache with a fresh one of ``max_bytes``.
+
+    ``0`` disables caching (every lookup misses without counting, every
+    insert is a pass-through).  Returns the new cache; mainly a test and
+    benchmark hook -- services configure via ``REPRO_OLH_CACHE_BYTES``.
+    """
+    global _default_cache
+    with _default_lock:
+        _default_cache = OlhHashCache(max_bytes)
+        return _default_cache
+
+
+def hash_cache_stats() -> Dict[str, int]:
+    """Counters of the process-wide cache (for `/stats` blocks)."""
+    return default_hash_cache().stats()
+
+
+__all__ = [
+    "DEFAULT_OLH_CACHE_BYTES",
+    "OLH_CACHE_BYTES_ENV",
+    "OlhHashCache",
+    "configure_hash_cache",
+    "default_hash_cache",
+    "hash_cache_stats",
+]

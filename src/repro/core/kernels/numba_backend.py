@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 from numba import njit, prange
+from numba.typed import List as NumbaList
 
-from repro.core.kernels.reference import HASH_PRIME
+from repro.core.kernels.reference import COLUMN_SUMS_BLOCK, HASH_PRIME
 
 
 @njit(cache=True)
@@ -224,6 +225,61 @@ def categorical_counts(reports, domain_size):
     return counts
 
 
+@njit(cache=True, parallel=True, nogil=True)
+def _column_sums(vectors, out, block):
+    length = out.shape[0]
+    k = len(vectors)
+    n_blocks = (length + block - 1) // block
+    # Parallel over disjoint column blocks (each prange iteration owns
+    # its out slice, so the result is schedule-independent), nogil so the
+    # gateway executor overlaps query pushdown with ingest threads.
+    for b in prange(n_blocks):
+        start = b * block
+        stop = min(start + block, length)
+        for j in range(start, stop):
+            out[j] = 0
+        for i in range(k):
+            vector = vectors[i]
+            for j in range(start, stop):
+                out[j] += vector[j]
+    return out
+
+
+def column_sums(vectors, out=None):
+    arrays = []
+    for vector in vectors:
+        array = np.ascontiguousarray(vector, dtype=np.int64).reshape(-1)
+        # Normalize every element to a *readonly* view: mmap-backed
+        # inputs are already readonly, and a typed.List must hold one
+        # consistent array type.
+        view = array.view()
+        view.flags.writeable = False
+        arrays.append(view)
+    if not arrays:
+        if out is None:
+            raise ValueError("column_sums needs at least one vector or an out=")
+        out[...] = 0
+        return out
+    length = arrays[0].shape[0]
+    for array in arrays[1:]:
+        if array.shape[0] != length:
+            raise ValueError(
+                f"column_sums vectors disagree on length: {array.shape[0]} "
+                f"!= {length}"
+            )
+    if out is None:
+        out = np.zeros(length, dtype=np.int64)
+    elif out.shape != (length,) or out.dtype != np.int64:
+        raise ValueError(
+            f"column_sums out= must be int64 of shape ({length},), got "
+            f"{out.dtype} {out.shape}"
+        )
+    typed = NumbaList()
+    for array in arrays:
+        typed.append(array)
+    return _column_sums(typed, out, np.int64(COLUMN_SUMS_BLOCK))
+
+
 KERNELS = {
     "grr_perturb": grr_perturb,
     "olh_encode": olh_encode,
@@ -233,4 +289,5 @@ KERNELS = {
     "hrr_encode": hrr_encode,
     "hrr_value_sums": hrr_value_sums,
     "categorical_counts": categorical_counts,
+    "column_sums": column_sums,
 }

@@ -41,6 +41,9 @@ chunk)``
     (exact: sums of +/-1 stay far below 2**53).
 ``categorical_counts(reports, domain_size)``
     Validated int64 histogram of categorical reports.
+``column_sums(vectors, out)``
+    Blocked elementwise int64 sum of equal-length vectors -- the gather
+    step of windowed query pushdown over mmap'd segment statistics.
 """
 
 from __future__ import annotations
@@ -161,6 +164,55 @@ def categorical_counts(reports: np.ndarray, domain_size: int) -> np.ndarray:
     return np.bincount(reports, minlength=domain_size).astype(np.int64)
 
 
+#: int64 elements per ``column_sums`` block (256 KiB per vector slice):
+#: small enough that one slice of every input stays cache-resident while
+#: it is accumulated, large enough that the Python loop overhead vanishes.
+COLUMN_SUMS_BLOCK = 1 << 15
+
+
+def column_sums(vectors, out: "np.ndarray | None" = None) -> np.ndarray:
+    """Elementwise int64 sum of equal-length integer vectors.
+
+    ``vectors`` is a sequence of 1-D arrays (any integer dtype; mmap'd
+    little-endian ``<i8`` views pass through zero-copy).  The sum is
+    exact int64 arithmetic -- associative and commutative -- so any
+    blocking or ordering is bit-identical to a naive left-to-right sum.
+    ``out``, when given, must be a writable int64 array of the same
+    length; it is overwritten (not accumulated into) and returned.
+    """
+    arrays = [
+        np.ascontiguousarray(vector, dtype=np.int64).reshape(-1)
+        for vector in vectors
+    ]
+    if not arrays:
+        if out is None:
+            raise ValueError("column_sums needs at least one vector or an out=")
+        out[...] = 0
+        return out
+    length = arrays[0].shape[0]
+    for array in arrays[1:]:
+        if array.shape[0] != length:
+            raise ValueError(
+                f"column_sums vectors disagree on length: {array.shape[0]} "
+                f"!= {length}"
+            )
+    if out is None:
+        out = np.zeros(length, dtype=np.int64)
+    else:
+        if out.shape != (length,) or out.dtype != np.int64:
+            raise ValueError(
+                f"column_sums out= must be int64 of shape ({length},), got "
+                f"{out.dtype} {out.shape}"
+            )
+        out[...] = 0
+    for start in range(0, length, COLUMN_SUMS_BLOCK):
+        stop = min(start + COLUMN_SUMS_BLOCK, length)
+        block = out[start:stop]
+        for array in arrays:
+            block += array[start:stop]
+    return out
+
+
 def multinomial_level_split(
     counts: np.ndarray,
     probabilities: np.ndarray,
@@ -204,4 +256,5 @@ KERNELS = {
     "hrr_encode": hrr_encode,
     "hrr_value_sums": hrr_value_sums,
     "categorical_counts": categorical_counts,
+    "column_sums": column_sums,
 }

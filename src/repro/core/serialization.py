@@ -542,6 +542,7 @@ def pack_epoch_segment(
     *,
     n_reports: int = 0,
     pushdown: Optional[dict] = None,
+    aggregate: Optional[dict] = None,
 ) -> bytes:
     """Frame one sealed epoch for the out-of-core store.
 
@@ -565,6 +566,13 @@ def pack_epoch_segment(
     the accumulator merge (integer addition is associative and
     commutative), which is what makes store-backed windowed queries
     bit-identical to the in-RAM merge path.
+
+    ``aggregate`` (optional) marks the segment as a *pre-merged
+    aggregate* over ``{"level": L, "start": S, "count": 2**L}``
+    consecutive epochs rather than a single sealed epoch; ``epoch`` is
+    then the block start ``S``.  Aggregates reuse the exact same framing
+    so every reader (CRC check, state decode, pushdown views) applies
+    unchanged.
     """
     state_blob = bytes(state_blob)
     body = bytearray(state_blob)
@@ -576,6 +584,12 @@ def pack_epoch_segment(
         "n_reports": int(n_reports),
         "state": {"offset": 0, "length": len(state_blob)},
     }
+    if aggregate is not None:
+        header["aggregate"] = {
+            "level": int(aggregate["level"]),
+            "start": int(aggregate["start"]),
+            "count": int(aggregate["count"]),
+        }
     if pushdown is not None:
         body += b"\x00" * _pad_to(len(body))
         children = []

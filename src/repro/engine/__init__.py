@@ -22,10 +22,14 @@ from repro.engine.engine import (
 from repro.engine.store import EpochStore, spec_fingerprint
 from repro.engine.windows import (
     ALL,
+    PLAN_AGGREGATE,
+    PLAN_EPOCH,
     LastK,
     WindowLike,
     last,
     parse_window,
+    plan_cover,
+    plan_epochs,
     resolve_window,
     split_window,
 )
@@ -39,9 +43,13 @@ __all__ = [
     "EpochStore",
     "InvalidWindowError",
     "LastK",
+    "PLAN_AGGREGATE",
+    "PLAN_EPOCH",
     "WindowLike",
     "last",
     "parse_window",
+    "plan_cover",
+    "plan_epochs",
     "resolve_window",
     "spec_fingerprint",
     "split_window",

@@ -517,10 +517,12 @@ class Engine:
 
         On a store-backed engine the sealed part of the window is
         answered by *query pushdown* when every selected segment carries
-        pre-aggregated vectors: the store sums the mapped int64
-        statistics elementwise -- exactly the accumulator merge -- so no
-        sealed epoch is ever fully decoded.  Segments without a pushdown
-        region (e.g. SHE's exact-summation states) fall back to full
+        pre-aggregated vectors: the store plans the window as a cover of
+        power-of-two aggregate segments plus leaves (O(log k) nodes for
+        a contiguous window) and sums the mapped int64 statistics
+        elementwise -- exactly the accumulator merge -- so no sealed
+        epoch is ever fully decoded.  Segments without a pushdown region
+        (e.g. SHE's exact-summation states) fall back to full
         load-and-merge; either way the result is bit-identical to an
         all-live merge, and no sealed epoch is re-materialized into the
         engine's epoch map.
@@ -736,6 +738,11 @@ class Engine:
                 )
             if epoch in self._dirty or not self._store.has_segment(epoch):
                 self._store.write_segment(epoch, server.state)
+            # Sealing may have just completed one or more aligned blocks:
+            # fold them into aggregate segments now, while the leaves are
+            # hot, so later windowed queries read O(log k) segments.
+            self._store.build_aggregates([epoch])
+            if self._store.manifest_dirty:
                 self._store.save_manifest()
             del self._servers[epoch]
             self._dirty.discard(epoch)
@@ -758,9 +765,12 @@ class Engine:
         Without ``path`` (store-backed engines only), the checkpoint is
         *incremental*: only live epochs whose statistics have changed
         since their last segment write -- plus live epochs that never had
-        a segment -- are rewritten, then the manifest is rewritten and
-        fsync'd last.  Clean sealed epochs are never touched, which is
-        what makes the checkpoint cost O(dirty) instead of O(total).
+        a segment -- are rewritten, missing aggregate blocks are
+        materialized, then the manifest is rewritten and fsync'd last.
+        Clean sealed epochs are never touched, and a fully clean store
+        (nothing dirty, nothing built) skips the manifest rewrite
+        entirely, which is what makes the checkpoint cost O(dirty)
+        instead of O(total).
         """
         if path is None:
             with self._lock:
@@ -770,7 +780,9 @@ class Engine:
                         self._store.write_segment(
                             epoch, self._servers[epoch].state
                         )
-                self._store.save_manifest()
+                self._store.build_aggregates()
+                if self._store.manifest_dirty:
+                    self._store.save_manifest()
                 self._dirty.clear()
             return self
         blob = self.to_bytes()

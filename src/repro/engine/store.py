@@ -29,6 +29,19 @@ is the out-of-core backend that fixes both:
   to the in-RAM merge path at a fraction of the work.  States with
   non-integer children (SHE's exact-summation partials) fall back to a
   full load-and-merge, which is still exact.
+* **Aggregate segments.**  Sealed segments are immutable, so their sums
+  can be materialized once and reused: level-``L`` aggregate segments
+  (``agg-L%d-%08d.seg``, same REPROSEG framing, tracked in the manifest)
+  hold the elementwise int64 sum of the ``2**L`` consecutive epochs
+  ``[S, S + 2**L)`` for aligned starts (``S % 2**L == 0``).  They are
+  built incrementally as blocks complete (at seal time and on
+  ``checkpoint()``) and the window planner
+  (:func:`repro.engine.windows.plan_cover`) covers a contiguous window
+  with O(log k) aggregate + leaf nodes instead of k leaves.  Aggregates
+  are *derived* data -- rebuildable from the leaves at any time -- so
+  they are written without fsync, dropped whenever a covered epoch goes
+  dirty, and a corrupt or missing aggregate quietly falls back to its
+  leaves instead of failing the query.
 
 Every structural failure -- a torn segment tail, a manifest/segment spec
 mismatch, a missing segment file, a monolithic checkpoint where a store
@@ -47,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.kernels import resolve_backend
 from repro.core.serialization import (
     MAGIC,
     MAGIC_V2,
@@ -57,6 +71,7 @@ from repro.core.serialization import (
     segment_state_bytes,
 )
 from repro.core.session import AccumulatorState, CompositeAccumulator
+from repro.engine.windows import PLAN_AGGREGATE, PLAN_EPOCH, PlanNode, plan_cover
 from repro.frequency_oracles.base import OracleAccumulator
 
 #: ``manifest_kind`` tag of an epoch-store manifest.
@@ -67,6 +82,24 @@ MANIFEST_FORMAT = 1
 
 #: File name of the store manifest inside the store directory.
 MANIFEST_NAME = "MANIFEST.json"
+
+#: Deepest aggregate level maintained by default: 2**10 = 1024 epochs per
+#: top block, so a month of hourly epochs collapses into a handful of
+#: nodes while the per-seal bookkeeping stays trivial.
+DEFAULT_MAX_AGGREGATE_LEVEL = 10
+
+
+class _AggregateUnusable(Exception):
+    """Internal: one aggregate segment could not be read during a gather.
+
+    Aggregates are derived data, so this is *not* a store corruption:
+    the planner drops the aggregate and re-covers the window from its
+    leaves (or smaller aggregates).  Never escapes the store.
+    """
+
+    def __init__(self, key: Tuple[int, int], cause: Exception) -> None:
+        super().__init__(f"aggregate {key} unusable: {cause}")
+        self.key = key
 
 #: Spec keys that never affect the accumulated statistics (see
 #: ``repro.core.session._ASSEMBLY_ONLY_SPEC_KEYS``): two stores whose
@@ -152,6 +185,8 @@ class EpochStore:
         spec: Optional[dict] = None,
         *,
         create: bool = True,
+        kernel_backend: Optional[object] = None,
+        max_aggregate_level: int = DEFAULT_MAX_AGGREGATE_LEVEL,
     ) -> None:
         directory = str(directory)
         if os.path.isfile(directory):
@@ -160,6 +195,14 @@ class EpochStore:
         self._entries: Dict[int, dict] = {}
         self._maps: Dict[int, Tuple[mmap.mmap, dict, int]] = {}
         self._segments_written = 0
+        # Aggregate segments are keyed (level, start); their maps are
+        # cached separately from the per-epoch ones.
+        self._aggregates: Dict[Tuple[int, int], dict] = {}
+        self._agg_maps: Dict[Tuple[int, int], Tuple[mmap.mmap, dict, int]] = {}
+        self._aggregates_written = 0
+        self._max_aggregate_level = max(0, int(max_aggregate_level))
+        self._manifest_dirty = False
+        self._kernels = resolve_backend(kernel_backend)
         manifest_path = self.manifest_path
         if os.path.exists(manifest_path):
             self._load_manifest(manifest_path)
@@ -279,6 +322,28 @@ class EpochStore:
                     f"{epoch} does not name its segment file"
                 )
             self._entries[epoch] = dict(entry)
+        aggregates = manifest.get("aggregates", {})
+        if not isinstance(aggregates, dict):
+            raise SerializationError(
+                f"corrupt epoch store manifest {path}: 'aggregates' must be "
+                "an object"
+            )
+        self._aggregates = {}
+        for key, entry in aggregates.items():
+            try:
+                level_text, start_text = str(key).split(":", 1)
+                level, start = int(level_text), int(start_text)
+            except ValueError:
+                raise SerializationError(
+                    f"corrupt epoch store manifest {path}: aggregate key "
+                    f"{key!r} is not 'level:start'"
+                ) from None
+            if not isinstance(entry, dict) or "file" not in entry:
+                raise SerializationError(
+                    f"corrupt epoch store manifest {path}: aggregate entry "
+                    f"{key!r} does not name its segment file"
+                )
+            self._aggregates[(level, start)] = dict(entry)
 
     def save_manifest(self) -> None:
         """Atomically rewrite and fsync the manifest (always written last).
@@ -299,6 +364,11 @@ class EpochStore:
                 str(epoch): self._entries[epoch] for epoch in sorted(self._entries)
             },
         }
+        if self._aggregates:
+            manifest["aggregates"] = {
+                f"{level}:{start}": self._aggregates[(level, start)]
+                for level, start in sorted(self._aggregates)
+            }
         # Compact separators keep the C encoder engaged (indent= falls back
         # to the pure-Python one), which matters at thousands of epochs.
         encoded = json.dumps(
@@ -315,6 +385,17 @@ class EpochStore:
             if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
                 os.unlink(temp_path)
         _fsync_directory(self.directory)
+        self._manifest_dirty = False
+
+    @property
+    def manifest_dirty(self) -> bool:
+        """Whether the in-memory manifest has outrun MANIFEST.json.
+
+        Set by segment writes, dirty marks and aggregate builds/drops;
+        cleared by :meth:`save_manifest`.  A fully clean ``checkpoint()``
+        consults this to skip the tmp+fsync+rename cycle entirely.
+        """
+        return self._manifest_dirty
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -401,13 +482,279 @@ class EpochStore:
             "dirty": False,
         }
         self._segments_written += 1
+        self._manifest_dirty = True
+        # A rewritten leaf invalidates every aggregate that folded the old
+        # contents in; they are rebuilt lazily once the block is clean.
+        self._invalidate_aggregates(epoch)
         return path
 
     def mark_dirty(self, epoch: int) -> None:
-        """Record that ``epoch``'s live state has outrun its segment."""
+        """Record that ``epoch``'s live state has outrun its segment.
+
+        Also drops every aggregate covering the epoch: an aggregate is
+        only valid while all of its leaves are clean.  Idempotent (and
+        cheap) once the entry is already dirty, so per-report mutation
+        hooks can call it freely.
+        """
         entry = self._entries.get(int(epoch))
-        if entry is not None:
+        if entry is not None and not entry.get("dirty", False):
             entry["dirty"] = True
+            self._manifest_dirty = True
+            self._invalidate_aggregates(int(epoch))
+
+    # ------------------------------------------------------------------ #
+    # aggregate segments
+    # ------------------------------------------------------------------ #
+    @property
+    def aggregates_written(self) -> int:
+        """Aggregate segments written since this store object was opened.
+
+        Counted separately from :attr:`segments_written`, which remains
+        the number of *leaf* (per-epoch) writes -- the incremental
+        checkpoint invariant "segments written == dirty epochs" must not
+        be disturbed by derived-data builds.
+        """
+        return self._aggregates_written
+
+    @property
+    def max_aggregate_level(self) -> int:
+        """Deepest aggregate level this store maintains (0 disables)."""
+        return self._max_aggregate_level
+
+    def aggregate_keys(self) -> List[Tuple[int, int]]:
+        """Present aggregates as sorted ``(level, start)`` pairs."""
+        return sorted(self._aggregates)
+
+    def has_aggregate(self, level: int, start: int) -> bool:
+        """Whether the aggregate block ``(level, start)`` is materialized."""
+        return (int(level), int(start)) in self._aggregates
+
+    def aggregate_bytes(self) -> int:
+        """Total on-disk bytes across every aggregate segment."""
+        return sum(int(entry.get("size", 0)) for entry in self._aggregates.values())
+
+    def aggregate_stats(self) -> dict:
+        """Summary of the aggregate hierarchy for observability surfaces."""
+        levels: Dict[str, int] = {}
+        for level, _ in self._aggregates:
+            levels[str(level)] = levels.get(str(level), 0) + 1
+        return {
+            "segments": len(self._aggregates),
+            "bytes": self.aggregate_bytes(),
+            "max_level": self._max_aggregate_level,
+            "levels": {key: levels[key] for key in sorted(levels, key=int)},
+        }
+
+    def aggregate_entries(self) -> List[dict]:
+        """One descriptive dict per aggregate, sorted by (level, start)."""
+        return [
+            {
+                "level": level,
+                "start": start,
+                "count": 1 << level,
+                "file": entry.get("file"),
+                "n_reports": int(entry.get("n_reports", 0)),
+                "size": int(entry.get("size", 0)),
+            }
+            for (level, start), entry in sorted(self._aggregates.items())
+        ]
+
+    def _aggregate_eligible(self, epoch: int) -> bool:
+        """Whether ``epoch`` may participate in an aggregate block."""
+        entry = self._entries.get(int(epoch))
+        return (
+            entry is not None
+            and not entry.get("dirty", False)
+            and bool(entry.get("pushdown", False))
+        )
+
+    def build_aggregates(self, epochs: Optional[Sequence[int]] = None) -> int:
+        """Materialize every missing aggregate block that is now complete.
+
+        With ``epochs`` (the incremental form used at seal time), only
+        blocks covering those epochs are considered; without it, the
+        whole store is swept (the ``checkpoint()`` form).  A block is
+        built when every leaf in it has a clean, pushdown-capable
+        segment; levels build bottom-up so a level-L block sums its two
+        level-(L-1) halves rather than 2**L leaves.  Returns the number
+        of aggregates written.
+        """
+        if self._max_aggregate_level < 1:
+            return 0
+        if epochs is None:
+            candidates = [
+                epoch for epoch in self._entries if self._aggregate_eligible(epoch)
+            ]
+        else:
+            candidates = [int(epoch) for epoch in epochs]
+        built = 0
+        for level in range(1, self._max_aggregate_level + 1):
+            size = 1 << level
+            starts = sorted({(epoch // size) * size for epoch in candidates})
+            for start in starts:
+                if (level, start) in self._aggregates:
+                    continue
+                # Both ends first: during sequential sealing the block's
+                # last epoch is almost always the missing one, so this
+                # constant-time probe skips the full scan.
+                if not (
+                    self._aggregate_eligible(start)
+                    and self._aggregate_eligible(start + size - 1)
+                ):
+                    continue
+                if not all(
+                    self._aggregate_eligible(epoch)
+                    for epoch in range(start, start + size)
+                ):
+                    continue
+                self._write_aggregate(level, start)
+                built += 1
+        return built
+
+    def _write_aggregate(self, level: int, start: int) -> str:
+        """Materialize one aggregate block from its children.
+
+        The merged state is gathered through :meth:`pushdown_state`, so
+        a level-L build reuses the level-(L-1) aggregates the bottom-up
+        sweep just wrote.  Unlike leaf segments, aggregates are staged
+        and renamed but **not** fsync'd: they are derived data, cheap to
+        rebuild and validated by CRC on read, and skipping the fsync
+        keeps incremental checkpoints O(dirty) in *durable* writes.
+        """
+        size = 1 << level
+        state = self.pushdown_state(range(start, start + size))
+        if state is None:  # pragma: no cover - guarded by eligibility checks
+            raise SerializationError(
+                f"aggregate block L{level} @ {start} has no pushdown-capable "
+                "cover"
+            )
+        blob = pack_epoch_segment(
+            start,
+            self._spec_hash,
+            state.to_bytes(),
+            n_reports=state.n_reports,
+            pushdown=_pushdown_description(state),
+            aggregate={"level": level, "start": start, "count": size},
+        )
+        name = f"agg-L{level}-{start:08d}.seg"
+        path = os.path.join(self.directory, name)
+        temp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temp_path, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_path, path)
+        finally:
+            if os.path.exists(temp_path):  # pragma: no cover - crash cleanup
+                os.unlink(temp_path)
+        key = (level, start)
+        self._drop_agg_map(key)
+        self._aggregates[key] = {
+            "file": name,
+            "level": level,
+            "start": start,
+            "count": size,
+            "n_reports": int(state.n_reports),
+            "size": len(blob),
+        }
+        self._aggregates_written += 1
+        self._manifest_dirty = True
+        return path
+
+    def _invalidate_aggregates(self, epoch: int) -> None:
+        """Drop every aggregate whose block covers ``epoch``."""
+        if not self._aggregates:
+            return
+        doomed = [
+            key
+            for key in self._aggregates
+            if key[1] <= epoch < key[1] + (1 << key[0])
+        ]
+        for key in doomed:
+            self._discard_aggregate(key)
+
+    def _discard_aggregate(self, key: Tuple[int, int]) -> None:
+        """Forget one aggregate and best-effort unlink its file."""
+        entry = self._aggregates.pop(key, None)
+        if entry is None:
+            return
+        self._drop_agg_map(key)
+        self._manifest_dirty = True
+        path = os.path.join(self.directory, str(entry.get("file")))
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _drop_agg_map(self, key: Tuple[int, int]) -> None:
+        cached = self._agg_maps.pop(key, None)
+        if cached is not None:
+            self._close_map(cached[0])
+
+    def _map_aggregate(self, level: int, start: int) -> Tuple[mmap.mmap, dict, int]:
+        """Memory-map and validate one aggregate segment (cached)."""
+        key = (int(level), int(start))
+        cached = self._agg_maps.get(key)
+        if cached is not None:
+            return cached
+        entry = self._aggregates.get(key)
+        if entry is None:
+            raise SerializationError(
+                f"aggregate L{key[0]} @ {key[1]} is not in the store at "
+                f"{self.directory}"
+            )
+        path = os.path.join(self.directory, str(entry["file"]))
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise SerializationError(
+                f"aggregate segment {path} is missing: {exc}"
+            ) from exc
+        with handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except (OSError, ValueError) as exc:
+                raise SerializationError(
+                    f"could not map aggregate segment {path}: {exc}"
+                ) from exc
+        try:
+            header, body_offset = read_epoch_segment(mapped)
+            described = header.get("aggregate")
+            if (
+                not isinstance(described, dict)
+                or int(described.get("level", -1)) != key[0]
+                or int(described.get("start", ~key[1])) != key[1]
+                or int(described.get("count", -1)) != 1 << key[0]
+            ):
+                raise SerializationError(
+                    f"aggregate segment {path} describes block "
+                    f"{described!r}, not L{key[0]} @ {key[1]}"
+                )
+            if header.get("spec_hash") != self._spec_hash:
+                raise SerializationError(
+                    f"aggregate segment {path} was written for a different "
+                    f"protocol configuration: segment spec hash "
+                    f"{header.get('spec_hash')!r} != manifest spec hash "
+                    f"{self._spec_hash!r}"
+                )
+        except SerializationError as exc:
+            self._close_map(mapped)
+            raise SerializationError(
+                f"corrupt aggregate segment at {path}: {exc}"
+            ) from exc
+        except BaseException:  # pragma: no cover - resource hygiene
+            self._close_map(mapped)
+            raise
+        self._agg_maps[key] = (mapped, header, body_offset)
+        return self._agg_maps[key]
+
+    def plan_window(
+        self, epochs: Sequence[int], *, use_aggregates: bool = True
+    ) -> List[PlanNode]:
+        """The aggregate+leaf cover plan for a resolved sealed window."""
+        keys = [int(epoch) for epoch in epochs]
+        if not use_aggregates or not self._aggregates:
+            return [(PLAN_EPOCH, epoch) for epoch in keys]
+        return plan_cover(keys, self.has_aggregate, self._max_aggregate_level)
 
     def _drop_map(self, epoch: int) -> None:
         cached = self._maps.pop(int(epoch), None)
@@ -494,61 +841,104 @@ class EpochStore:
             )
         return state
 
-    def pushdown_state(self, epochs: Sequence[int]) -> Optional[CompositeAccumulator]:
+    def pushdown_state(
+        self, epochs: Sequence[int], *, use_aggregates: bool = True
+    ) -> Optional[CompositeAccumulator]:
         """The exact merged state of ``epochs`` via pre-aggregated vectors.
 
-        Sums the mapped int64 sufficient-statistic vectors of every
-        selected segment elementwise -- bit-identical to merging the
-        full accumulators, since integer addition is associative and
-        commutative -- and rebuilds one
+        Plans the window as a cover of aggregate blocks plus leaf
+        segments (:meth:`plan_window`), then sums the mapped int64
+        sufficient-statistic vectors of every plan node elementwise with
+        the backend's blocked ``column_sums`` kernel -- bit-identical to
+        merging the full accumulators, since integer addition is
+        associative and commutative -- and rebuilds one
         :class:`~repro.core.session.CompositeAccumulator` from the
-        totals.  Returns ``None`` when any selected segment lacks a
-        pushdown region (the caller falls back to full load-and-merge).
+        totals.  A contiguous window backed by a full hierarchy reads
+        O(log k) segments instead of k.  Returns ``None`` when any
+        selected segment lacks a pushdown region (the caller falls back
+        to full load-and-merge).  An unreadable *aggregate* is dropped
+        and the window re-planned from its leaves -- aggregates are
+        derived data, so their corruption is repaired, not raised.
         """
         epochs = [int(epoch) for epoch in epochs]
         if not epochs:
             return None
         if not all(self.supports_pushdown(epoch) for epoch in epochs):
             return None
+        while True:
+            plan = self.plan_window(epochs, use_aggregates=use_aggregates)
+            try:
+                return self._gather_plan(plan)
+            except _AggregateUnusable as exc:
+                self._discard_aggregate(exc.key)
+
+    def _gather_plan(self, plan: Sequence[PlanNode]) -> CompositeAccumulator:
+        """Zero-copy gather and sum over one cover plan's segments."""
         base: Optional[dict] = None
-        totals: List[Dict[str, np.ndarray]] = []
+        names: List[List[str]] = []
+        shapes: List[List[tuple]] = []
+        views: List[List[List[np.ndarray]]] = []
         child_reports: List[int] = []
         n_users = 0
-        for epoch in epochs:
-            mapped, header, body_offset = self._map_segment(epoch)
-            children = segment_pushdown_children(mapped, header, body_offset)
+        for node in plan:
+            if node[0] == PLAN_AGGREGATE:
+                key = (node[1], node[2])
+                label = f"aggregate L{key[0]} @ {key[1]}"
+                try:
+                    mapped, header, body_offset = self._map_aggregate(*key)
+                    children = segment_pushdown_children(mapped, header, body_offset)
+                except SerializationError as exc:
+                    raise _AggregateUnusable(key, exc) from exc
+            else:
+                label = f"segment for epoch {node[1]}"
+                mapped, header, body_offset = self._map_segment(node[1])
+                children = segment_pushdown_children(mapped, header, body_offset)
             pushdown = header["pushdown"]
             if base is None:
                 base = pushdown
                 for child in children:
-                    totals.append(
-                        {
-                            name: np.array(vector, dtype=np.int64, copy=True)
-                            for name, vector in child["vectors"].items()
-                        }
+                    child_names = list(child["vectors"])
+                    names.append(child_names)
+                    shapes.append(
+                        [child["vectors"][name].shape for name in child_names]
+                    )
+                    views.append(
+                        [
+                            [child["vectors"][name].reshape(-1)]
+                            for name in child_names
+                        ]
                     )
                     child_reports.append(child["n_reports"])
             else:
-                if len(children) != len(totals):
+                if len(children) != len(views):
                     raise SerializationError(
-                        f"segment for epoch {epoch} has {len(children)} "
-                        f"pushdown children; the window's first segment has "
-                        f"{len(totals)}"
+                        f"{label} has {len(children)} pushdown children; the "
+                        f"window's first segment has {len(views)}"
                     )
                 for index, child in enumerate(children):
-                    for name, vector in child["vectors"].items():
-                        totals[index][name] += vector
+                    for position, name in enumerate(names[index]):
+                        views[index][position].append(
+                            child["vectors"][name].reshape(-1)
+                        )
                     child_reports[index] += child["n_reports"]
             n_users += int(pushdown["n_users"])
-        children_states: List[AccumulatorState] = [
-            OracleAccumulator(
-                oracle_kind=base["children"][index]["oracle_kind"],
-                config=base["children"][index]["config"],
-                vectors=totals[index],
-                n_reports=child_reports[index],
+        column_sums = self._kernels.column_sums
+        children_states: List[AccumulatorState] = []
+        for index in range(len(views)):
+            vectors = {
+                name: column_sums(views[index][position]).reshape(
+                    shapes[index][position]
+                )
+                for position, name in enumerate(names[index])
+            }
+            children_states.append(
+                OracleAccumulator(
+                    oracle_kind=base["children"][index]["oracle_kind"],
+                    config=base["children"][index]["config"],
+                    vectors=vectors,
+                    n_reports=child_reports[index],
+                )
             )
-            for index in range(len(totals))
-        ]
         return CompositeAccumulator(
             label=base["label"],
             config=base["config"],
@@ -557,9 +947,11 @@ class EpochStore:
         )
 
     def close(self) -> None:
-        """Release every cached memory map."""
+        """Release every cached memory map (leaf and aggregate)."""
         for epoch in list(self._maps):
             self._drop_map(epoch)
+        for key in list(self._agg_maps):
+            self._drop_agg_map(key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

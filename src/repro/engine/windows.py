@@ -19,7 +19,7 @@ epoch keys, a ``last:K`` asking for more epochs than exist -- raise
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.exceptions import InvalidWindowError
 
@@ -115,6 +115,86 @@ def split_window(
     in_ram = [epoch for epoch in selected if epoch in live_set]
     sealed = [epoch for epoch in selected if epoch not in live_set]
     return in_ram, sealed
+
+
+#: One node of a window cover plan: ``("epoch", key)`` reads a single
+#: leaf segment; ``("agg", level, start)`` reads the pre-merged aggregate
+#: over the ``2**level`` consecutive epochs ``[start, start + 2**level)``.
+PlanNode = Tuple
+
+#: Node-kind tags of :func:`plan_cover` output.
+PLAN_EPOCH = "epoch"
+PLAN_AGGREGATE = "agg"
+
+
+def plan_cover(
+    selected: Sequence[int],
+    has_aggregate: Optional[Callable[[int, int], bool]] = None,
+    max_level: int = 0,
+) -> List[PlanNode]:
+    """Cover a resolved window with aggregate blocks plus leaf epochs.
+
+    ``selected`` is ascending epoch keys (the output of
+    :func:`resolve_window`, or its sealed half).  The cover is the
+    classic aligned power-of-two decomposition: within every maximal
+    *contiguous* run of keys, greedily take the largest available
+    aggregate block ``[start, start + 2**level)`` that is aligned
+    (``start % 2**level == 0``), fits inside the run, and exists
+    according to ``has_aggregate(level, start)``; fall back to single
+    leaf epochs otherwise.  Non-contiguous selections therefore
+    decompose run by run, and an explicit window of scattered keys
+    degrades gracefully to all-leaf nodes.
+
+    The result is a disjoint, in-order cover: concatenating the epochs
+    of every node reproduces ``selected`` exactly, which is what keeps a
+    planned query bit-identical to the naive per-epoch sum.  For a
+    contiguous ``last:k`` window with a full hierarchy the cover has
+    O(log k) nodes.
+    """
+    nodes: List[PlanNode] = []
+    keys = [int(epoch) for epoch in selected]
+    if has_aggregate is None:
+        max_level = 0
+    index = 0
+    total = len(keys)
+    while index < total:
+        # Extend the maximal contiguous run starting at keys[index].
+        run_end = index
+        while run_end + 1 < total and keys[run_end + 1] == keys[run_end] + 1:
+            run_end += 1
+        position = keys[index]
+        run_hi = keys[run_end]
+        while position <= run_hi:
+            chosen = 0
+            for level in range(int(max_level), 0, -1):
+                size = 1 << level
+                if (
+                    position % size == 0
+                    and position + size - 1 <= run_hi
+                    and has_aggregate(level, position)
+                ):
+                    chosen = level
+                    break
+            if chosen:
+                nodes.append((PLAN_AGGREGATE, chosen, position))
+                position += 1 << chosen
+            else:
+                nodes.append((PLAN_EPOCH, position))
+                position += 1
+        index = run_end + 1
+    return nodes
+
+
+def plan_epochs(nodes: Iterable[PlanNode]) -> List[int]:
+    """Flatten a cover plan back into the epoch keys it reads."""
+    epochs: List[int] = []
+    for node in nodes:
+        if node[0] == PLAN_AGGREGATE:
+            _, level, start = node
+            epochs.extend(range(start, start + (1 << level)))
+        else:
+            epochs.append(node[1])
+    return epochs
 
 
 def parse_window(text: str) -> WindowLike:

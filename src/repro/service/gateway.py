@@ -86,6 +86,7 @@ import time
 from typing import Dict, List, Optional, Union
 
 from repro.core.exceptions import InvalidWindowError, ProtocolUsageError
+from repro.core.kernels.hash_cache import hash_cache_stats
 from repro.core.serialization import (
     MAGIC_BATCH,
     SerializationError,
@@ -753,6 +754,11 @@ class AggregationService:
                     "sealed_epochs": list(engine.sealed_epochs),
                     "live_epochs": list(engine.live_epochs),
                     "on_disk_bytes": engine.store.total_bytes(),
+                    # Windowed-query fast path: the materialized aggregate
+                    # hierarchy plus the gateway-process OLH decode cache
+                    # (worker processes report their own under "workers").
+                    "aggregates": engine.store.aggregate_stats(),
+                    "hash_cache": hash_cache_stats(),
                 }
                 if engine.store is not None
                 else None
@@ -958,8 +964,10 @@ class AggregationService:
         )
 
     async def _handle_query(self, request: HttpRequest) -> bytes:
-        # Queries touch numpy kernels only -- cheap enough to answer on
-        # the event loop; the heavy lifting (ingest) lives in the workers.
+        # The windowed merge + finalize runs in the executor, off the
+        # event loop: wide windows gather mmap'd segment vectors through
+        # the blocked column_sums kernel (nogil under the numba backend),
+        # so query pushdown overlaps ingest instead of stalling it.
         params = request.params
         engine = self._engine
         postprocess = params.get("postprocess")
@@ -972,9 +980,17 @@ class AggregationService:
             window = parse_window(params.get("window", "all"))
         except (ValueError, ProtocolUsageError) as exc:
             raise HttpError(400, str(exc)) from exc
-        try:
+
+        def _finalize_window():
             selected = resolve_window(window, engine.epochs)
             estimator = engine.estimator(window)
+            return selected, estimator, int(engine.n_reports(window))
+
+        loop = asyncio.get_running_loop()
+        try:
+            selected, estimator, n_users = await loop.run_in_executor(
+                None, _finalize_window
+            )
         except InvalidWindowError as exc:
             raise HttpError(409, str(exc)) from exc
         except ProtocolUsageError as exc:
@@ -984,7 +1000,7 @@ class AggregationService:
             "epsilon": self._spec.get("epsilon"),
             "window": params.get("window", "all"),
             "epochs": selected,
-            "n_users": int(engine.n_reports(window)),
+            "n_users": n_users,
         }
         if postprocess:
             payload["postprocess"] = postprocess

@@ -22,7 +22,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from typing import List, Optional
-from urllib.parse import urlsplit
+from urllib.parse import quote, urlsplit
 
 import numpy as np
 
@@ -59,6 +59,12 @@ class LoadgenResult:
     closed_epoch: Optional[int] = None
     errors: int = 0
     retries: int = 0
+    queries: int = 0
+    query_errors: int = 0
+    query_unavailable: int = 0
+    query_p50_ms: float = 0.0
+    query_p99_ms: float = 0.0
+    queries_per_s: float = 0.0
     latencies_ms: List[float] = field(default_factory=list, repr=False)
 
     def to_document(self) -> dict:
@@ -75,6 +81,12 @@ class LoadgenResult:
             "closed_epoch": self.closed_epoch,
             "errors": self.errors,
             "retries": self.retries,
+            "queries": self.queries,
+            "query_errors": self.query_errors,
+            "query_unavailable": self.query_unavailable,
+            "query_p50_ms": self.query_p50_ms,
+            "query_p99_ms": self.query_p99_ms,
+            "queries_per_s": self.queries_per_s,
         }
 
 
@@ -145,6 +157,18 @@ class _GatewayClient:
             self._conn.close()
             self._conn = None
 
+    def get(self, path: str) -> int:
+        """One GET round trip; resets the connection on transport failure."""
+        try:
+            conn = self._connection()
+            conn.request("GET", path)
+            response = conn.getresponse()
+            response.read()
+            return response.status
+        except (OSError, http.client.HTTPException):
+            self._reset()
+            raise
+
     def post_batch(self, blob: bytes, key: str) -> int:
         from repro.service.gateway import retry_delay_s
 
@@ -194,6 +218,8 @@ def run_loadgen(
     close_epoch: bool = True,
     max_retries: int = 2,
     key_prefix: Optional[str] = None,
+    query_mix: int = 0,
+    query_window: str = "all",
 ) -> LoadgenResult:
     """Post every batch from ``concurrency`` threads and time it.
 
@@ -207,9 +233,19 @@ def run_loadgen(
     against the same service must not share keys.  With ``close_epoch``
     the run ends with ``POST /close`` (included in the throughput clock
     -- a report is not "ingested" until its epoch is queryable).
+
+    ``query_mix`` starts that many extra threads hammering
+    ``GET /query?window={query_window}`` for the duration of the ingest
+    run, which is how the overlap between windowed pushdown reads and
+    ingest is measured.  A 409 (window not yet satisfiable -- expected
+    until the first epoch closes) counts as ``query_unavailable``, not
+    an error; query failures are tracked separately from ingest
+    ``errors`` so ingest health checks stay meaningful.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if query_mix < 0:
+        raise ValueError(f"query_mix must be >= 0, got {query_mix}")
     if key_prefix is None:
         key_prefix = f"loadgen-{uuid.uuid4().hex[:12]}"
     concurrency = min(concurrency, max(1, len(batch_blobs)))
@@ -243,7 +279,46 @@ def run_loadgen(
             retries[slot] = client.retries
             client.close()
 
+    stop_queries = threading.Event()
+    query_latencies: List[List[float]] = [[] for _ in range(query_mix)]
+    query_unavailable = [0] * query_mix
+    query_errors = [0] * query_mix
+    query_path = "/query?window=" + quote(query_window, safe="")
+
+    def query_drive(slot: int) -> None:
+        client = _GatewayClient(url, max_retries=0)
+        try:
+            while not stop_queries.is_set():
+                begun = time.perf_counter()
+                try:
+                    status = client.get(query_path)
+                except (OSError, http.client.HTTPException):
+                    query_errors[slot] += 1
+                    time.sleep(0.05)
+                    continue
+                if status == 200:
+                    query_latencies[slot].append(
+                        (time.perf_counter() - begun) * 1000.0
+                    )
+                elif status == 409:
+                    # Window not satisfiable yet (no closed epoch) --
+                    # expected while ingest warms up, so back off briefly.
+                    query_unavailable[slot] += 1
+                    time.sleep(0.05)
+                else:
+                    query_errors[slot] += 1
+        finally:
+            client.close()
+
     started = time.perf_counter()
+    query_threads = [
+        threading.Thread(
+            target=query_drive, args=(slot,), name=f"loadgen-query-{slot}"
+        )
+        for slot in range(query_mix)
+    ]
+    for thread in query_threads:
+        thread.start()
     threads = [
         threading.Thread(target=drive, args=(slot,), name=f"loadgen-{slot}")
         for slot in range(concurrency)
@@ -260,7 +335,11 @@ def run_loadgen(
         document = request_json(url + "/close", method="POST")
         closed_epoch = document.get("epoch")
     elapsed = time.perf_counter() - started
+    stop_queries.set()
+    for thread in query_threads:
+        thread.join()
 
+    query_samples = [s for bucket in query_latencies for s in bucket]
     samples = [sample for bucket in latencies for sample in bucket]
     return LoadgenResult(
         n_users=n_users,
@@ -274,6 +353,12 @@ def run_loadgen(
         closed_epoch=closed_epoch,
         errors=sum(errors),
         retries=sum(retries),
+        queries=len(query_samples),
+        query_errors=sum(query_errors),
+        query_unavailable=sum(query_unavailable),
+        query_p50_ms=percentile(query_samples, 50.0),
+        query_p99_ms=percentile(query_samples, 99.0),
+        queries_per_s=(len(query_samples) / elapsed) if elapsed > 0 else 0.0,
         latencies_ms=samples,
     )
 

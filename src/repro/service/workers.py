@@ -104,6 +104,8 @@ def shard_worker_main(conn: Connection, spec: dict) -> None:
             conn.send_bytes(OP_CLOSE + server.to_bytes())
             server = protocol.server()
         elif opcode == OP_STATS:
+            from repro.core.kernels.hash_cache import hash_cache_stats
+
             document = {
                 "pid": os.getpid(),
                 "epoch_reports": server.n_reports,
@@ -111,6 +113,10 @@ def shard_worker_main(conn: Connection, spec: dict) -> None:
                 "errors": errors,
                 "last_error": last_error,
                 "kernel_backend": getattr(server, "kernel_backend", "numpy"),
+                # Per-process: the OLH decode cache lives where the decode
+                # runs, so replayed batches hit in the worker, not the
+                # gateway.
+                "hash_cache": hash_cache_stats(),
             }
             conn.send_bytes(OP_STATS + json.dumps(document).encode("utf-8"))
         elif opcode == OP_QUIT:

@@ -309,15 +309,24 @@ class TestCorruption:
         with open(path, "r+b") as fh:
             fh.truncate(os.path.getsize(path) - 3)
         restored = Engine.restore(store_dir)  # lazy: restore itself succeeds
+        # A window whose plan must read the torn leaf fails loud...
         with pytest.raises(SerializationError, match=r"epoch 1.*torn"):
-            restored.estimator("all")
+            restored.estimator([1])
+        # ...and so does anything that decodes the leaf state directly.
+        with pytest.raises(SerializationError, match=r"epoch 1.*torn"):
+            restored.store.load_state(1)
+        # The "all" window, however, is covered by the L1 aggregate built
+        # before the tear, so the (correct) answer survives leaf damage.
+        assert restored.estimator("all") is not None
 
     def test_missing_segment_file(self, tmp_path):
         store_dir = self._store_dir(tmp_path)
         os.remove(os.path.join(store_dir, "epoch-00000000.seg"))
         restored = Engine.restore(store_dir)
         with pytest.raises(SerializationError, match="epoch 0"):
-            restored.estimator("all")
+            restored.estimator([0])
+        with pytest.raises(SerializationError, match="epoch 0"):
+            restored.store.read_state_bytes(0)
 
     def test_spec_hash_mismatch(self, tmp_path):
         store_dir = self._store_dir(tmp_path)
